@@ -1,0 +1,65 @@
+package sompi
+
+import (
+	"testing"
+
+	"sompi/internal/app"
+	"sompi/internal/experiments"
+	"sompi/internal/report"
+)
+
+// Each benchmark regenerates one table or figure of the paper's
+// evaluation end to end (market synthesis, planning, Monte Carlo replay,
+// table rendering). Replication counts are scaled down so a full
+// `go test -bench=.` pass finishes in minutes; cmd/experiments runs the
+// same constructors at paper scale. The rendered table from the final
+// iteration is logged so a bench run doubles as a results run.
+
+// benchParams keeps benchmark iterations affordable while exercising the
+// full pipeline.
+func benchParams() experiments.Params {
+	return experiments.Params{
+		Seed:        42,
+		MarketHours: 24 * 12,
+		Runs:        3,
+		Apps:        []app.Profile{app.BT(), app.FT(), app.BTIO()},
+	}
+}
+
+func runExperiment(b *testing.B, f func(experiments.Params) *report.Table) {
+	b.Helper()
+	var tab *report.Table
+	for i := 0; i < b.N; i++ {
+		tab = f(benchParams())
+	}
+	b.StopTimer()
+	if tab != nil {
+		b.Logf("\n%s", tab)
+	}
+}
+
+func BenchmarkFig1SpotPriceVariation(b *testing.B) { runExperiment(b, experiments.Fig1) }
+
+func BenchmarkFig2PriceHistograms(b *testing.B) { runExperiment(b, experiments.Fig2) }
+
+func BenchmarkFig4FailureRateAndPrice(b *testing.B) { runExperiment(b, experiments.Fig4) }
+
+func BenchmarkFig5CostComparison(b *testing.B) { runExperiment(b, experiments.Fig5) }
+
+func BenchmarkTable2ExecutionTime(b *testing.B) { runExperiment(b, experiments.Table2) }
+
+func BenchmarkFig6HeuristicComparison(b *testing.B) { runExperiment(b, experiments.Fig6) }
+
+func BenchmarkFig7DeadlineSweep(b *testing.B) { runExperiment(b, experiments.Fig7) }
+
+func BenchmarkFig8FaultToleranceAblation(b *testing.B) { runExperiment(b, experiments.Fig8) }
+
+func BenchmarkParamSlack(b *testing.B) { runExperiment(b, experiments.Slack) }
+
+func BenchmarkParamKappa(b *testing.B) { runExperiment(b, experiments.Kappa) }
+
+func BenchmarkParamTm(b *testing.B) { runExperiment(b, experiments.Tm) }
+
+func BenchmarkAccuracyFailureRate(b *testing.B) { runExperiment(b, experiments.AccFRF) }
+
+func BenchmarkAccuracyModel(b *testing.B) { runExperiment(b, experiments.AccModel) }

@@ -1,0 +1,80 @@
+// Command sompi optimizes one MPI application run: given a workload, a
+// deadline factor and a market seed, it prints the plan SOMPI chooses
+// (circle groups, bids, checkpoint intervals, on-demand recovery type)
+// and its expected cost/time, then optionally replays it.
+//
+// Usage:
+//
+//	sompi -app BT -deadline 1.5 [-seed 42] [-hours 720] [-replay 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sompi/internal/app"
+	"sompi/internal/baselines"
+	"sompi/internal/cloud"
+	"sompi/internal/opt"
+	"sompi/internal/replay"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sompi: ")
+	var (
+		name     = flag.String("app", "BT", "workload: BT SP LU FT IS BTIO LAMMPS-32 LAMMPS-128")
+		deadline = flag.Float64("deadline", 1.5, "deadline as a multiple of Baseline Time")
+		seed     = flag.Uint64("seed", 42, "market seed")
+		hours    = flag.Float64("hours", 720, "market history length")
+		replays  = flag.Int("replay", 0, "Monte Carlo replays of the adaptive strategy (0 = skip)")
+	)
+	flag.Parse()
+
+	profile, ok := app.ByName(*name)
+	if !ok {
+		log.Fatalf("unknown workload %q", *name)
+	}
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), *hours, *seed)
+	baselineFleet := opt.FastestOnDemand(nil, profile)
+	dl := baselineFleet.T * *deadline
+
+	fmt.Printf("workload %s (%s), %d processes\n", profile.Name, profile.Class, profile.Procs)
+	fmt.Printf("baseline: %s x%d, %.1fh, $%.0f\n",
+		baselineFleet.Instance.Name, baselineFleet.M, baselineFleet.T, baselineFleet.FullCost())
+	fmt.Printf("deadline: %.1fh (%.2fx baseline)\n\n", dl, *deadline)
+
+	train := m.Window(0, baselines.History)
+	res, err := opt.Optimize(opt.Config{Profile: profile, Market: train, Deadline: dl})
+	if err != nil {
+		log.Fatalf("optimization failed: %v", err)
+	}
+	printPlan(res)
+
+	if *replays > 0 {
+		r := &replay.Runner{Market: m, Profile: profile}
+		st := replay.MonteCarlo(baselines.SOMPI(m), r, replay.MCConfig{
+			Deadline: dl, Runs: *replays, Seed: *seed,
+		})
+		fmt.Printf("\nadaptive replay: %s\n", st.String())
+		fmt.Printf("normalized cost vs baseline: %.2f\n", st.Cost.Mean()/baselineFleet.FullCost())
+	}
+}
+
+func printPlan(res opt.Result) {
+	fmt.Printf("plan (expected cost $%.0f, expected time %.1fh, %d evaluations):\n",
+		res.Est.Cost, res.Est.Time, res.Evals)
+	if len(res.Plan.Groups) == 0 {
+		fmt.Println("  pure on-demand execution")
+	}
+	for _, gp := range res.Plan.Groups {
+		fmt.Printf("  circle group %-24s x%-3d bid $%.3f/h, checkpoint every %.2fh\n",
+			gp.Group.Key, gp.Group.M, gp.Bid, gp.Interval)
+	}
+	rec := res.Plan.Recovery
+	fmt.Printf("  on-demand recovery: %s x%d ($%.2f/h fleet)\n",
+		rec.Instance.Name, rec.M, rec.Rate())
+	fmt.Printf("  P(all groups fail) = %.3f, E[recovered fraction] = %.3f\n",
+		res.Est.PAllFail, res.Est.EMinRatio)
+}

@@ -1,0 +1,35 @@
+// Market study (Figures 1, 2 and 4 style): spot price statistics, daily
+// distribution stability, and the failure-rate/expected-price trade-off
+// that drives bid selection.
+package main
+
+import (
+	"fmt"
+
+	"sompi"
+	"sompi/internal/cloud"
+	"sompi/internal/failure"
+)
+
+func main() {
+	market := sompi.GenerateMarket(24*14, 42)
+
+	fmt.Println("market                     mean $/h   max $/h   frac below on-demand")
+	for _, key := range market.Keys() {
+		it, _ := market.Catalog.ByName(key.Type)
+		tr := market.Traces[key]
+		fmt.Printf("%-26s %8.3f  %8.3f   %.0f%%\n",
+			key, tr.Mean(), tr.Max(), 100*tr.FractionBelow(it.OnDemand))
+	}
+
+	// The Figure 4 trade-off for one market: raising the bid buys
+	// survival but pays a higher expected price.
+	tr := market.Trace(cloud.M1Medium.Name, cloud.ZoneA)
+	fmt.Println("\nm1.medium/us-east-1a: bid vs 12h failure probability and expected price")
+	for _, frac := range []float64{0.05, 0.1, 0.25, 0.5, 1.0} {
+		bid := tr.Max() * frac
+		d := failure.Estimate(tr, bid, 12)
+		fmt.Printf("  bid $%.3f (%.0f%% of max): fail %.0f%%, S(P) $%.4f/h\n",
+			bid, frac*100, 100*(1-d.Complete()), failure.ExpectedSpotPrice(tr, bid))
+	}
+}

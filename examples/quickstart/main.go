@@ -1,0 +1,51 @@
+// Quickstart: synthesize a spot market, ask SOMPI for a plan for the NPB
+// BT campaign with a 1.5x deadline, and replay the adaptive strategy a few
+// times to see realized costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sompi"
+)
+
+func main() {
+	// A month of spot-price history for every (type, zone) market.
+	market := sompi.GenerateMarket(24*30, 42)
+
+	// The workload: NPB BT at 128 processes, profiled per Section 4.4.
+	bt := sompi.WorkloadBT()
+	var baseline float64
+	for _, it := range sompi.DefaultCatalog() {
+		if h := sompi.EstimateHours(bt, it); baseline == 0 || h < baseline {
+			baseline = h
+		}
+	}
+	deadline := baseline * 1.5
+	fmt.Printf("BT baseline %.1fh; deadline %.1fh\n", baseline, deadline)
+
+	// One-shot optimization from the first four days of history.
+	res, err := sompi.Optimize(sompi.Config{
+		Profile:  bt,
+		Market:   market.Window(0, 96),
+		Deadline: deadline,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %d circle group(s), expected $%.0f in %.1fh\n",
+		len(res.Plan.Groups), res.Est.Cost, res.Est.Time)
+	for _, gp := range res.Plan.Groups {
+		fmt.Printf("  %s x%d, bid $%.3f/h, checkpoint every %.2fh\n",
+			gp.Group.Key, gp.Group.M, gp.Bid, gp.Interval)
+	}
+
+	// Replay the full adaptive strategy against the market.
+	runner := &sompi.Runner{Market: market, Profile: bt}
+	stats := sompi.MonteCarlo(sompi.NewSOMPI(market), runner, sompi.MCConfig{
+		Deadline: deadline, Runs: 5, Seed: 1,
+	})
+	fmt.Printf("adaptive SOMPI over %d replays: mean $%.0f, mean %.1fh, %d deadline misses\n",
+		stats.Runs, stats.Cost.Mean(), stats.Hours.Mean(), stats.DeadlineMisses)
+}

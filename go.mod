@@ -1,0 +1,3 @@
+module sompi
+
+go 1.22

@@ -1,0 +1,243 @@
+package app
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sompi/internal/cloud"
+)
+
+// fleetRate is the on-demand $/hour of the fleet hosting p on type it.
+func fleetRate(p Profile, it cloud.InstanceType) float64 {
+	return it.OnDemand * float64(it.InstancesFor(p.Procs))
+}
+
+func onDemandCost(p Profile, it cloud.InstanceType) float64 {
+	return EstimateHours(p, it) * fleetRate(p, it)
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := BT()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("BT invalid: %v", err)
+	}
+	bad := []Profile{
+		{Name: "p0", Procs: 0, InstrTera: 1, MemGB: 1},
+		{Name: "neg", Procs: 1, InstrTera: -1, MemGB: 1},
+		{Name: "nomem", Procs: 1, InstrTera: 1, MemGB: 0},
+		{Name: "empty", Procs: 1, MemGB: 1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %q validated but should not", p.Name)
+		}
+	}
+}
+
+func TestAllPresetsValidate(t *testing.T) {
+	all := append(NPB(), LAMMPS(32), LAMMPS(128))
+	for _, p := range all {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"BT", "SP", "LU", "FT", "IS", "BTIO", "LAMMPS-32", "LAMMPS-128"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) missing", name)
+		}
+	}
+	if _, ok := ByName("HPL"); ok {
+		t.Error("ByName found a workload that should not exist")
+	}
+}
+
+func TestIntraNodeFraction(t *testing.T) {
+	cases := []struct {
+		ppn, procs int
+		want       float64
+	}{
+		{1, 128, 0},
+		{32, 128, 31.0 / 127},
+		{128, 128, 1},
+		{256, 128, 1}, // clamped
+		{4, 1, 1},     // single process: everything is local
+	}
+	for _, c := range cases {
+		if got := intraNodeFraction(c.ppn, c.procs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("intraNodeFraction(%d,%d) = %v, want %v", c.ppn, c.procs, got, c.want)
+		}
+	}
+}
+
+func TestEstimateHoursPositive(t *testing.T) {
+	for _, p := range NPB() {
+		for _, it := range cloud.DefaultCatalog() {
+			if h := EstimateHours(p, it); h <= 0 || math.IsNaN(h) || math.IsInf(h, 0) {
+				t.Errorf("%s on %s: EstimateHours = %v", p.Name, it.Name, h)
+			}
+		}
+	}
+}
+
+func TestEstimateHoursIntCeil(t *testing.T) {
+	p := BT()
+	it := cloud.CC28XLarge
+	h := EstimateHours(p, it)
+	hi := EstimateHoursInt(p, it)
+	if float64(hi) < h || float64(hi)-h >= 1 {
+		t.Fatalf("EstimateHoursInt = %d does not ceil %v", hi, h)
+	}
+}
+
+// TestComputeIntensiveParetoFrontier checks the load-bearing calibration:
+// for BT/SP/LU the four types form a strict cost/time Pareto frontier
+// (paper Figure 7: cheaper types are slower; arrows step down cc2.8xlarge
+// → c3.xlarge → m1.medium → m1.small as the deadline loosens).
+func TestComputeIntensiveParetoFrontier(t *testing.T) {
+	order := []cloud.InstanceType{cloud.M1Small, cloud.M1Medium, cloud.C3XLarge, cloud.CC28XLarge}
+	for _, p := range []Profile{BT(), SP(), LU()} {
+		for i := 1; i < len(order); i++ {
+			slow, fast := order[i-1], order[i]
+			tSlow, tFast := EstimateHours(p, slow), EstimateHours(p, fast)
+			cSlow, cFast := onDemandCost(p, slow), onDemandCost(p, fast)
+			if tFast >= tSlow {
+				t.Errorf("%s: %s (%.1fh) not faster than %s (%.1fh)",
+					p.Name, fast.Name, tFast, slow.Name, tSlow)
+			}
+			if cFast <= cSlow {
+				t.Errorf("%s: %s ($%.0f) not dearer than %s ($%.0f)",
+					p.Name, fast.Name, cFast, slow.Name, cSlow)
+			}
+		}
+	}
+}
+
+// TestCommIntensiveCC2Dominates checks the paper's Section 5.3.1 finding
+// for FT/IS: cc2.8xlarge yields both the minimal monetary cost and the
+// shortest execution time.
+func TestCommIntensiveCC2Dominates(t *testing.T) {
+	for _, p := range []Profile{FT(), IS()} {
+		tCC2 := EstimateHours(p, cloud.CC28XLarge)
+		cCC2 := onDemandCost(p, cloud.CC28XLarge)
+		for _, it := range []cloud.InstanceType{cloud.M1Small, cloud.M1Medium, cloud.C3XLarge} {
+			if th := EstimateHours(p, it); th <= tCC2 {
+				t.Errorf("%s: %s (%.1fh) beats cc2.8xlarge (%.1fh) on time", p.Name, it.Name, th, tCC2)
+			}
+			if ch := onDemandCost(p, it); ch <= cCC2 {
+				t.Errorf("%s: %s ($%.0f) beats cc2.8xlarge ($%.0f) on cost", p.Name, it.Name, ch, cCC2)
+			}
+		}
+	}
+}
+
+// TestIOIntensiveSmallInstancesWin checks the paper's BTIO finding:
+// m1.small and m1.medium have lower costs AND higher performance than
+// cc2.8xlarge thanks to 32x the I/O parallelism.
+func TestIOIntensiveSmallInstancesWin(t *testing.T) {
+	p := BTIO()
+	tCC2 := EstimateHours(p, cloud.CC28XLarge)
+	cCC2 := onDemandCost(p, cloud.CC28XLarge)
+	for _, it := range []cloud.InstanceType{cloud.M1Small, cloud.M1Medium} {
+		if th := EstimateHours(p, it); th >= tCC2 {
+			t.Errorf("BTIO: %s (%.1fh) slower than cc2.8xlarge (%.1fh)", it.Name, th, tCC2)
+		}
+		if ch := onDemandCost(p, it); ch >= cCC2 {
+			t.Errorf("BTIO: %s ($%.0f) dearer than cc2.8xlarge ($%.0f)", it.Name, ch, cCC2)
+		}
+	}
+	// m1.small remains the cheapest option (Figure 7c's switch target).
+	if onDemandCost(p, cloud.M1Small) >= onDemandCost(p, cloud.M1Medium) {
+		t.Error("BTIO: m1.small should be cheaper than m1.medium")
+	}
+}
+
+// TestLAMMPSClassShift checks the paper's LAMMPS observation: at 32
+// processes small instances are cost-effective; at 128 processes the run
+// is communication-bound and cc2.8xlarge becomes the best choice.
+func TestLAMMPSClassShift(t *testing.T) {
+	small := LAMMPS(32)
+	if c := onDemandCost(small, cloud.M1Small); c >= onDemandCost(small, cloud.CC28XLarge) {
+		t.Errorf("LAMMPS-32: m1.small ($%.0f) should be cheaper than cc2.8xlarge ($%.0f)",
+			c, onDemandCost(small, cloud.CC28XLarge))
+	}
+	large := LAMMPS(128)
+	cheapest := ""
+	best := math.Inf(1)
+	for _, it := range cloud.DefaultCatalog() {
+		if c := onDemandCost(large, it); c < best {
+			best, cheapest = c, it.Name
+		}
+	}
+	if cheapest != cloud.CC28XLarge.Name {
+		t.Errorf("LAMMPS-128: cheapest type is %s, want cc2.8xlarge", cheapest)
+	}
+}
+
+func TestLAMMPSPanicsOnBadProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LAMMPS(0) did not panic")
+		}
+	}()
+	LAMMPS(0)
+}
+
+func TestCheckpointOverheadSmallVsRuntime(t *testing.T) {
+	// Checkpoints must cost a small fraction of an hour; otherwise the
+	// hour-discretized model and the Young/Daly interval break down.
+	for _, p := range NPB() {
+		for _, it := range cloud.DefaultCatalog() {
+			o := CheckpointHours(p, it)
+			if o <= 0 || o > 0.25 {
+				t.Errorf("%s on %s: checkpoint overhead %vh out of range", p.Name, it.Name, o)
+			}
+			r := RecoveryHours(p, it)
+			if r <= o {
+				t.Errorf("%s on %s: recovery %vh not greater than checkpoint %vh", p.Name, it.Name, r, o)
+			}
+		}
+	}
+}
+
+func TestEstimateMonotoneInWork(t *testing.T) {
+	f := func(extraRaw float64) bool {
+		extra := math.Mod(math.Abs(extraRaw), 10000)
+		base := BT()
+		more := base
+		more.InstrTera += extra
+		return EstimateHours(more, cloud.M1Small) >= EstimateHours(base, cloud.M1Small)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EstimateHours on invalid profile did not panic")
+		}
+	}()
+	EstimateHours(Profile{Name: "bad", Procs: -1, MemGB: 1}, cloud.M1Small)
+}
+
+func TestBaselineIsCC2ForCompute(t *testing.T) {
+	// The paper's Baseline runs on the type with minimal execution time;
+	// for compute- and communication-intensive NPB kernels that must be
+	// cc2.8xlarge, while BTIO's best performer is a small type.
+	for _, p := range []Profile{BT(), SP(), LU(), FT(), IS()} {
+		best, name := math.Inf(1), ""
+		for _, it := range cloud.DefaultCatalog() {
+			if h := EstimateHours(p, it); h < best {
+				best, name = h, it.Name
+			}
+		}
+		if name != cloud.CC28XLarge.Name {
+			t.Errorf("%s: fastest type %s, want cc2.8xlarge", p.Name, name)
+		}
+	}
+}

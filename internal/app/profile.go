@@ -1,0 +1,167 @@
+// Package app models the MPI applications the paper evaluates: TAU-style
+// resource profiles, the analytic execution-time estimator of Section 4.4
+// (CPU + network + I/O time), checkpoint/recovery overhead models, and
+// preset workloads for the NPB kernels and LAMMPS.
+package app
+
+import (
+	"fmt"
+	"math"
+
+	"sompi/internal/cloud"
+)
+
+// Class labels the paper's three workload categories (Section 5.1).
+type Class string
+
+const (
+	Computation   Class = "computation-intensive"
+	Communication Class = "communication-intensive"
+	IO            Class = "io-intensive"
+)
+
+// Profile is the paper's application profile
+// ⟨#instr, Data_send, Data_recv, IO_seq, IO_rnd⟩ (Section 4.4,
+// "Profiling"), plus the process count and memory footprint needed for the
+// checkpoint model. The volumes are aggregates over the whole job — the
+// paper runs each NPB kernel 100–200 times back to back "to extend to
+// large scale computing", so a profile represents that full campaign.
+type Profile struct {
+	// Name identifies the application, e.g. "BT".
+	Name string
+	// Class is the paper's workload category, used only for reporting.
+	Class Class
+	// Procs is the number of MPI processes (the paper fixes 128 for NPB).
+	Procs int
+	// InstrTera is the total instruction count in units of 10^12.
+	InstrTera float64
+	// SendGB and RecvGB are the total MPI payload volumes in GB.
+	SendGB, RecvGB float64
+	// IOSeqGB and IORndGB are the sequential and random local-disk I/O
+	// volumes in GB.
+	IOSeqGB, IORndGB float64
+	// MemGB is the aggregate resident footprint across all ranks in GB —
+	// the size of one coordinated checkpoint.
+	MemGB float64
+}
+
+// Validate reports an error when the profile is not executable.
+func (p Profile) Validate() error {
+	switch {
+	case p.Procs <= 0:
+		return fmt.Errorf("app %s: non-positive process count %d", p.Name, p.Procs)
+	case p.InstrTera < 0 || p.SendGB < 0 || p.RecvGB < 0 || p.IOSeqGB < 0 || p.IORndGB < 0:
+		return fmt.Errorf("app %s: negative resource volume", p.Name)
+	case p.MemGB <= 0:
+		return fmt.Errorf("app %s: non-positive memory footprint", p.Name)
+	case p.InstrTera == 0 && p.SendGB+p.RecvGB == 0 && p.IOSeqGB+p.IORndGB == 0:
+		return fmt.Errorf("app %s: profile has no work at all", p.Name)
+	}
+	return nil
+}
+
+// Scale returns a copy of the profile with frac of the work remaining:
+// all resource volumes are scaled, the footprint (and hence checkpoint
+// size) is not. The adaptive optimizer (Algorithm 1) re-plans each
+// optimization window against the residual profile. frac must be in
+// (0, 1].
+func (p Profile) Scale(frac float64) Profile {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("app %s: scale fraction %v outside (0,1]", p.Name, frac))
+	}
+	p.InstrTera *= frac
+	p.SendGB *= frac
+	p.RecvGB *= frac
+	p.IOSeqGB *= frac
+	p.IORndGB *= frac
+	return p
+}
+
+// intraNodeFraction estimates the fraction of MPI traffic that stays
+// inside one instance and therefore moves through shared memory instead of
+// the network: the probability that a uniformly chosen communication peer
+// lives on the same node. This is the effect that makes cc2.8xlarge
+// (32 ranks per node) excel on communication-intensive kernels (Section
+// 5.3.1): "many processes in cc2.8xlarge are running in the same instance
+// and they utilize shared memory instead of exchanging message through the
+// network".
+func intraNodeFraction(procsPerNode, procs int) float64 {
+	if procs <= 1 {
+		return 1
+	}
+	if procsPerNode > procs {
+		procsPerNode = procs
+	}
+	return float64(procsPerNode-1) / float64(procs-1)
+}
+
+// EstimateHours predicts the productive execution time of the profile on a
+// fleet of the given instance type, in hours — the paper's T_d / T_i.
+// Per Section 4.4 the estimate is the sum of CPU, network and I/O time:
+//
+//	CPU  = #instr / (procs × per-core rate)
+//	Net  = inter-node bytes / aggregate effective network bandwidth
+//	I/O  = io bytes / aggregate disk bandwidth
+func EstimateHours(p Profile, it cloud.InstanceType) float64 {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	instances := it.InstancesFor(p.Procs)
+
+	// CPU: one rank per core at the type's effective per-core rate.
+	cpuSec := p.InstrTera * 1000 / (float64(p.Procs) * it.GIPS)
+
+	// Network: traffic that crosses node boundaries over the aggregate
+	// effective bandwidth of all NICs.
+	procsPerNode := it.Cores
+	inter := 1 - intraNodeFraction(procsPerNode, p.Procs)
+	aggGBps := float64(instances) * it.NetGbps * it.NetEff / 8
+	netSec := 0.0
+	if comm := (p.SendGB + p.RecvGB) * inter; comm > 0 {
+		netSec = comm / aggGBps
+	}
+
+	// I/O: aggregate disk bandwidth scales with the instance count, which
+	// is why 128 m1.small beat 4 cc2.8xlarge on BTIO.
+	ioSec := 0.0
+	if p.IOSeqGB > 0 {
+		ioSec += p.IOSeqGB * 1024 / (float64(instances) * it.IOSeqMBps)
+	}
+	if p.IORndGB > 0 {
+		ioSec += p.IORndGB * 1024 / (float64(instances) * it.IORndMBps)
+	}
+
+	return (cpuSec + netSec + ioSec) / 3600
+}
+
+// EstimateHoursInt returns EstimateHours rounded up to a whole hour, the
+// discretization the paper's model applies to T_i (failure times are
+// floored to integer hours, and T_i is the completion index).
+func EstimateHoursInt(p Profile, it cloud.InstanceType) int {
+	h := int(math.Ceil(EstimateHours(p, it)))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// CheckpointHours estimates the overhead O_i of one coordinated checkpoint
+// on a fleet of the given type: every instance streams its share of the
+// footprint to the object store in parallel, plus a fixed coordination
+// barrier. BLCR-style system-level checkpointing adds no cost between
+// checkpoints (Section 4.4), so this is the entire overhead.
+func CheckpointHours(p Profile, it cloud.InstanceType) float64 {
+	instances := it.InstancesFor(p.Procs)
+	perInstGB := p.MemGB / float64(instances)
+	upGBps := it.NetGbps * it.NetEff / 8
+	const barrier = 30.0 / 3600 // coordination + quiesce, 30 s
+	return perInstGB/upGBps/3600 + barrier
+}
+
+// RecoveryHours estimates the overhead R_i of restarting from the last
+// checkpoint on a fleet of the given type: re-acquiring instances, pulling
+// the checkpoint back from the store, and restarting the MPI job.
+func RecoveryHours(p Profile, it cloud.InstanceType) float64 {
+	const acquire = 180.0 / 3600 // instance provisioning, 3 min
+	return CheckpointHours(p, it) + acquire
+}

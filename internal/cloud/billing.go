@@ -1,0 +1,63 @@
+package cloud
+
+import (
+	"math"
+
+	"sompi/internal/trace"
+)
+
+// BillingPolicy selects how running time converts into billed time.
+type BillingPolicy int
+
+const (
+	// BillContinuous charges for exact running time. The paper's cost
+	// model (Formula 5) integrates price over time, i.e. continuous
+	// billing; it is also what the simulation results use.
+	BillContinuous BillingPolicy = iota
+	// BillHourly rounds each instance's running time up to whole hours,
+	// EC2's 2014 on-demand rule.
+	BillHourly
+)
+
+// BilledHours converts running hours into billed hours under the policy.
+func BilledHours(policy BillingPolicy, hours float64) float64 {
+	if hours <= 0 {
+		return 0
+	}
+	if policy == BillHourly {
+		return math.Ceil(hours - 1e-9)
+	}
+	return hours
+}
+
+// OnDemandCost charges m instances of type it for hours of running time.
+func OnDemandCost(policy BillingPolicy, it InstanceType, m int, hours float64) float64 {
+	return it.OnDemand * float64(m) * BilledHours(policy, hours)
+}
+
+// SpotCost integrates the actual spot price over [startHour,
+// startHour+hours) on the given trace, for m instances. This is the
+// "replay the trace and calculate the monetary cost given the spot price"
+// accounting from Section 5.1. The caller guarantees the instances were
+// running (price at or below bid) throughout the interval; out-of-bid
+// detection lives in the replay simulator, not here.
+func SpotCost(tr *trace.Trace, startHour, hours float64, m int) float64 {
+	if hours <= 0 || tr.Len() == 0 {
+		return 0
+	}
+	cost := 0.0
+	end := startHour + hours
+	// Integrate sample by sample, handling fractional first/last samples.
+	for t := startHour; t < end; {
+		idx := tr.IndexAt(t)
+		sampleEnd := float64(idx+1) * tr.Step
+		if sampleEnd <= t { // clamped at trace end: charge the final price
+			cost += tr.Prices[len(tr.Prices)-1] * (end - t)
+			break
+		}
+		upto := math.Min(sampleEnd, end)
+		cost += tr.Prices[idx] * (upto - t)
+		t = upto
+	}
+	return cost * float64(m)
+}

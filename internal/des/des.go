@@ -1,0 +1,123 @@
+// Package des is a minimal discrete-event simulation engine: a virtual
+// clock and a time-ordered event heap. The simulated MPI runtime
+// (internal/mpirt) runs on it; it is deliberately tiny — processes are
+// callbacks, not goroutines, so simulations are deterministic and fast.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled at a virtual time.
+type Event struct {
+	At float64
+	Fn func()
+
+	seq   uint64 // FIFO tie-break for simultaneous events
+	index int    // heap bookkeeping; -1 once popped or cancelled
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now    float64
+	nextID uint64
+	queue  eventQueue
+}
+
+// Now reports the current virtual time.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute virtual time at. It panics if at is in the
+// virtual past.
+func (s *Sim) At(at float64, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, s.now))
+	}
+	e := &Event{At: at, Fn: fn, seq: s.nextID}
+	s.nextID++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn delay units after the current time.
+func (s *Sim) After(delay float64, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or already-
+// cancelled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		if e != nil {
+			e.index = -2
+		}
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+	e.index = -2
+}
+
+// Step fires the earliest pending event and reports whether one existed.
+func (s *Sim) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.At
+	e.Fn()
+	return true
+}
+
+// Run fires events until the queue is empty or until the virtual clock
+// would pass limit, and returns the number of events fired.
+func (s *Sim) Run(limit float64) int {
+	fired := 0
+	for s.queue.Len() > 0 && s.queue[0].At <= limit {
+		s.Step()
+		fired++
+	}
+	if s.now < limit && s.queue.Len() == 0 {
+		s.now = limit
+	}
+	return fired
+}
+
+// Pending reports the number of scheduled events.
+func (s *Sim) Pending() int { return s.queue.Len() }
+
+// eventQueue implements heap.Interface ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x interface{}) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

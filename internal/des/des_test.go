@@ -1,0 +1,121 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventsFireInOrder(t *testing.T) {
+	var s Sim
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	s.Run(10)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fired order %v", got)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("Now = %v, want 10 (advanced to limit)", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var s Sim
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(1, func() { got = append(got, i) })
+	}
+	s.Run(2)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break order %v", got)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	var s Sim
+	var at float64
+	s.After(2, func() {
+		at = s.Now()
+		s.After(3, func() { at = s.Now() })
+	})
+	s.Run(100)
+	if at != 5 {
+		t.Fatalf("nested After fired at %v, want 5", at)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	var s Sim
+	fired := false
+	s.At(5, func() { fired = true })
+	if n := s.Run(4); n != 0 {
+		t.Fatalf("fired %d events before limit", n)
+	}
+	if fired {
+		t.Fatal("event past the limit fired")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	s.Run(5)
+	if !fired {
+		t.Fatal("event at the limit did not fire")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var s Sim
+	fired := false
+	e := s.At(1, func() { fired = true })
+	s.Cancel(e)
+	if !e.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	s.Run(10)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	s.Cancel(e) // double-cancel is a no-op
+	s.Cancel(nil)
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var s Sim
+	s.At(5, func() {})
+	s.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("past scheduling did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var s Sim
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestStepByStep(t *testing.T) {
+	var s Sim
+	n := 0
+	s.At(1, func() { n++ })
+	s.At(2, func() { n++ })
+	if !s.Step() || n != 1 {
+		t.Fatal("first step failed")
+	}
+	if !s.Step() || n != 2 {
+		t.Fatal("second step failed")
+	}
+	if s.Step() {
+		t.Fatal("step on empty queue reported an event")
+	}
+}

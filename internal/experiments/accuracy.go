@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"math"
+
+	"sompi/internal/app"
+	"sompi/internal/baselines"
+	"sompi/internal/cloud"
+	"sompi/internal/failure"
+	"sompi/internal/model"
+	"sompi/internal/opt"
+	"sompi/internal/replay"
+	"sompi/internal/report"
+	"sompi/internal/stats"
+)
+
+// AccFRF regenerates the Section 5.4.1 failure-rate-function accuracy
+// study: train the estimator on three days of history, re-estimate on the
+// following day, and report the distribution of relative differences.
+func AccFRF(p Params) *report.Table {
+	p = p.withDefaults()
+	m := p.market()
+	t := &report.Table{
+		Title:  "Accuracy of the failure rate function (3-day train vs next-day test)",
+		Header: []string{"market", "bid-frac", "abs-diff-mean", "frac<3pp", "frac<5pp"},
+	}
+	const horizon = 12
+	for _, key := range []cloud.MarketKey{
+		{Type: cloud.M1Small.Name, Zone: cloud.ZoneA},
+		{Type: cloud.M1Medium.Name, Zone: cloud.ZoneA},
+		{Type: cloud.CC28XLarge.Name, Zone: cloud.ZoneB},
+	} {
+		full := m.Trace(key.Type, key.Zone)
+		for _, frac := range []float64{0.1, 0.5} {
+			bid := full.Max() * frac
+			var diffs stats.Summary
+			under3, under5, n := 0, 0, 0
+			// Slide the 4-day window through the trace.
+			for off := 0.0; off+96 <= full.Duration(); off += 24 {
+				train := full.Window(off, 72)
+				test := full.Window(off+72, 24)
+				if train.Len() == 0 || test.Len() == 0 {
+					continue
+				}
+				a := failure.Estimate(train, bid, horizon)
+				b := failure.Estimate(test, bid, horizon)
+				// Compare the survival curves pointwise. Differences are
+				// absolute (percentage points): survival values are
+				// probabilities, and the paper's relative metric degenerates
+				// on the near-zero buckets our spikier markets produce.
+				for h := 1; h <= horizon; h++ {
+					d := math.Abs(a.Survival(h) - b.Survival(h))
+					diffs.Add(d)
+					n++
+					if d < 0.03 {
+						under3++
+					}
+					if d < 0.05 {
+						under5++
+					}
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			t.Add(key.String(), frac, diffs.Mean(),
+				float64(under3)/float64(n), float64(under5)/float64(n))
+		}
+	}
+	t.AddNote("paper shape: ~90%% of relative differences below 3%%, ~98%% below 5%%")
+	return t
+}
+
+// AccModel regenerates the Section 5.4.1 model accuracy study: the
+// expected cost from Formula 1 (the analytic evaluator) against the
+// Monte Carlo replay of the same plan.
+func AccModel(p Params) *report.Table {
+	p = p.withDefaults()
+	m := p.market()
+	t := &report.Table{
+		Title:  "Accuracy of the cost model (Formula 1 vs Monte Carlo replay)",
+		Header: []string{"app", "model-cost", "replay-cost", "rel-diff"},
+	}
+	var worst float64
+	for _, pr := range []app.Profile{app.BT(), app.FT(), app.BTIO()} {
+		_, baseTime := baselineOf(pr)
+		deadline := baseTime * LooseFactor
+
+		// The paper's accuracy experiment replays the same history the
+		// model was estimated from (in-sample): it measures the error of
+		// the formulas, not day-over-day market drift. Train and replay
+		// on one 10-day window.
+		train := m.Window(0, 240)
+		res, err := opt.Optimize(opt.Config{Profile: pr, Market: train, Deadline: deadline})
+		if err != nil {
+			continue
+		}
+		r := &replay.Runner{Market: train, Profile: pr}
+		fixed := replay.FixedPlan{
+			Label: "plan",
+			Provider: func(*replay.Runner, float64, float64) (model.Plan, error) {
+				return res.Plan, nil
+			},
+		}
+		st := replay.MonteCarlo(fixed, r, replay.MCConfig{
+			Deadline: deadline, Runs: p.Runs * 4, History: baselines.History, Seed: p.Seed + 2,
+		})
+		rel := math.Abs(res.Est.Cost-st.Cost.Mean()) / st.Cost.Mean()
+		if rel > worst {
+			worst = rel
+		}
+		t.Add(pr.Name, res.Est.Cost, st.Cost.Mean(), rel)
+	}
+	t.AddNote("worst relative difference %.1f%%; paper reports at most ~15%%", worst*100)
+	return t
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sompi/internal/cloud"
+	"sompi/internal/failure"
+	"sompi/internal/report"
+	"sompi/internal/stats"
+)
+
+// Fig1 regenerates Figure 1: three days of spot prices for m1.medium and
+// m1.large in us-east-1a and us-east-1b, sampled hourly — the temporal
+// and spatial variation study.
+func Fig1(p Params) *report.Table {
+	p = p.withDefaults()
+	m := cloud.GenerateMarket(
+		cloud.Catalog{cloud.M1Medium, cloud.M1Large},
+		[]string{cloud.ZoneA, cloud.ZoneB}, p.MarketHours, p.Seed)
+	t := &report.Table{
+		Title: "Figure 1: spot price variation over 72 hours ($/h)",
+		Header: []string{"hour",
+			"m1.medium/1a", "m1.medium/1b", "m1.large/1a", "m1.large/1b"},
+	}
+	for h := 0; h < 72; h++ {
+		t.Add(h,
+			m.Trace(cloud.M1Medium.Name, cloud.ZoneA).At(float64(h)),
+			m.Trace(cloud.M1Medium.Name, cloud.ZoneB).At(float64(h)),
+			m.Trace(cloud.M1Large.Name, cloud.ZoneA).At(float64(h)),
+			m.Trace(cloud.M1Large.Name, cloud.ZoneB).At(float64(h)))
+	}
+	t.AddNote("paper shape: 1a spikes by an order of magnitude, 1b stays low; types differ")
+	return t
+}
+
+// Fig2 regenerates Figure 2: the spot price histogram of m1.medium in
+// us-east-1a over four consecutive days, plus the day-over-day L1
+// distances quantifying the paper's "stable distribution" claim.
+func Fig2(p Params) *report.Table {
+	p = p.withDefaults()
+	m := p.market()
+	tr := m.Trace(cloud.M1Medium.Name, cloud.ZoneA)
+	hi := cloud.M1Medium.OnDemand * 2
+	t := &report.Table{
+		Title:  "Figure 2: m1.medium us-east-1a daily price histograms (densities)",
+		Header: []string{"bin-center", "day1", "day2", "day3", "day4"},
+	}
+	const bins = 12
+	dayHists := make([]*stats.Histogram, 4)
+	for day := 0; day < 4; day++ {
+		dayHists[day] = tr.Window(float64(day)*24, 24).Histogram(0, hi, bins)
+	}
+	for b := 0; b < bins; b++ {
+		t.Add(dayHists[0].BinCenter(b),
+			dayHists[0].Density(b), dayHists[1].Density(b),
+			dayHists[2].Density(b), dayHists[3].Density(b))
+	}
+	var l1 []float64
+	for day := 1; day < 4; day++ {
+		l1 = append(l1, dayHists[day-1].Distance(dayHists[day]))
+	}
+	t.AddNote("day-over-day L1 distances: %.3f %.3f %.3f (2.0 = disjoint)", l1[0], l1[1], l1[2])
+	t.AddNote("paper shape: the four daily distributions are very close to each other")
+	return t
+}
+
+// Fig4 regenerates Figure 4: the failure-rate function f(P, t) at a fixed
+// horizon and the expected spot price S(P), as functions of the bid, for
+// m1.small and c3.xlarge in us-east-1a.
+func Fig4(p Params) *report.Table {
+	p = p.withDefaults()
+	m := p.market()
+	t := &report.Table{
+		Title: "Figure 4: failure rate and expected spot price vs bid (us-east-1a)",
+		Header: []string{"bid-frac-of-max",
+			"m1.small fail@12h", "m1.small S(P)",
+			"c3.xlarge fail@12h", "c3.xlarge S(P)"},
+	}
+	const horizon = 12
+	for _, frac := range []float64{0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		row := []interface{}{fmt.Sprintf("%.2f", frac)}
+		for _, it := range []cloud.InstanceType{cloud.M1Small, cloud.C3XLarge} {
+			tr := m.Trace(it.Name, cloud.ZoneA)
+			bid := tr.Max() * frac
+			d := failure.Estimate(tr, bid, horizon)
+			row = append(row, 1-d.Complete(), failure.ExpectedSpotPrice(tr, bid))
+		}
+		t.Add(row...)
+	}
+	t.AddNote("paper shape: failure rate falls and S(P) rises with the bid, fastest at low bids")
+	return t
+}

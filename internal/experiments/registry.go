@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"sompi/internal/report"
+)
+
+// Experiment couples an id with its constructor and the paper artifact it
+// regenerates.
+type Experiment struct {
+	ID       string
+	Artifact string
+	Run      func(Params) *report.Table
+}
+
+// Registry lists every experiment, keyed by the ids used in DESIGN.md and
+// cmd/experiments.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1", "Figure 1 (spot price variation)", Fig1},
+		{"fig2", "Figure 2 (stable price distribution)", Fig2},
+		{"fig4", "Figure 4 (failure rate and expected price)", Fig4},
+		{"fig5", "Figure 5 (cost vs state of the art)", Fig5},
+		{"tab2", "Table 2 (normalized execution time)", Table2},
+		{"fig6", "Figure 6 (heuristic comparison)", Fig6},
+		{"fig7", "Figure 7 (cost vs deadline)", Fig7},
+		{"fig8", "Figure 8 (fault-tolerance ablation)", Fig8},
+		{"slack", "Section 5.2 (slack study)", Slack},
+		{"kappa", "Section 5.2 (kappa study)", Kappa},
+		{"tm", "Section 5.2 (T_m study)", Tm},
+		{"acc-frf", "Section 5.4.1 (failure-rate accuracy)", AccFRF},
+		{"acc-model", "Section 5.4.1 (model accuracy)", AccModel},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

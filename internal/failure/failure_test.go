@@ -1,0 +1,233 @@
+package failure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sompi/internal/cloud"
+	"sompi/internal/stats"
+	"sompi/internal/trace"
+)
+
+// flat returns a constant-price trace at 1-hour steps.
+func flat(price float64, hours int) *trace.Trace {
+	p := make([]float64, hours)
+	for i := range p {
+		p[i] = price
+	}
+	return trace.New(1, p)
+}
+
+func marketTrace(seed uint64) *trace.Trace {
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), 24*14, seed)
+	return m.Trace(cloud.M1Medium.Name, cloud.ZoneA)
+}
+
+func TestDistSumsToOne(t *testing.T) {
+	d := Estimate(marketTrace(1), 0.05, 30)
+	sum := 0.0
+	for _, p := range d.P {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+}
+
+func TestHighBidNeverFails(t *testing.T) {
+	tr := marketTrace(2)
+	d := Estimate(tr, tr.Max()+1, 30)
+	if d.Complete() != 1 {
+		t.Fatalf("bid above max: completion prob %v, want 1", d.Complete())
+	}
+}
+
+func TestZeroBidAlwaysFailsImmediately(t *testing.T) {
+	tr := marketTrace(3)
+	d := Estimate(tr, 0, 30)
+	if d.Fail(0) != 1 {
+		t.Fatalf("zero bid: P(fail hour 0) = %v, want 1", d.Fail(0))
+	}
+}
+
+func TestFlatTraceBidAboveSurvives(t *testing.T) {
+	d := Estimate(flat(0.1, 48), 0.2, 24)
+	if d.Complete() != 1 {
+		t.Fatalf("flat trace below bid: completion %v, want 1", d.Complete())
+	}
+}
+
+func TestKnownSpikeDistribution(t *testing.T) {
+	// Price exceeds the bid only at sample 5 (hour 5). From start s <= 5
+	// the first passage is 5-s hours; from s > 5 it wraps around to
+	// 5 + 10 - s hours. Horizon 4 means only starts 2..5 (passage <= 3)
+	// and 7..10 fail within the horizon... verify a couple of buckets.
+	p := []float64{1, 1, 1, 1, 1, 9, 1, 1, 1, 1}
+	tr := trace.New(1, p)
+	d := Estimate(tr, 5, 4)
+	// Starts with passage 0 hours: s=5 only -> 1/10.
+	if math.Abs(d.Fail(0)-0.1) > 1e-12 {
+		t.Fatalf("P(fail 0) = %v, want 0.1", d.Fail(0))
+	}
+	// Passage 1 hour: s=4 -> 1/10.
+	if math.Abs(d.Fail(1)-0.1) > 1e-12 {
+		t.Fatalf("P(fail 1) = %v, want 0.1", d.Fail(1))
+	}
+	// Completion: starts whose passage >= 4: s in {6,7,8,9,0,1} -> 6/10.
+	if math.Abs(d.Complete()-0.6) > 1e-12 {
+		t.Fatalf("P(complete) = %v, want 0.6", d.Complete())
+	}
+}
+
+func TestSurvivalMonotone(t *testing.T) {
+	d := Estimate(marketTrace(4), 0.04, 40)
+	prev := 1.0
+	for h := 0; h <= d.T; h++ {
+		s := d.Survival(h)
+		if s > prev+1e-12 {
+			t.Fatalf("survival increased at %d: %v > %v", h, s, prev)
+		}
+		prev = s
+	}
+	if math.Abs(d.Survival(0)-1) > 1e-12 {
+		t.Fatalf("Survival(0) = %v, want 1", d.Survival(0))
+	}
+}
+
+func TestCompletionMonotoneInBid(t *testing.T) {
+	// Higher bids can only improve survival.
+	tr := marketTrace(5)
+	prev := -1.0
+	for _, bid := range []float64{0.01, 0.03, 0.05, 0.1, 0.5, 1.0} {
+		c := Estimate(tr, bid, 30).Complete()
+		if c < prev-1e-12 {
+			t.Fatalf("completion prob decreased at bid %v: %v < %v", bid, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestEstimateMCConvergesToExhaustive(t *testing.T) {
+	tr := marketTrace(6)
+	exact := Estimate(tr, 0.05, 20)
+	mc := EstimateMC(tr, 0.05, 20, 200000, stats.NewRNG(7))
+	for i := range exact.P {
+		if math.Abs(exact.P[i]-mc.P[i]) > 0.01 {
+			t.Fatalf("bucket %d: MC %v vs exact %v", i, mc.P[i], exact.P[i])
+		}
+	}
+}
+
+func TestRelativeErrorSelfZero(t *testing.T) {
+	d := Estimate(marketTrace(8), 0.05, 20)
+	if e := RelativeError(d, d); e != 0 {
+		t.Fatalf("self relative error = %v", e)
+	}
+}
+
+func TestRelativeErrorHorizonMismatchPanics(t *testing.T) {
+	a := Estimate(flat(0.1, 10), 0.2, 5)
+	b := Estimate(flat(0.1, 10), 0.2, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("horizon mismatch did not panic")
+		}
+	}()
+	RelativeError(a, b)
+}
+
+func TestMTTFInfiniteAboveMax(t *testing.T) {
+	tr := marketTrace(9)
+	if m := MTTF(tr, tr.Max()); !math.IsInf(m, 1) {
+		t.Fatalf("MTTF at max bid = %v, want +Inf", m)
+	}
+}
+
+func TestMTTFZeroBid(t *testing.T) {
+	tr := marketTrace(10)
+	if m := MTTF(tr, 0); m != 0 {
+		t.Fatalf("MTTF at zero bid = %v, want 0", m)
+	}
+}
+
+func TestMTTFMonotoneInBid(t *testing.T) {
+	tr := marketTrace(11)
+	prev := -1.0
+	for _, bid := range []float64{0.01, 0.02, 0.04, 0.08, 0.2, 0.5} {
+		m := MTTF(tr, bid)
+		if m < prev-1e-9 {
+			t.Fatalf("MTTF decreased at bid %v: %v < %v", bid, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestMTTFKnownValue(t *testing.T) {
+	// Spike at sample 3 of 4 (hour 3): passages from s=0..3 are 3,2,1,0;
+	// wrap start s=3 is the spike itself (0). Mean = (3+2+1+0)/4 = 1.5.
+	tr := trace.New(1, []float64{1, 1, 1, 9})
+	if m := MTTF(tr, 5); math.Abs(m-1.5) > 1e-12 {
+		t.Fatalf("MTTF = %v, want 1.5", m)
+	}
+}
+
+func TestExpectedSpotPriceBelowBid(t *testing.T) {
+	tr := marketTrace(12)
+	f := func(raw float64) bool {
+		bid := math.Mod(math.Abs(raw), tr.Max()) + 0.001
+		s := ExpectedSpotPrice(tr, bid)
+		return s > 0 && s <= bid+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedSpotPriceMonotone(t *testing.T) {
+	// Raising the bid admits dearer samples, so S(P) is non-decreasing.
+	tr := marketTrace(13)
+	prev := 0.0
+	for _, bid := range []float64{0.01, 0.02, 0.05, 0.1, 0.3, 1.0} {
+		s := ExpectedSpotPrice(tr, bid)
+		if s < prev-1e-12 {
+			t.Fatalf("S(P) decreased at %v: %v < %v", bid, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestEstimatePanics(t *testing.T) {
+	empty := trace.New(1, nil)
+	cases := []func(){
+		func() { Estimate(empty, 1, 5) },
+		func() { Estimate(flat(1, 5), 1, 0) },
+		func() { EstimateMC(flat(1, 5), 1, 5, 0, stats.NewRNG(1)) },
+		func() { MTTF(empty, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestFigure4Shape reproduces the qualitative content of Figure 4: as the
+// bid price rises, the failure probability at a fixed horizon falls and
+// the expected spot price rises, both changing fastest at low bids.
+func TestFigure4Shape(t *testing.T) {
+	tr := marketTrace(14)
+	lowFail := 1 - Estimate(tr, tr.Mean()*0.5, 24).Complete()
+	highFail := 1 - Estimate(tr, tr.Max()*0.9, 24).Complete()
+	if lowFail <= highFail {
+		t.Fatalf("failure prob not decreasing in bid: low %v, high %v", lowFail, highFail)
+	}
+	if ExpectedSpotPrice(tr, tr.Mean()*0.5) >= ExpectedSpotPrice(tr, tr.Max()) {
+		t.Fatal("expected spot price not increasing in bid")
+	}
+}

@@ -1,0 +1,70 @@
+package model
+
+import (
+	"testing"
+
+	"sompi/internal/app"
+	"sompi/internal/cloud"
+)
+
+// Benchmarks characterize the central design choice of this package: the
+// product-form evaluator (Evaluate) against the paper's joint enumeration
+// (EvaluateBrute). With K=3 groups and T≈10 the gap is already orders of
+// magnitude; at realistic T≈30 the brute evaluator is unusable inside a
+// bid search.
+
+func benchPlan(tb testing.TB, T int) Plan {
+	tb.Helper()
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), 24*14, 99)
+	mk := func(zone string) GroupPlan {
+		g := NewGroup(app.BT(), cloud.M1Medium, zone, m.Trace(cloud.M1Medium.Name, zone))
+		g.T = T
+		g2 := *g
+		g2.distCache = nil
+		return GroupPlan{Group: &g2, Bid: 0.04, Interval: 3}
+	}
+	return Plan{
+		Groups:   []GroupPlan{mk(cloud.ZoneA), mk(cloud.ZoneB), mk(cloud.ZoneC)},
+		Recovery: NewOnDemand(app.BT(), cloud.CC28XLarge),
+	}
+}
+
+func BenchmarkEvaluateFast(b *testing.B) {
+	p := benchPlan(b, 10)
+	Evaluate(p) // warm the distribution caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(p)
+	}
+}
+
+func BenchmarkEvaluateBrute(b *testing.B) {
+	p := benchPlan(b, 10)
+	EvaluateBrute(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvaluateBrute(p)
+	}
+}
+
+func BenchmarkEvaluatePreparedOnly(b *testing.B) {
+	// The inner loop of the optimizer: combining already-prepared groups.
+	p := benchPlan(b, 30)
+	pgs := make([]*PreparedGroup, len(p.Groups))
+	for i, gp := range p.Groups {
+		pgs[i] = Prepare(gp)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvaluatePrepared(pgs, p.Recovery)
+	}
+}
+
+func BenchmarkPrepare(b *testing.B) {
+	p := benchPlan(b, 30)
+	Evaluate(p) // warm caches so Prepare cost excludes trace scans
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Prepare(p.Groups[i%len(p.Groups)])
+	}
+}

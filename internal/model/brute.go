@@ -1,0 +1,67 @@
+package model
+
+import "math"
+
+// EvaluateBrute computes the same expectations as Evaluate by enumerating
+// the joint failure-time space, exactly as the paper formulates Formulas
+// 2–11: every combination of per-group failure times t⃗ is weighted by
+// Π_i f_i(P_i, t_i). Its cost is O(Π_i (T_i+1)), so it is only usable for
+// small plans; it exists as the ground-truth oracle for Evaluate and for
+// the §5.4.1 model-accuracy study.
+func EvaluateBrute(p Plan) Estimate {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if len(p.Groups) == 0 {
+		return Evaluate(p)
+	}
+	dists := make([][]float64, len(p.Groups))
+	for i, gp := range p.Groups {
+		dists[i] = gp.Group.Dist(gp.Bid).P
+	}
+
+	var est Estimate
+	ts := make([]int, len(p.Groups))
+	var rec func(i int, w float64)
+	rec = func(i int, w float64) {
+		if w == 0 {
+			return
+		}
+		if i == len(p.Groups) {
+			spotCost := 0.0
+			spotTime := 0.0
+			minRatio := math.Inf(1)
+			allFail := true
+			for j, gp := range p.Groups {
+				st := gp.SpotTime(ts[j])
+				spotCost += gp.Group.ExpectedPrice(gp.Bid) * st * float64(gp.Group.M)
+				if st > spotTime {
+					spotTime = st
+				}
+				if r := gp.Ratio(ts[j]); r < minRatio {
+					minRatio = r
+				}
+				if ts[j] >= gp.Group.T {
+					allFail = false
+				}
+			}
+			est.CostSpot += w * spotCost
+			est.TimeSpot += w * spotTime
+			est.CostOD += w * minRatio * p.Recovery.T * p.Recovery.Rate()
+			est.TimeOD += w * minRatio * p.Recovery.T
+			est.EMinRatio += w * minRatio
+			if allFail {
+				est.PAllFail += w
+			}
+			return
+		}
+		for t := 0; t < len(dists[i]); t++ {
+			ts[i] = t
+			rec(i+1, w*dists[i][t])
+		}
+	}
+	rec(0, 1)
+	est.Cost = est.CostSpot + est.CostOD
+	est.Time = est.TimeSpot + est.TimeOD
+	return est
+}

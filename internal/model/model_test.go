@@ -1,0 +1,375 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sompi/internal/app"
+	"sompi/internal/cloud"
+	"sompi/internal/stats"
+	"sompi/internal/trace"
+)
+
+func testMarket(seed uint64) *cloud.Market {
+	return cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), 24*14, seed)
+}
+
+// smallGroup builds a group with an artificially small T so brute-force
+// enumeration stays cheap.
+func smallGroup(seed uint64, zone string, T int) *Group {
+	m := testMarket(seed)
+	g := NewGroup(app.BT(), cloud.M1Medium, zone, m.Trace(cloud.M1Medium.Name, zone))
+	g.T = T
+	return resetCache(g)
+}
+
+// resetCache clears the dist cache (the horizon changed after NewGroup).
+func resetCache(g *Group) *Group {
+	g2 := *g
+	g2.distCache = nil
+	return &g2
+}
+
+func defaultRecovery() OnDemand {
+	return NewOnDemand(app.BT(), cloud.CC28XLarge)
+}
+
+func planOf(groups ...GroupPlan) Plan {
+	return Plan{Groups: groups, Recovery: defaultRecovery()}
+}
+
+func TestNewGroupFields(t *testing.T) {
+	m := testMarket(1)
+	g := NewGroup(app.BT(), cloud.C3XLarge, cloud.ZoneA, m.Trace(cloud.C3XLarge.Name, cloud.ZoneA))
+	if g.M != 32 {
+		t.Errorf("M = %d, want 32", g.M)
+	}
+	if g.T <= 0 {
+		t.Errorf("T = %d, want positive", g.T)
+	}
+	if g.O <= 0 || g.R <= g.O {
+		t.Errorf("overheads O=%v R=%v inconsistent", g.O, g.R)
+	}
+	if g.MaxBid() <= 0 {
+		t.Error("MaxBid not positive")
+	}
+}
+
+func TestGroupDistCached(t *testing.T) {
+	g := smallGroup(2, cloud.ZoneA, 8)
+	a := g.Dist(0.05)
+	b := g.Dist(0.05)
+	if a != b {
+		t.Fatal("Dist not cached")
+	}
+}
+
+func TestCheckpointsAndSpotTime(t *testing.T) {
+	g := &Group{T: 10, O: 0.1}
+	gp := GroupPlan{Group: g, Bid: 1, Interval: 3}
+	cases := []struct {
+		t    int
+		n    int
+		wall float64
+	}{
+		{0, 0, 0},
+		{2, 0, 2},
+		{3, 1, 3.1},
+		{6, 2, 6.2},
+		{10, 3, 10.3},
+	}
+	for _, c := range cases {
+		if n := gp.Checkpoints(c.t); n != c.n {
+			t.Errorf("Checkpoints(%d) = %d, want %d", c.t, n, c.n)
+		}
+		if w := gp.SpotTime(c.t); math.Abs(w-c.wall) > 1e-12 {
+			t.Errorf("SpotTime(%d) = %v, want %v", c.t, w, c.wall)
+		}
+	}
+}
+
+func TestNoCheckpointConvention(t *testing.T) {
+	g := &Group{T: 10, O: 0.1, R: 0.2}
+	gp := GroupPlan{Group: g, Bid: 1, Interval: 10} // F = T: disabled
+	if gp.Checkpoints(9) != 0 {
+		t.Error("F=T should disable checkpoints")
+	}
+	if gp.SpotTime(9) != 9 {
+		t.Error("F=T should add no overhead")
+	}
+	if gp.Ratio(9) != 1 {
+		t.Error("F=T failure should require a full restart")
+	}
+	if gp.Ratio(10) != 0 {
+		t.Error("completion should leave no work")
+	}
+}
+
+func TestRatioFormula(t *testing.T) {
+	g := &Group{T: 10, O: 0.05, R: 0.5}
+	gp := GroupPlan{Group: g, Bid: 1, Interval: 4}
+	cases := []struct {
+		t    int
+		want float64
+	}{
+		{0, 1},                   // before first checkpoint
+		{3, 1},                   // still before first checkpoint
+		{4, (10 - 4 + 0.5) / 10}, // one checkpoint saved
+		{7, (10 - 4 + 0.5) / 10}, // still one checkpoint
+		{8, (10 - 8 + 0.5) / 10}, // two checkpoints
+		{10, 0},                  // completed
+	}
+	for _, c := range cases {
+		if r := gp.Ratio(c.t); math.Abs(r-c.want) > 1e-12 {
+			t.Errorf("Ratio(%d) = %v, want %v", c.t, r, c.want)
+		}
+	}
+}
+
+func TestRatioClamped(t *testing.T) {
+	// Huge recovery overhead must not push the ratio above 1.
+	g := &Group{T: 10, O: 0.05, R: 50}
+	gp := GroupPlan{Group: g, Bid: 1, Interval: 2}
+	for tt := 0; tt < 10; tt++ {
+		if r := gp.Ratio(tt); r < 0 || r > 1 {
+			t.Fatalf("Ratio(%d) = %v outside [0,1]", tt, r)
+		}
+	}
+}
+
+func TestEvaluateEmptyPlanIsPureOnDemand(t *testing.T) {
+	p := planOf()
+	est := Evaluate(p)
+	if math.Abs(est.Cost-p.Recovery.FullCost()) > 1e-9 {
+		t.Errorf("Cost = %v, want %v", est.Cost, p.Recovery.FullCost())
+	}
+	if math.Abs(est.Time-p.Recovery.T) > 1e-9 {
+		t.Errorf("Time = %v, want %v", est.Time, p.Recovery.T)
+	}
+	if est.PAllFail != 1 {
+		t.Error("pure on-demand should have PAllFail = 1")
+	}
+}
+
+func TestEvaluateMatchesBruteSingleGroup(t *testing.T) {
+	g := smallGroup(3, cloud.ZoneA, 10)
+	for _, bid := range []float64{0.02, 0.04, 0.1, 1.0} {
+		p := planOf(GroupPlan{Group: g, Bid: bid, Interval: 3})
+		assertEstimatesEqual(t, Evaluate(p), EvaluateBrute(p))
+	}
+}
+
+func TestEvaluateMatchesBruteTwoGroups(t *testing.T) {
+	g1 := smallGroup(4, cloud.ZoneA, 8)
+	g2 := smallGroup(4, cloud.ZoneC, 9)
+	p := planOf(
+		GroupPlan{Group: g1, Bid: 0.05, Interval: 2},
+		GroupPlan{Group: g2, Bid: 0.03, Interval: 4},
+	)
+	assertEstimatesEqual(t, Evaluate(p), EvaluateBrute(p))
+}
+
+func TestEvaluateMatchesBruteThreeGroups(t *testing.T) {
+	g1 := smallGroup(5, cloud.ZoneA, 6)
+	g2 := smallGroup(5, cloud.ZoneB, 7)
+	g3 := smallGroup(5, cloud.ZoneC, 5)
+	p := planOf(
+		GroupPlan{Group: g1, Bid: 0.05, Interval: 2},
+		GroupPlan{Group: g2, Bid: 0.04, Interval: 7}, // checkpoints disabled
+		GroupPlan{Group: g3, Bid: 0.02, Interval: 1},
+	)
+	assertEstimatesEqual(t, Evaluate(p), EvaluateBrute(p))
+}
+
+func TestEvaluateMatchesBruteRandomized(t *testing.T) {
+	f := func(seed uint64, b1Raw, b2Raw, f1Raw, f2Raw float64) bool {
+		g1 := smallGroup(seed%100, cloud.ZoneA, 5+int(seed%4))
+		g2 := smallGroup(seed%100+1, cloud.ZoneC, 4+int(seed%5))
+		norm := func(raw, lo, hi float64) float64 {
+			return lo + math.Mod(math.Abs(raw), hi-lo)
+		}
+		p := planOf(
+			GroupPlan{Group: g1, Bid: norm(b1Raw, 0.005, 1.0), Interval: norm(f1Raw, 0.5, float64(g1.T)+1)},
+			GroupPlan{Group: g2, Bid: norm(b2Raw, 0.005, 1.0), Interval: norm(f2Raw, 0.5, float64(g2.T)+1)},
+		)
+		a, b := Evaluate(p), EvaluateBrute(p)
+		return closeEnough(a.Cost, b.Cost) && closeEnough(a.Time, b.Time) &&
+			closeEnough(a.PAllFail, b.PAllFail) && closeEnough(a.EMinRatio, b.EMinRatio)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func assertEstimatesEqual(t *testing.T, a, b Estimate) {
+	t.Helper()
+	check := func(name string, x, y float64) {
+		t.Helper()
+		if !closeEnough(x, y) {
+			t.Errorf("%s: fast %v vs brute %v", name, x, y)
+		}
+	}
+	check("Cost", a.Cost, b.Cost)
+	check("CostSpot", a.CostSpot, b.CostSpot)
+	check("CostOD", a.CostOD, b.CostOD)
+	check("Time", a.Time, b.Time)
+	check("TimeSpot", a.TimeSpot, b.TimeSpot)
+	check("TimeOD", a.TimeOD, b.TimeOD)
+	check("PAllFail", a.PAllFail, b.PAllFail)
+	check("EMinRatio", a.EMinRatio, b.EMinRatio)
+}
+
+func TestHighBidNearZeroFailure(t *testing.T) {
+	g := smallGroup(6, cloud.ZoneA, 10)
+	p := planOf(GroupPlan{Group: g, Bid: g.MaxBid() + 1, Interval: float64(g.T)})
+	est := Evaluate(p)
+	if est.PAllFail != 0 {
+		t.Errorf("PAllFail = %v, want 0 at max bid", est.PAllFail)
+	}
+	if est.CostOD != 0 {
+		t.Errorf("CostOD = %v, want 0 when the group always completes", est.CostOD)
+	}
+	if math.Abs(est.TimeSpot-float64(g.T)) > 1e-9 {
+		t.Errorf("TimeSpot = %v, want %d", est.TimeSpot, g.T)
+	}
+}
+
+func TestReplicationReducesAllFailProbability(t *testing.T) {
+	g1 := smallGroup(7, cloud.ZoneA, 10)
+	g2 := smallGroup(7, cloud.ZoneC, 10)
+	single := Evaluate(planOf(GroupPlan{Group: g1, Bid: 0.03, Interval: 3}))
+	double := Evaluate(planOf(
+		GroupPlan{Group: g1, Bid: 0.03, Interval: 3},
+		GroupPlan{Group: g2, Bid: 0.03, Interval: 3},
+	))
+	if double.PAllFail > single.PAllFail+1e-12 {
+		t.Errorf("adding a replica raised PAllFail: %v > %v", double.PAllFail, single.PAllFail)
+	}
+	if double.EMinRatio > single.EMinRatio+1e-12 {
+		t.Errorf("adding a replica raised EMinRatio: %v > %v", double.EMinRatio, single.EMinRatio)
+	}
+}
+
+func TestCheckpointsReduceRecoveryWork(t *testing.T) {
+	g := smallGroup(8, cloud.ZoneA, 12)
+	bid := 0.03
+	with := Evaluate(planOf(GroupPlan{Group: g, Bid: bid, Interval: 3}))
+	without := Evaluate(planOf(GroupPlan{Group: g, Bid: bid, Interval: float64(g.T)}))
+	if with.EMinRatio >= without.EMinRatio {
+		t.Errorf("checkpoints did not reduce expected recovery work: %v >= %v",
+			with.EMinRatio, without.EMinRatio)
+	}
+}
+
+func TestEvaluatePanicsOnInvalidPlan(t *testing.T) {
+	g := smallGroup(9, cloud.ZoneA, 5)
+	bad := []Plan{
+		{Groups: []GroupPlan{{Group: nil, Bid: 1, Interval: 1}}, Recovery: defaultRecovery()},
+		{Groups: []GroupPlan{{Group: g, Bid: 0, Interval: 1}}, Recovery: defaultRecovery()},
+		{Groups: []GroupPlan{{Group: g, Bid: 1, Interval: 0}}, Recovery: defaultRecovery()},
+		{Groups: nil, Recovery: OnDemand{}},
+	}
+	for i, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("plan %d did not panic", i)
+				}
+			}()
+			Evaluate(p)
+		}()
+	}
+}
+
+// pgFrom builds a PreparedGroup whose ratio and spot-time distributions
+// are both the given discrete distribution, for exercising the
+// expectation combinators directly.
+func pgFrom(vals, probs []float64) *PreparedGroup {
+	pg := &PreparedGroup{ratioVals: vals, timeVals: vals}
+	pg.ratioTail = make([]float64, len(vals)+1)
+	pg.ratioTail[0] = 1
+	for j, p := range probs {
+		pg.ratioTail[j+1] = pg.ratioTail[j] - p
+	}
+	pg.timeCDF = make([]float64, len(vals)+1)
+	for j, p := range probs {
+		pg.timeCDF[j+1] = pg.timeCDF[j] + p
+	}
+	return pg
+}
+
+func TestExpectedMinMaxSimple(t *testing.T) {
+	// Two deterministic "distributions": min is 2, max is 5.
+	a := pgFrom([]float64{2}, []float64{1})
+	b := pgFrom([]float64{5}, []float64{1})
+	if m := expectedMin([]*PreparedGroup{a, b}); math.Abs(m-2) > 1e-12 {
+		t.Errorf("expectedMin = %v, want 2", m)
+	}
+	if m := expectedMax([]*PreparedGroup{a, b}); math.Abs(m-5) > 1e-12 {
+		t.Errorf("expectedMax = %v, want 5", m)
+	}
+}
+
+func TestExpectedMinTwoCoinFlips(t *testing.T) {
+	// X,Y uniform on {0, 10}: E[min] = 10 * P(both=10) = 2.5;
+	// E[max] = 10 * (1 - P(both=0)) = 7.5.
+	a := pgFrom([]float64{0, 10}, []float64{0.5, 0.5})
+	b := pgFrom([]float64{0, 10}, []float64{0.5, 0.5})
+	if m := expectedMin([]*PreparedGroup{a, b}); math.Abs(m-2.5) > 1e-12 {
+		t.Errorf("expectedMin = %v, want 2.5", m)
+	}
+	if m := expectedMax([]*PreparedGroup{a, b}); math.Abs(m-7.5) > 1e-12 {
+		t.Errorf("expectedMax = %v, want 7.5", m)
+	}
+}
+
+func TestOnDemandHelpers(t *testing.T) {
+	od := NewOnDemand(app.BT(), cloud.CC28XLarge)
+	if od.M != 4 {
+		t.Errorf("M = %d, want 4", od.M)
+	}
+	if math.Abs(od.Rate()-4*cloud.CC28XLarge.OnDemand) > 1e-12 {
+		t.Errorf("Rate = %v", od.Rate())
+	}
+	if math.Abs(od.FullCost()-od.Rate()*od.T) > 1e-9 {
+		t.Errorf("FullCost = %v", od.FullCost())
+	}
+}
+
+func TestGroupAgainstFlatTrace(t *testing.T) {
+	// A flat trace below the bid: the group always completes; expected
+	// cost is exactly price * (T + O*floor(T/F)) * M.
+	flat := trace.New(1, func() []float64 {
+		p := make([]float64, 100)
+		for i := range p {
+			p[i] = 0.01
+		}
+		return p
+	}())
+	g := NewGroup(app.BT(), cloud.M1Medium, cloud.ZoneB, flat)
+	g.T = 10
+	g = resetCache(g)
+	gp := GroupPlan{Group: g, Bid: 0.02, Interval: 4}
+	est := Evaluate(planOf(gp))
+	wantSpot := 0.01 * (10 + g.O*2) * float64(g.M)
+	if math.Abs(est.CostSpot-wantSpot) > 1e-9 {
+		t.Errorf("CostSpot = %v, want %v", est.CostSpot, wantSpot)
+	}
+	if est.CostOD != 0 {
+		t.Errorf("CostOD = %v, want 0", est.CostOD)
+	}
+}
+
+func TestDistHorizonMatchesGroupT(t *testing.T) {
+	g := smallGroup(10, cloud.ZoneA, 7)
+	d := g.Dist(0.05)
+	if d.T != 7 {
+		t.Fatalf("dist horizon %d, want 7", d.T)
+	}
+	_ = stats.NewRNG // keep import for potential extension
+}

@@ -1,0 +1,176 @@
+// Package mpirt is a discrete-event simulated MPI runtime: ranks
+// iterating through compute/communicate phases, BLCR-style coordinated
+// checkpointing to a simulated S3 store, whole-job failure on any rank
+// loss (the MPI fault model the paper assumes: "the failure of one MPI
+// process usually causes the failure of the entire MPI application"), and
+// restart from the last durable checkpoint.
+//
+// The analytic model (internal/app, internal/model) uses closed-form
+// overheads; this runtime exists to validate those closed forms against
+// an executable system and to give the examples a tangible substrate.
+package mpirt
+
+import (
+	"fmt"
+	"math"
+
+	"sompi/internal/app"
+	"sompi/internal/cloud"
+	"sompi/internal/des"
+	"sompi/internal/s3"
+)
+
+// Job runs one MPI application campaign on a fleet of one instance type.
+type Job struct {
+	Profile  app.Profile
+	Instance cloud.InstanceType
+	// Interval is the coordinated checkpoint interval in hours of
+	// productive progress; >= the total runtime disables checkpointing.
+	Interval float64
+	// Store receives checkpoint images; nil means checkpoints are kept
+	// but not billed.
+	Store *s3.Store
+
+	sim *des.Sim
+
+	// state
+	totalHours float64 // productive hours required
+	progress   float64 // productive hours completed
+	saved      float64 // checkpoint-durable productive hours
+	running    bool
+	done       bool
+
+	// accounting
+	Checkpoints int
+	Restarts    int
+	CkOverhead  float64 // wall hours spent checkpointing
+	ReOverhead  float64 // wall hours spent recovering
+}
+
+// NewJob builds a job and validates its pieces.
+func NewJob(p app.Profile, it cloud.InstanceType, interval float64) (*Job, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("mpirt: non-positive checkpoint interval %v", interval)
+	}
+	return &Job{
+		Profile:    p,
+		Instance:   it,
+		Interval:   interval,
+		sim:        &des.Sim{},
+		totalHours: app.EstimateHours(p, it),
+	}, nil
+}
+
+// TotalHours reports the productive time the job needs.
+func (j *Job) TotalHours() float64 { return j.totalHours }
+
+// Progress reports the completed fraction.
+func (j *Job) Progress() float64 { return j.progress / j.totalHours }
+
+// SavedProgress reports the checkpoint-durable fraction.
+func (j *Job) SavedProgress() float64 { return j.saved / j.totalHours }
+
+// Done reports completion.
+func (j *Job) Done() bool { return j.done }
+
+// Now reports the job's wall clock in hours.
+func (j *Job) Now() float64 { return j.sim.Now() }
+
+// checkpointCost is the wall time of one coordinated checkpoint.
+func (j *Job) checkpointCost() float64 {
+	return app.CheckpointHours(j.Profile, j.Instance)
+}
+
+// RunFor advances the job by wall hours of execution: productive segments
+// punctuated by coordinated checkpoints. It returns the productive hours
+// gained. The job must not be mid-failure.
+func (j *Job) RunFor(wall float64) float64 {
+	if wall < 0 {
+		panic(fmt.Sprintf("mpirt: negative run duration %v", wall))
+	}
+	if j.done {
+		return 0
+	}
+	j.running = true
+	startProgress := j.progress
+	deadline := j.sim.Now() + wall
+
+	// Schedule the work loop: alternate productive slices and checkpoint
+	// barriers on the event queue.
+	var step func()
+	step = func() {
+		if !j.running || j.done || j.sim.Now() >= deadline {
+			return
+		}
+		sinceCk := j.progress - j.saved
+		untilCk := math.Inf(1)
+		if j.Interval < j.totalHours {
+			untilCk = j.Interval - sinceCk
+		}
+		untilDone := j.totalHours - j.progress
+		untilWindow := deadline - j.sim.Now()
+		slice := math.Min(untilWindow, math.Min(untilCk, untilDone))
+		if slice < 0 {
+			slice = 0
+		}
+		j.sim.After(slice, func() {
+			j.progress += slice
+			switch {
+			case j.progress >= j.totalHours-1e-12:
+				j.done = true
+				j.running = false
+			case j.Interval < j.totalHours && j.progress-j.saved >= j.Interval-1e-12:
+				// Coordinated checkpoint barrier: all ranks quiesce, dump
+				// and upload in parallel.
+				cost := j.checkpointCost()
+				j.sim.After(cost, func() {
+					j.CkOverhead += cost
+					j.saved = j.progress
+					j.Checkpoints++
+					if j.Store != nil {
+						key := fmt.Sprintf("%s/ck-%04d", j.Profile.Name, j.Checkpoints)
+						_ = j.Store.Put(key, j.Profile.MemGB, j.sim.Now())
+					}
+					step()
+				})
+			default:
+				step()
+			}
+		})
+	}
+	step()
+	// Drain the queue instead of des.Sim.Run so the clock stops at the
+	// completion instant rather than advancing to an unused window end.
+	for j.sim.Pending() > 0 {
+		j.sim.Step()
+	}
+	j.running = false
+	return j.progress - startProgress
+}
+
+// Fail kills the whole job (any rank loss aborts an MPI application):
+// unsaved progress is lost.
+func (j *Job) Fail() {
+	if j.done {
+		return
+	}
+	j.running = false
+	j.progress = j.saved
+}
+
+// Restart resumes the job from its last checkpoint, paying the recovery
+// overhead (fleet re-acquisition plus checkpoint download and restore).
+func (j *Job) Restart() {
+	if j.done {
+		return
+	}
+	cost := app.RecoveryHours(j.Profile, j.Instance)
+	j.sim.After(cost, func() {
+		j.ReOverhead += cost
+		j.Restarts++
+	})
+	j.sim.Run(j.sim.Now() + cost)
+}

@@ -1,0 +1,152 @@
+package mpirt
+
+import (
+	"math"
+	"testing"
+
+	"sompi/internal/app"
+	"sompi/internal/cloud"
+	"sompi/internal/s3"
+)
+
+func newJob(t *testing.T, interval float64) *Job {
+	t.Helper()
+	j, err := NewJob(app.BT(), cloud.CC28XLarge, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestNewJobValidates(t *testing.T) {
+	if _, err := NewJob(app.Profile{Name: "bad"}, cloud.M1Small, 1); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	if _, err := NewJob(app.BT(), cloud.M1Small, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestRunsToCompletion(t *testing.T) {
+	j := newJob(t, 1e9) // checkpoints disabled
+	got := j.RunFor(j.TotalHours() + 1)
+	if !j.Done() {
+		t.Fatal("job not done")
+	}
+	if math.Abs(got-j.TotalHours()) > 1e-9 {
+		t.Fatalf("productive hours %v, want %v", got, j.TotalHours())
+	}
+	if j.Checkpoints != 0 {
+		t.Fatalf("disabled checkpointing still took %d checkpoints", j.Checkpoints)
+	}
+}
+
+func TestCheckpointCadenceAndOverhead(t *testing.T) {
+	j := newJob(t, 2)
+	j.RunFor(j.TotalHours() * 2)
+	if !j.Done() {
+		t.Fatal("job not done")
+	}
+	wantCk := int(j.TotalHours() / 2)
+	if j.Checkpoints < wantCk-1 || j.Checkpoints > wantCk+1 {
+		t.Fatalf("Checkpoints = %d, want ~%d", j.Checkpoints, wantCk)
+	}
+	// Wall clock = productive + checkpoint overhead.
+	wantWall := j.TotalHours() + j.CkOverhead
+	if math.Abs(j.Now()-wantWall) > 0.01 {
+		t.Fatalf("Now = %v, want %v", j.Now(), wantWall)
+	}
+	// The analytic overhead model must agree with the simulated runtime.
+	analytic := app.CheckpointHours(app.BT(), cloud.CC28XLarge) * float64(j.Checkpoints)
+	if math.Abs(j.CkOverhead-analytic) > 1e-6 {
+		t.Fatalf("simulated overhead %v vs analytic %v", j.CkOverhead, analytic)
+	}
+}
+
+func TestFailureLosesUnsavedWork(t *testing.T) {
+	j := newJob(t, 4)
+	j.RunFor(5) // one checkpoint at 4h, ~1h unsaved
+	if j.Done() {
+		t.Fatal("done too early")
+	}
+	before := j.Progress()
+	j.Fail()
+	if j.Progress() >= before {
+		t.Fatalf("failure did not lose progress: %v -> %v", before, j.Progress())
+	}
+	if math.Abs(j.Progress()-j.SavedProgress()) > 1e-12 {
+		t.Fatal("post-failure progress differs from saved progress")
+	}
+}
+
+func TestRestartPaysRecovery(t *testing.T) {
+	j := newJob(t, 4)
+	j.RunFor(5)
+	j.Fail()
+	j.Restart()
+	if j.Restarts != 1 {
+		t.Fatalf("Restarts = %d", j.Restarts)
+	}
+	if j.ReOverhead <= 0 {
+		t.Fatal("no recovery overhead recorded")
+	}
+	j.RunFor(1000)
+	if !j.Done() {
+		t.Fatal("job did not finish after restart")
+	}
+}
+
+func TestFullFailureRestartCycleConservesWork(t *testing.T) {
+	j := newJob(t, 2)
+	total := 0.0
+	for i := 0; i < 200 && !j.Done(); i++ {
+		total += j.RunFor(3)
+		if !j.Done() {
+			j.Fail()
+			j.Restart()
+		}
+	}
+	if !j.Done() {
+		t.Fatal("job never finished")
+	}
+	// Productive work re-done after failures means total >= TotalHours.
+	if total < j.TotalHours()-1e-6 {
+		t.Fatalf("counted %v productive hours, need >= %v", total, j.TotalHours())
+	}
+}
+
+func TestCheckpointsLandInStore(t *testing.T) {
+	var store s3.Store
+	j := newJob(t, 2)
+	j.Store = &store
+	j.RunFor(7)
+	if len(store.Keys()) != j.Checkpoints {
+		t.Fatalf("store has %d objects, job took %d checkpoints",
+			len(store.Keys()), j.Checkpoints)
+	}
+	if store.TotalGB() <= 0 {
+		t.Fatal("checkpoints have no size")
+	}
+}
+
+func TestRunForNegativePanics(t *testing.T) {
+	j := newJob(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration did not panic")
+		}
+	}()
+	j.RunFor(-1)
+}
+
+func TestDoneJobIsInert(t *testing.T) {
+	j := newJob(t, 1e9)
+	j.RunFor(1e6)
+	if got := j.RunFor(10); got != 0 {
+		t.Fatalf("done job made progress %v", got)
+	}
+	j.Fail()
+	if !j.Done() {
+		t.Fatal("Fail un-did completion")
+	}
+}

@@ -1,0 +1,59 @@
+package opt
+
+import (
+	"testing"
+
+	"sompi/internal/app"
+	"sompi/internal/cloud"
+	"sompi/internal/model"
+)
+
+// BenchmarkOptimize measures one full SOMPI optimization at the paper's
+// default parameters (κ=4, 6-level logarithmic grid, 12 candidate
+// markets pruned to 8) — the per-window cost of the adaptive algorithm,
+// which the paper bounds at <1% of execution time.
+func BenchmarkOptimize(b *testing.B) {
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), 24*14, 42)
+	p := app.BT()
+	deadline := FastestOnDemand(nil, p).T * 1.5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(Config{Profile: p, Market: m, Deadline: deadline}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeKappa sweeps κ, the paper's Section 5.2 overhead
+// study, as a benchmark.
+func BenchmarkOptimizeKappa(b *testing.B) {
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), 24*14, 42)
+	p := app.BT()
+	deadline := FastestOnDemand(nil, p).T * 1.5
+	for _, kappa := range []int{1, 2, 3, 4} {
+		b.Run(map[int]string{1: "k1", 2: "k2", 3: "k3", 4: "k4"}[kappa], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Optimize(Config{
+					Profile: p, Market: m, Deadline: deadline, Kappa: kappa,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPhi measures the F = φ(P) interval computation (cached MTTF).
+func BenchmarkPhi(b *testing.B) {
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), 24*14, 42)
+	g := model.NewGroup(app.BT(), cloud.M1Medium, cloud.ZoneA,
+		m.Trace(cloud.M1Medium.Name, cloud.ZoneA))
+	grid := BidGrid(g, 6)
+	for _, bid := range grid {
+		Phi(g, bid) // warm MTTF cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Phi(g, grid[i%len(grid)])
+	}
+}

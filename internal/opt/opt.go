@@ -1,0 +1,335 @@
+// Package opt implements SOMPI, the paper's monetary-cost optimizer
+// (Section 4): on-demand instance type selection (Formulas 12–13), the
+// two-level optimization that collapses checkpoint intervals into a
+// function of the bid price (F = φ(P), Theorem 1) and searches bid prices
+// on a logarithmic grid, the κ-subset circle-group selection of Section
+// 4.4, and the adaptive window-by-window re-optimization of Algorithm 1.
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sompi/internal/app"
+	"sompi/internal/cloud"
+	"sompi/internal/model"
+)
+
+// Defaults from the paper's parameter study (Section 5.2).
+const (
+	// DefaultSlack reserves 20% of the deadline for checkpoint/recovery
+	// overhead when sizing the on-demand fleet.
+	DefaultSlack = 0.20
+	// DefaultKappa is the number of circle groups SOMPI actually uses.
+	DefaultKappa = 4
+	// DefaultGridLevels is the number of logarithmic bid-price points per
+	// group: H, H/2, H/4, ... H/2^(levels-1).
+	DefaultGridLevels = 6
+	// DefaultWindow is the adaptive optimization window T_m in hours.
+	DefaultWindow = 15.0
+	// DefaultMaxGroups caps the candidate groups entering the κ-subset
+	// traversal (see Config.MaxGroups).
+	DefaultMaxGroups = 8
+)
+
+// Config parameterizes one optimization.
+type Config struct {
+	// Profile is the application to run.
+	Profile app.Profile
+	// Market supplies price history for every candidate circle group.
+	Market *cloud.Market
+	// Deadline is the user's completion deadline in hours.
+	Deadline float64
+	// Slack, Kappa and GridLevels default to the paper's values when zero.
+	Slack      float64
+	Kappa      int
+	GridLevels int
+	// Candidates restricts the circle-group markets considered; nil means
+	// every (type, zone) in the market.
+	Candidates []cloud.MarketKey
+	// OnDemandTypes restricts the recovery-fleet candidates; nil means the
+	// whole catalog.
+	OnDemandTypes []cloud.InstanceType
+	// MaxGroups caps how many candidate groups enter the κ-subset
+	// traversal, keeping the strongest standalone performers. The paper's
+	// K is all 12 (type, zone) markets; pruning to the default 8 preserves
+	// the optimum in practice (the dropped markets are strictly dominated)
+	// while cutting the subset space by 5x.
+	MaxGroups int
+	// DisableCheckpoints forces F = T on every group (the w/o-CK and
+	// All-Unable ablations of Section 5.4.2).
+	DisableCheckpoints bool
+	// MaxAllFail, when positive, rejects plans whose probability that
+	// every circle group dies exceeds it. The adaptive loop uses this in
+	// its final committed window, where an all-groups-dead outcome means
+	// an on-demand recovery that can overshoot the deadline.
+	MaxAllFail float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slack == 0 {
+		c.Slack = DefaultSlack
+	}
+	if c.Kappa == 0 {
+		c.Kappa = DefaultKappa
+	}
+	if c.GridLevels == 0 {
+		c.GridLevels = DefaultGridLevels
+	}
+	if c.MaxGroups == 0 {
+		c.MaxGroups = DefaultMaxGroups
+	}
+	if c.Candidates == nil && c.Market != nil {
+		c.Candidates = c.Market.Keys()
+	}
+	if c.OnDemandTypes == nil && c.Market != nil {
+		c.OnDemandTypes = c.Market.Catalog
+	}
+	return c
+}
+
+// ErrNoFeasibleOnDemand is returned when no on-demand type can finish
+// within the slack-reduced deadline; the caller must either relax the
+// deadline or accept the fastest type regardless.
+var ErrNoFeasibleOnDemand = errors.New("opt: no on-demand type meets the deadline")
+
+// SelectOnDemand solves Formulas 12–13: among types whose execution time
+// fits within Deadline·(1−Slack), pick the one with the smallest full-run
+// cost. This decision is independent of the bid/interval choices (Section
+// 4.1), which is what makes the divide-and-conquer split sound.
+func SelectOnDemand(types []cloud.InstanceType, p app.Profile, deadline, slack float64) (model.OnDemand, error) {
+	if len(types) == 0 {
+		types = cloud.DefaultCatalog()
+	}
+	budget := deadline * (1 - slack)
+	best := model.OnDemand{}
+	bestCost := math.Inf(1)
+	for _, it := range types {
+		od := model.NewOnDemand(p, it)
+		if od.T > budget {
+			continue
+		}
+		if c := od.FullCost(); c < bestCost {
+			best, bestCost = od, c
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		return model.OnDemand{}, ErrNoFeasibleOnDemand
+	}
+	return best, nil
+}
+
+// FastestOnDemand returns the minimum-execution-time fleet — the paper's
+// Baseline and the fallback when no type meets the deadline.
+func FastestOnDemand(types []cloud.InstanceType, p app.Profile) model.OnDemand {
+	if len(types) == 0 {
+		types = cloud.DefaultCatalog()
+	}
+	best := model.OnDemand{}
+	bestT := math.Inf(1)
+	for _, it := range types {
+		od := model.NewOnDemand(p, it)
+		if od.T < bestT {
+			best, bestT = od, od.T
+		}
+	}
+	return best
+}
+
+// Phi is the paper's F = φ(P) dimension-reduction: given a bid price, the
+// optimal checkpoint interval follows from the bid-dependent mean time to
+// out-of-bid via the Young/Daly first-order formula √(2·O·MTTF), clamped
+// to (0, T]. A bid that never fails historically needs no checkpoints
+// (F = T, the paper's disabled convention).
+func Phi(g *model.Group, bid float64) float64 {
+	mttf := g.MTTF(bid)
+	T := float64(g.T)
+	if math.IsInf(mttf, 1) {
+		return T
+	}
+	f := math.Sqrt(2 * g.O * mttf)
+	if f > T {
+		return T
+	}
+	const minInterval = 0.5 // below this, overhead dwarfs saved work
+	if f < minInterval {
+		f = minInterval
+	}
+	return f
+}
+
+// BidGrid returns the logarithmic bid-price grid for a group: H, H/2, ...
+// H/2^(levels-1), descending. Low bids get dense coverage because the
+// failure-rate function changes fastest there (Figure 4), which is the
+// rationale for logarithmic search (Section 4.2.2).
+func BidGrid(g *model.Group, levels int) []float64 {
+	h := g.MaxBid()
+	if h <= 0 {
+		return nil
+	}
+	grid := make([]float64, 0, levels)
+	for l := 0; l < levels; l++ {
+		grid = append(grid, h/math.Pow(2, float64(l)))
+	}
+	return grid
+}
+
+// Result is a scored plan.
+type Result struct {
+	Plan model.Plan
+	Est  model.Estimate
+	// Evals counts cost-model evaluations performed — the optimization-
+	// overhead metric of the κ parameter study.
+	Evals int
+}
+
+// Optimize runs the full SOMPI pipeline and returns the cheapest plan
+// whose expected completion time meets the deadline.
+//
+// If no spot plan is feasible the returned plan has no groups (pure
+// on-demand). If not even on-demand fits, ErrNoFeasibleOnDemand is
+// returned together with a fastest-fleet fallback plan.
+func Optimize(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Market == nil {
+		return Result{}, errors.New("opt: nil market")
+	}
+	if cfg.Deadline <= 0 {
+		return Result{}, fmt.Errorf("opt: non-positive deadline %v", cfg.Deadline)
+	}
+
+	// Tight deadlines (the paper's 1.05x Baseline) leave less headroom
+	// than the default 20% slack; relax the slack before giving up, so a
+	// deadline that is feasible at all gets a plan.
+	od, err := SelectOnDemand(cfg.OnDemandTypes, cfg.Profile, cfg.Deadline, cfg.Slack)
+	for slack := cfg.Slack / 2; err != nil && slack > 0.005; slack /= 2 {
+		od, err = SelectOnDemand(cfg.OnDemandTypes, cfg.Profile, cfg.Deadline, slack)
+	}
+	if err != nil {
+		od, err = SelectOnDemand(cfg.OnDemandTypes, cfg.Profile, cfg.Deadline, 0)
+	}
+	if err != nil {
+		fallback := FastestOnDemand(cfg.OnDemandTypes, cfg.Profile)
+		plan := model.Plan{Recovery: fallback}
+		return Result{Plan: plan, Est: model.Evaluate(plan)}, err
+	}
+
+	groups := buildGroups(cfg)
+	best := Result{Plan: model.Plan{Recovery: od}}
+	best.Est = model.Evaluate(best.Plan)
+	evals := 1
+
+	// Prepare every (group, bid-grid-point) pair once, with its
+	// F = φ(P) interval; subsets below only combine prepared groups.
+	prepared := make([][]*model.PreparedGroup, len(groups))
+	for i, g := range groups {
+		for _, bid := range BidGrid(g, cfg.GridLevels) {
+			interval := float64(g.T)
+			if !cfg.DisableCheckpoints {
+				interval = Phi(g, bid)
+			}
+			gp := model.GroupPlan{Group: g, Bid: bid, Interval: interval}
+			prepared[i] = append(prepared[i], model.Prepare(gp))
+		}
+	}
+
+	// Rank groups by their best standalone expected cost and keep the
+	// strongest MaxGroups for the subset traversal.
+	if len(groups) > cfg.MaxGroups {
+		type scored struct {
+			idx   int
+			score float64
+		}
+		scores := make([]scored, len(groups))
+		for i := range groups {
+			best := math.Inf(1)
+			for _, pg := range prepared[i] {
+				est := model.EvaluatePrepared([]*model.PreparedGroup{pg}, od)
+				evals++
+				if est.Cost < best {
+					best = est.Cost
+				}
+			}
+			scores[i] = scored{i, best}
+		}
+		sort.Slice(scores, func(a, b int) bool { return scores[a].score < scores[b].score })
+		keptGroups := make([]*model.Group, cfg.MaxGroups)
+		keptPrepared := make([][]*model.PreparedGroup, cfg.MaxGroups)
+		for j := 0; j < cfg.MaxGroups; j++ {
+			keptGroups[j] = groups[scores[j].idx]
+			keptPrepared[j] = prepared[scores[j].idx]
+		}
+		groups, prepared = keptGroups, keptPrepared
+	}
+
+	kappa := cfg.Kappa
+	if kappa > len(groups) {
+		kappa = len(groups)
+	}
+	// Traverse every subset of up to κ circle groups (Section 4.4's
+	// "traverse all of possible cases each with a specific combination"),
+	// and within each subset every combination of grid bids.
+	subset := make([]int, 0, kappa)
+	pgs := make([]*model.PreparedGroup, 0, kappa)
+	var searchBids func(depth int)
+	searchBids = func(depth int) {
+		if depth == len(subset) {
+			est := model.EvaluatePrepared(pgs, od)
+			evals++
+			if cfg.MaxAllFail > 0 && est.PAllFail > cfg.MaxAllFail {
+				return
+			}
+			if est.Time <= cfg.Deadline && est.Cost < best.Est.Cost {
+				gps := make([]model.GroupPlan, len(pgs))
+				for i, pg := range pgs {
+					gps[i] = pg.GP
+				}
+				best = Result{Plan: model.Plan{Groups: gps, Recovery: od}, Est: est}
+			}
+			return
+		}
+		for _, pg := range prepared[subset[depth]] {
+			pgs = append(pgs, pg)
+			searchBids(depth + 1)
+			pgs = pgs[:len(pgs)-1]
+		}
+	}
+	var recurse func(start int)
+	recurse = func(start int) {
+		if len(subset) > 0 {
+			searchBids(0)
+		}
+		if len(subset) == kappa {
+			return
+		}
+		for i := start; i < len(groups); i++ {
+			subset = append(subset, i)
+			recurse(i + 1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	recurse(0)
+	best.Evals = evals
+	return best, nil
+}
+
+// buildGroups constructs the candidate circle groups.
+func buildGroups(cfg Config) []*model.Group {
+	groups := make([]*model.Group, 0, len(cfg.Candidates))
+	for _, key := range cfg.Candidates {
+		it, ok := cfg.Market.Catalog.ByName(key.Type)
+		if !ok {
+			panic(fmt.Sprintf("opt: candidate %v not in catalog", key))
+		}
+		g := model.NewGroup(cfg.Profile, it, key.Zone, cfg.Market.Trace(key.Type, key.Zone))
+		// A group that cannot finish before the deadline even alone and
+		// failure-free can still contribute checkpoints, but in practice
+		// it only burns money; prune it like the paper's implementation.
+		if float64(g.T) <= cfg.Deadline {
+			groups = append(groups, g)
+		}
+	}
+	return groups
+}

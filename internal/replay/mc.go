@@ -1,0 +1,128 @@
+package replay
+
+import (
+	"fmt"
+
+	"sompi/internal/model"
+	"sompi/internal/stats"
+)
+
+// Strategy is anything that can execute the runner's application against
+// the market starting at a given absolute trace hour: the SOMPI adaptive
+// loop, the paper's baselines, or a fixed plan.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Run executes the application with the given deadline, starting at
+	// absolute market hour start. Implementations may consult history
+	// strictly before start for training but must not peek forward.
+	Run(r *Runner, deadline, start float64) (Outcome, error)
+}
+
+// MCStats aggregates the Monte Carlo replications of one strategy — the
+// paper repeats each configuration over random trace start points and
+// reports expected cost (Section 5.1).
+type MCStats struct {
+	Name string
+	// Cost and Hours summarize the per-run totals.
+	Cost, Hours stats.Summary
+	// DeadlineMisses counts runs whose wall time exceeded the deadline.
+	DeadlineMisses int
+	// Runs is the number of successful replications; Failures counts
+	// strategy errors (e.g. no feasible plan).
+	Runs, Failures int
+}
+
+// MissRate reports the fraction of runs that missed the deadline.
+func (s *MCStats) MissRate() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.DeadlineMisses) / float64(s.Runs)
+}
+
+// String renders a one-line summary.
+func (s *MCStats) String() string {
+	return fmt.Sprintf("%-14s cost $%.0f ±%.0f  time %.1fh  miss %.0f%%  (n=%d, errors=%d)",
+		s.Name, s.Cost.Mean(), s.Cost.Std(), s.Hours.Mean(), 100*s.MissRate(), s.Runs, s.Failures)
+}
+
+// MCConfig controls a Monte Carlo evaluation.
+type MCConfig struct {
+	// Deadline in hours.
+	Deadline float64
+	// Runs is the number of replications (the paper uses 100+ on EC2 and
+	// up to 10^6 in simulation).
+	Runs int
+	// History is how many hours of price history before each start point
+	// strategies may train on.
+	History float64
+	// Seed drives start-point sampling.
+	Seed uint64
+}
+
+// MonteCarlo replays the strategy Runs times from random start points and
+// aggregates cost, time and deadline-miss statistics.
+func MonteCarlo(st Strategy, r *Runner, cfg MCConfig) MCStats {
+	if cfg.Runs <= 0 {
+		panic("replay: non-positive run count")
+	}
+	if cfg.History <= 0 {
+		cfg.History = 96
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	out := MCStats{Name: st.Name()}
+
+	// Leave room after the start point for the run itself (deadline
+	// overruns included) so the replay doesn't spend most of its time
+	// clamped at the trace's final sample.
+	var dur float64
+	for _, k := range r.Market.Keys() {
+		dur = r.Market.Traces[k].Duration()
+		break
+	}
+	lo := cfg.History
+	hi := dur - 3*cfg.Deadline
+	if hi <= lo {
+		hi = lo + 1
+	}
+
+	for i := 0; i < cfg.Runs; i++ {
+		start := lo + rng.Float64()*(hi-lo)
+		o, err := st.Run(r, cfg.Deadline, start)
+		if err != nil {
+			out.Failures++
+			continue
+		}
+		out.Runs++
+		out.Cost.Add(o.Cost)
+		out.Hours.Add(o.Hours)
+		if o.Hours > cfg.Deadline {
+			out.DeadlineMisses++
+		}
+	}
+	return out
+}
+
+// FixedPlan is the simplest strategy: build one plan from history at the
+// start point, then replay it to completion (spot groups first, on-demand
+// recovery if they all die). The paper's non-adaptive comparison
+// algorithms are all FixedPlan strategies with different providers.
+type FixedPlan struct {
+	Label string
+	// Provider builds the plan from the market history strictly before
+	// start (no forward peeking).
+	Provider func(r *Runner, deadline, start float64) (model.Plan, error)
+}
+
+// Name implements Strategy.
+func (f FixedPlan) Name() string { return f.Label }
+
+// Run implements Strategy.
+func (f FixedPlan) Run(r *Runner, deadline, start float64) (Outcome, error) {
+	plan, err := f.Provider(r, deadline, start)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return r.RunToCompletion(plan, start), nil
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "Sample",
+		Header: []string{"name", "value"},
+	}
+	t.Add("alpha", 1.5)
+	t.Add("beta", 42)
+	t.AddNote("a note with %d arg", 1)
+	return t
+}
+
+func TestStringLayout(t *testing.T) {
+	out := sample().String()
+	if !strings.Contains(out, "== Sample ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "name") || !strings.Contains(out, "value") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") {
+		t.Error("missing row content")
+	}
+	if !strings.Contains(out, "# a note with 1 arg") {
+		t.Error("missing note")
+	}
+	// Columns aligned: every data line has the separator gap.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "name ") {
+		t.Errorf("header row %q not padded", lines[1])
+	}
+}
+
+func TestAddFormatsFloats(t *testing.T) {
+	tab := &Table{Header: []string{"v"}}
+	tab.Add(0.123456789)
+	if tab.Rows[0][0] != "0.123" {
+		t.Errorf("float cell %q, want 3 significant digits", tab.Rows[0][0])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "name,value\nalpha,1.5\nbeta,42\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := &Table{Header: []string{"a"}}
+	if out := tab.String(); !strings.Contains(out, "a") {
+		t.Errorf("empty table render %q", out)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWideCellsExpandColumns(t *testing.T) {
+	tab := &Table{Header: []string{"x", "y"}}
+	tab.Add("a-very-long-cell-value", "b")
+	out := tab.String()
+	idx := strings.Index(out, "a-very-long-cell-value")
+	if idx < 0 {
+		t.Fatal("cell missing")
+	}
+	// The header underline must be at least as wide as the widest cell.
+	lines := strings.Split(out, "\n")
+	if len(lines[2]) < len("a-very-long-cell-value") {
+		t.Errorf("separator %q narrower than widest cell", lines[2])
+	}
+}

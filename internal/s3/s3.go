@@ -1,0 +1,95 @@
+// Package s3 simulates the Amazon S3 object store the paper uses for
+// checkpoint storage (Section 4.4): durable puts/gets with transfer times
+// derived from the writer's bandwidth and $/GB-month storage accounting.
+// The paper found storage cost below 0.1% of execution cost; the billing
+// here exists to let experiments verify that claim rather than assume it.
+package s3
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PricePerGBMonth is the 2014 S3 price the paper quotes ($0.03/GB-month).
+const PricePerGBMonth = 0.03
+
+// Object is one stored checkpoint image.
+type Object struct {
+	Key     string
+	SizeGB  float64
+	PutHour float64 // virtual time of the upload
+}
+
+// Store is a simulated object store. The zero value is ready to use.
+type Store struct {
+	objects map[string]Object
+}
+
+// Put stores (or replaces) an object at the given virtual hour. Negative
+// sizes are rejected.
+func (s *Store) Put(key string, sizeGB, hour float64) error {
+	if sizeGB < 0 {
+		return fmt.Errorf("s3: negative object size %v", sizeGB)
+	}
+	if s.objects == nil {
+		s.objects = make(map[string]Object)
+	}
+	s.objects[key] = Object{Key: key, SizeGB: sizeGB, PutHour: hour}
+	return nil
+}
+
+// Get returns the object and true, or a zero object and false.
+func (s *Store) Get(key string) (Object, bool) {
+	o, ok := s.objects[key]
+	return o, ok
+}
+
+// Delete removes an object; deleting a missing key is a no-op (matching
+// S3 semantics).
+func (s *Store) Delete(key string) {
+	delete(s.objects, key)
+}
+
+// Keys returns the stored keys in sorted order.
+func (s *Store) Keys() []string {
+	keys := make([]string, 0, len(s.objects))
+	for k := range s.objects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TotalGB reports the stored volume.
+func (s *Store) TotalGB() float64 {
+	t := 0.0
+	for _, o := range s.objects {
+		t += o.SizeGB
+	}
+	return t
+}
+
+// StorageCost reports the dollars charged for holding the current
+// contents until the given hour: each object is billed from its upload
+// time at PricePerGBMonth (a month is 730 hours).
+func (s *Store) StorageCost(untilHour float64) float64 {
+	const hoursPerMonth = 730
+	c := 0.0
+	for _, o := range s.objects {
+		held := untilHour - o.PutHour
+		if held < 0 {
+			continue
+		}
+		c += o.SizeGB * PricePerGBMonth * held / hoursPerMonth
+	}
+	return c
+}
+
+// TransferHours reports how long moving sizeGB at the given aggregate
+// bandwidth (Gbit/s) takes, in hours.
+func TransferHours(sizeGB, gbps float64) float64 {
+	if gbps <= 0 {
+		panic("s3: non-positive bandwidth")
+	}
+	return sizeGB * 8 / gbps / 3600
+}

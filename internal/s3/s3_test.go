@@ -1,0 +1,94 @@
+package s3
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	var s Store
+	if err := s.Put("a", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	o, ok := s.Get("a")
+	if !ok || o.SizeGB != 2 {
+		t.Fatalf("Get = %+v, %v", o, ok)
+	}
+	s.Delete("a")
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("deleted object still present")
+	}
+	s.Delete("missing") // no-op
+}
+
+func TestPutRejectsNegativeSize(t *testing.T) {
+	var s Store
+	if err := s.Put("a", -1, 0); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	var s Store
+	_ = s.Put("a", 2, 0)
+	_ = s.Put("a", 5, 1)
+	if s.TotalGB() != 5 {
+		t.Fatalf("TotalGB = %v, want 5", s.TotalGB())
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	var s Store
+	_ = s.Put("b", 1, 0)
+	_ = s.Put("a", 1, 0)
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestStorageCost(t *testing.T) {
+	var s Store
+	_ = s.Put("ck", 100, 0)
+	// 100 GB for one month = $3.
+	got := s.StorageCost(730)
+	if math.Abs(got-3) > 1e-9 {
+		t.Fatalf("StorageCost = %v, want 3", got)
+	}
+	// Before the upload: free.
+	_ = s.Put("later", 100, 1000)
+	if c := s.StorageCost(730); math.Abs(c-3) > 1e-9 {
+		t.Fatalf("future object billed: %v", c)
+	}
+}
+
+func TestStorageCostNegligibleVsExecution(t *testing.T) {
+	// The paper's claim: checkpoint storage cost is negligible (<0.1% of
+	// execution cost). A checkpointing job keeps only its latest image:
+	// 120 GB held for a two-day run vs a ~$150 spot bill.
+	var s Store
+	for i := 0; i < 30; i++ {
+		s.Delete("latest")
+		_ = s.Put("latest", 120, float64(i))
+	}
+	cost := s.StorageCost(48)
+	if cost > 0.5 {
+		t.Fatalf("checkpoint storage $%v is not negligible vs a $150 run", cost)
+	}
+}
+
+func TestTransferHours(t *testing.T) {
+	// 45 GB at 1 Gbps = 360 s = 0.1 h.
+	if got := TransferHours(45, 1); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("TransferHours = %v, want 0.1", got)
+	}
+}
+
+func TestTransferHoursPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bandwidth did not panic")
+		}
+	}()
+	TransferHours(1, 0)
+}

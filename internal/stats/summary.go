@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates scalar observations and reports their moments and
+// order statistics. The zero value is ready to use.
+type Summary struct {
+	values []float64
+	sum    float64
+	sumSq  float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sum += v
+	s.sumSq += v * v
+	s.sorted = false
+}
+
+// N reports the number of observations recorded.
+func (s *Summary) N() int { return len(s.values) }
+
+// Mean reports the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Var reports the population variance, or 0 with fewer than two
+// observations.
+func (s *Summary) Var() float64 {
+	n := float64(len(s.values))
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/n - m*m
+	if v < 0 { // guard against catastrophic cancellation
+		return 0
+	}
+	return v
+}
+
+// Std reports the population standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min reports the smallest observation, or +Inf with none.
+func (s *Summary) Min() float64 {
+	if len(s.values) == 0 {
+		return math.Inf(1)
+	}
+	s.ensureSorted()
+	return s.values[0]
+}
+
+// Max reports the largest observation, or -Inf with none.
+func (s *Summary) Max() float64 {
+	if len(s.values) == 0 {
+		return math.Inf(-1)
+	}
+	s.ensureSorted()
+	return s.values[len(s.values)-1]
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) using linear interpolation
+// between order statistics. It panics if q is outside [0,1] and returns 0
+// with no observations.
+func (s *Summary) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if len(s.values) == 1 {
+		return s.values[0]
+	}
+	pos := q * float64(len(s.values)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := pos - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Median reports the 0.5 quantile.
+func (s *Summary) Median() float64 { return s.Quantile(0.5) }
+
+func (s *Summary) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// String renders a compact human-readable summary.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g p50=%.4g max=%.4g",
+		s.N(), s.Mean(), s.Std(), s.Min(), s.Median(), s.Max())
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV encodes the trace as two-column CSV (hour offset, price). The
+// header row is "hour,price". cmd/tracegen uses this to export synthetic
+// markets; real EC2 price histories in the same shape can be re-imported
+// with ReadCSV.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"hour", "price"}); err != nil {
+		return err
+	}
+	for i, p := range t.Prices {
+		rec := []string{
+			strconv.FormatFloat(float64(i)*t.Step, 'f', 6, 64),
+			strconv.FormatFloat(p, 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a trace written by WriteCSV (or any two-column
+// hour,price CSV with uniformly spaced rows). It infers the step from the
+// first two rows and validates monotonically increasing hours.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading csv: %w", err)
+	}
+	if len(rows) > 0 && rows[0][0] == "hour" {
+		rows = rows[1:]
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: csv contains no samples")
+	}
+	hours := make([]float64, len(rows))
+	prices := make([]float64, len(rows))
+	for i, rec := range rows {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("trace: row %d has %d columns, want 2", i, len(rec))
+		}
+		h, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d hour: %w", i, err)
+		}
+		p, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d price: %w", i, err)
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("trace: row %d has negative price %v", i, p)
+		}
+		hours[i] = h
+		prices[i] = p
+	}
+	step := DefaultStep
+	if len(hours) > 1 {
+		step = hours[1] - hours[0]
+		if step <= 0 {
+			return nil, fmt.Errorf("trace: hours not increasing at row 1")
+		}
+		for i := 2; i < len(hours); i++ {
+			if hours[i] <= hours[i-1] {
+				return nil, fmt.Errorf("trace: hours not increasing at row %d", i)
+			}
+		}
+	}
+	return New(step, prices), nil
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"math"
+
+	"sompi/internal/stats"
+)
+
+// Model parameterizes the regime-switching synthetic spot-price generator.
+//
+// The generator reproduces the qualitative features the paper observes on
+// 2014 EC2 traces (Section 2.1): long plateaus where the price does not
+// move, abrupt volatile episodes where the price spikes to many multiples
+// of the on-demand price (Figure 1 shows m1.medium in us-east-1a jumping
+// from <$0.1 to ~$10), quiet zones where the price barely moves at all, and
+// a short-term price distribution that is stable day over day (Figure 2).
+//
+// The process alternates between a calm regime — price holds a plateau near
+// Base with small repricing noise — and a volatile regime — frequent
+// repricing with log-normal multipliers that produce out-of-bid spikes.
+type Model struct {
+	// Name identifies the market (for reports), e.g. "m1.medium/us-east-1a".
+	Name string
+	// Base is the calm-market price in $/instance-hour, typically a
+	// fraction of the on-demand price.
+	Base float64
+	// Jitter is the relative standard deviation of calm repricing.
+	Jitter float64
+	// CalmHoldHours is the mean plateau duration in the calm regime.
+	CalmHoldHours float64
+	// VolatileRate is the probability per hour of entering the volatile
+	// regime. Zero yields a permanently quiet market (us-east-1b style).
+	VolatileRate float64
+	// VolatileMeanHours is the mean duration of a volatile episode.
+	VolatileMeanHours float64
+	// SpikeMu and SpikeSigma parameterize the log-normal multiplier applied
+	// to Base on each volatile repricing.
+	SpikeMu, SpikeSigma float64
+	// SpikeCap bounds the generated price in $/h (EC2 capped spot prices at
+	// a multiple of on-demand; also keeps H_i finite for the bid search).
+	SpikeCap float64
+	// Floor is the minimum price in $/h.
+	Floor float64
+}
+
+// Generate produces hours of history at DefaultStep resolution using the
+// deterministic generator rng.
+func (m Model) Generate(rng *stats.RNG, hours float64) *Trace {
+	return m.GenerateStep(rng, hours, DefaultStep)
+}
+
+// GenerateStep is Generate with an explicit sampling step.
+func (m Model) GenerateStep(rng *stats.RNG, hours, step float64) *Trace {
+	n := int(math.Ceil(hours / step))
+	prices := make([]float64, n)
+
+	volatile := false
+	regimeLeft := m.sampleCalmSojourn(rng)
+	price := m.calmPrice(rng)
+	holdLeft := m.sampleHold(rng, volatile)
+
+	for i := 0; i < n; i++ {
+		if regimeLeft <= 0 {
+			volatile = !volatile
+			if volatile {
+				regimeLeft = rng.Exp(1 / math.Max(m.VolatileMeanHours, step))
+			} else {
+				regimeLeft = m.sampleCalmSojourn(rng)
+			}
+			holdLeft = 0 // reprice immediately on regime change
+		}
+		if holdLeft <= 0 {
+			if volatile {
+				price = m.spikePrice(rng)
+			} else {
+				price = m.calmPrice(rng)
+			}
+			holdLeft = m.sampleHold(rng, volatile)
+		}
+		prices[i] = price
+		regimeLeft -= step
+		holdLeft -= step
+	}
+	return New(step, prices)
+}
+
+// sampleCalmSojourn draws the calm-regime duration. A zero VolatileRate
+// means the market never turns volatile.
+func (m Model) sampleCalmSojourn(rng *stats.RNG) float64 {
+	if m.VolatileRate <= 0 {
+		return math.Inf(1)
+	}
+	return rng.Exp(m.VolatileRate)
+}
+
+func (m Model) sampleHold(rng *stats.RNG, volatile bool) float64 {
+	if volatile {
+		return rng.Exp(1 / 0.25) // reprice roughly every 15 minutes
+	}
+	hold := m.CalmHoldHours
+	if hold <= 0 {
+		hold = 4
+	}
+	return rng.Exp(1 / hold)
+}
+
+func (m Model) calmPrice(rng *stats.RNG) float64 {
+	p := m.Base * (1 + m.Jitter*rng.NormFloat64())
+	return m.clamp(p)
+}
+
+func (m Model) spikePrice(rng *stats.RNG) float64 {
+	p := m.Base * rng.LogNormal(m.SpikeMu, m.SpikeSigma)
+	return m.clamp(p)
+}
+
+func (m Model) clamp(p float64) float64 {
+	if p < m.Floor {
+		p = m.Floor
+	}
+	if m.SpikeCap > 0 && p > m.SpikeCap {
+		p = m.SpikeCap
+	}
+	return p
+}

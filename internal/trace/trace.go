@@ -1,0 +1,181 @@
+// Package trace models spot-price histories: fixed-step time series with
+// the window, scan and statistics operations the SOMPI cost model needs,
+// plus a regime-switching synthetic generator calibrated to the market
+// behaviour the paper reports for Amazon EC2 in 2014 (Section 2.1) and a
+// CSV codec for importing real price histories.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"sompi/internal/stats"
+)
+
+// DefaultStep is the sampling interval of generated traces in hours.
+// Amazon updated spot prices every few minutes in 2014; five minutes is the
+// granularity the paper's replay simulation works at.
+const DefaultStep = 1.0 / 12
+
+// Trace is a spot-price history sampled at a fixed step.
+type Trace struct {
+	// Step is the sampling interval in hours.
+	Step float64
+	// Prices holds one $/instance-hour sample per step.
+	Prices []float64
+}
+
+// New returns a trace with the given step wrapping prices. It panics on a
+// non-positive step.
+func New(step float64, prices []float64) *Trace {
+	if step <= 0 {
+		panic("trace: non-positive step")
+	}
+	return &Trace{Step: step, Prices: prices}
+}
+
+// Len reports the number of samples.
+func (t *Trace) Len() int { return len(t.Prices) }
+
+// Duration reports the covered time span in hours.
+func (t *Trace) Duration() float64 { return float64(len(t.Prices)) * t.Step }
+
+// IndexAt converts an hour offset into a sample index, clamped to the valid
+// range.
+func (t *Trace) IndexAt(hour float64) int {
+	i := int(hour / t.Step)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.Prices) {
+		i = len(t.Prices) - 1
+	}
+	return i
+}
+
+// At reports the price in effect at the given hour offset.
+func (t *Trace) At(hour float64) float64 {
+	if len(t.Prices) == 0 {
+		return 0
+	}
+	return t.Prices[t.IndexAt(hour)]
+}
+
+// Window returns the sub-trace covering [startHour, startHour+durHours).
+// The window is clamped to the trace bounds; the samples are shared, not
+// copied, because windows are read-only views in this codebase.
+func (t *Trace) Window(startHour, durHours float64) *Trace {
+	lo := int(startHour / t.Step)
+	hi := int(math.Ceil((startHour + durHours) / t.Step))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(t.Prices) {
+		hi = len(t.Prices)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return &Trace{Step: t.Step, Prices: t.Prices[lo:hi]}
+}
+
+// Max reports the highest price in the history — the paper's H_i, the upper
+// bound of the bid search space for a circle group.
+func (t *Trace) Max() float64 {
+	m := 0.0
+	for _, p := range t.Prices {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// Mean reports the average price, the bid used by the Spot-Avg heuristic.
+func (t *Trace) Mean() float64 {
+	if len(t.Prices) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, p := range t.Prices {
+		s += p
+	}
+	return s / float64(len(t.Prices))
+}
+
+// MeanBelow reports the average of the samples at or below bid — the
+// paper's expected spot price S_i(P): "we find the spot prices lower than
+// the bid price P_i from the spot price history, and use their mean value".
+// If no sample is at or below the bid (the instance would never launch) it
+// returns bid itself, the most pessimistic admissible charge.
+func (t *Trace) MeanBelow(bid float64) float64 {
+	s, n := 0.0, 0
+	for _, p := range t.Prices {
+		if p <= bid {
+			s += p
+			n++
+		}
+	}
+	if n == 0 {
+		return bid
+	}
+	return s / float64(n)
+}
+
+// FractionBelow reports the fraction of samples at or below bid, a quick
+// availability proxy used by tests and the market study example.
+func (t *Trace) FractionBelow(bid float64) float64 {
+	if len(t.Prices) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range t.Prices {
+		if p <= bid {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.Prices))
+}
+
+// FirstExceed scans forward from sample index start and returns the number
+// of hours until the price first exceeds bid, together with true if that
+// happens before the end of the trace. This is the first-passage scan at
+// the heart of the paper's failure-rate estimation (Section 4.4: "we check
+// whether the spot price firstly becomes larger than P at time t").
+func (t *Trace) FirstExceed(start int, bid float64) (hours float64, exceeded bool) {
+	for i := start; i < len(t.Prices); i++ {
+		if t.Prices[i] > bid {
+			return float64(i-start) * t.Step, true
+		}
+	}
+	return float64(len(t.Prices)-start) * t.Step, false
+}
+
+// Histogram bins the prices of the trace into the given geometry.
+func (t *Trace) Histogram(lo, hi float64, bins int) *stats.Histogram {
+	h := stats.NewHistogram(lo, hi, bins)
+	for _, p := range t.Prices {
+		h.Add(p)
+	}
+	return h
+}
+
+// Append concatenates other onto t and returns the combined trace. Both
+// traces must share the same step. The adaptive optimizer (Algorithm 1)
+// appends each optimization window's observed prices to its history.
+func (t *Trace) Append(other *Trace) *Trace {
+	if t.Step != other.Step {
+		panic(fmt.Sprintf("trace: step mismatch %v vs %v", t.Step, other.Step))
+	}
+	combined := make([]float64, 0, len(t.Prices)+len(other.Prices))
+	combined = append(combined, t.Prices...)
+	combined = append(combined, other.Prices...)
+	return &Trace{Step: t.Step, Prices: combined}
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	p := make([]float64, len(t.Prices))
+	copy(p, t.Prices)
+	return &Trace{Step: t.Step, Prices: p}
+}

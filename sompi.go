@@ -1,0 +1,131 @@
+// Package sompi is the public API of the SOMPI reproduction: monetary
+// cost optimization for MPI applications on spot + on-demand cloud
+// instances with checkpoints and replicated execution (Gong, He, Zhou —
+// SC '15).
+//
+// The package re-exports the pieces a downstream user composes:
+//
+//   - workloads and the cloud substrate (Workload*, GenerateMarket),
+//   - the SOMPI optimizer (Optimize, Config) and its plans,
+//   - the trace-replay simulator and Monte Carlo harness,
+//   - every comparison strategy from the paper,
+//   - the experiment registry that regenerates each paper figure/table.
+//
+// See examples/quickstart for the three-call happy path.
+package sompi
+
+import (
+	"sompi/internal/app"
+	"sompi/internal/baselines"
+	"sompi/internal/cloud"
+	"sompi/internal/experiments"
+	"sompi/internal/model"
+	"sompi/internal/opt"
+	"sompi/internal/replay"
+	"sompi/internal/report"
+)
+
+// Core model types.
+type (
+	// Profile is a TAU-style application resource profile.
+	Profile = app.Profile
+	// InstanceType describes one cloud instance type.
+	InstanceType = cloud.InstanceType
+	// Market holds spot-price histories for every (type, zone) pair.
+	Market = cloud.Market
+	// MarketKey names one spot market.
+	MarketKey = cloud.MarketKey
+	// Plan is a hybrid spot/on-demand execution plan.
+	Plan = model.Plan
+	// Estimate is the model's expected cost/time evaluation of a plan.
+	Estimate = model.Estimate
+	// Config parameterizes the SOMPI optimizer.
+	Config = opt.Config
+	// Result is a scored plan returned by Optimize.
+	Result = opt.Result
+	// Runner replays plans against a market.
+	Runner = replay.Runner
+	// Strategy is an executable planning policy (SOMPI or a baseline).
+	Strategy = replay.Strategy
+	// MCStats aggregates Monte Carlo replications of a strategy.
+	MCStats = replay.MCStats
+	// MCConfig sizes a Monte Carlo evaluation.
+	MCConfig = replay.MCConfig
+	// Table is a rendered experiment result.
+	Table = report.Table
+	// ExperimentParams sizes a paper-experiment run.
+	ExperimentParams = experiments.Params
+)
+
+// Workloads from the paper's evaluation (NPB kernels and LAMMPS).
+var (
+	WorkloadBT   = app.BT
+	WorkloadSP   = app.SP
+	WorkloadLU   = app.LU
+	WorkloadFT   = app.FT
+	WorkloadIS   = app.IS
+	WorkloadBTIO = app.BTIO
+)
+
+// WorkloadLAMMPS returns the LAMMPS campaign profile for a process count.
+func WorkloadLAMMPS(procs int) Profile { return app.LAMMPS(procs) }
+
+// Workloads returns every preset profile the paper evaluates.
+func Workloads() []Profile {
+	return append(app.NPB(), app.LAMMPS(32), app.LAMMPS(128))
+}
+
+// DefaultCatalog returns the paper's four candidate instance types.
+func DefaultCatalog() []InstanceType { return cloud.DefaultCatalog() }
+
+// DefaultZones returns the availability zones the paper draws circle
+// groups from.
+func DefaultZones() []string { return cloud.DefaultZones() }
+
+// GenerateMarket synthesizes hours of spot-price history for every
+// (type, zone) pair, deterministically from seed.
+func GenerateMarket(hours float64, seed uint64) *Market {
+	return cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), hours, seed)
+}
+
+// EstimateHours predicts the execution time of a profile on a fleet of
+// the given instance type (the paper's Section 4.4 performance model).
+func EstimateHours(p Profile, it InstanceType) float64 { return app.EstimateHours(p, it) }
+
+// Optimize runs the SOMPI optimizer and returns the cheapest plan whose
+// expected completion time meets the deadline.
+func Optimize(cfg Config) (Result, error) { return opt.Optimize(cfg) }
+
+// Evaluate computes the expected monetary cost and execution time of a
+// plan under the paper's cost model.
+func Evaluate(p Plan) Estimate { return model.Evaluate(p) }
+
+// MonteCarlo replays a strategy repeatedly from random trace start points.
+func MonteCarlo(s Strategy, r *Runner, cfg MCConfig) MCStats {
+	return replay.MonteCarlo(s, r, cfg)
+}
+
+// Strategies from the paper's evaluation.
+var (
+	// NewSOMPI is the full adaptive optimizer (Algorithm 1).
+	NewSOMPI = baselines.SOMPI
+	// NewBaseline runs on the best-performance on-demand fleet.
+	NewBaseline = baselines.Baseline
+	// NewOnDemand picks the cheapest deadline-feasible on-demand fleet.
+	NewOnDemand = baselines.OnDemandOnly
+	// NewMarathe is the state-of-the-art comparison [30].
+	NewMarathe = baselines.Marathe
+	// NewMaratheOpt is Marathe with optimized instance-type choice.
+	NewMaratheOpt = baselines.MaratheOpt
+	// NewSpotInf bids effectively infinitely on the cheapest spot market.
+	NewSpotInf = baselines.SpotInf
+	// NewSpotAvg bids the historical average price.
+	NewSpotAvg = baselines.SpotAvg
+)
+
+// Experiments returns the registry of paper figures/tables this
+// repository regenerates; run entries via their Run field.
+func Experiments() []experiments.Experiment { return experiments.Registry() }
+
+// ExperimentByID looks up one experiment (e.g. "fig5").
+func ExperimentByID(id string) (experiments.Experiment, error) { return experiments.ByID(id) }

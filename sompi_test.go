@@ -1,0 +1,87 @@
+package sompi
+
+import (
+	"testing"
+)
+
+// The facade tests exercise the public API end to end the way a
+// downstream user would (examples/quickstart mirrors this flow).
+
+func TestFacadeEndToEnd(t *testing.T) {
+	market := GenerateMarket(24*10, 1)
+	bt := WorkloadBT()
+
+	var baseline float64
+	for _, it := range DefaultCatalog() {
+		if h := EstimateHours(bt, it); baseline == 0 || h < baseline {
+			baseline = h
+		}
+	}
+	if baseline <= 0 {
+		t.Fatal("no baseline time")
+	}
+
+	res, err := Optimize(Config{
+		Profile:  bt,
+		Market:   market.Window(0, 96),
+		Deadline: baseline * 1.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Est.Cost <= 0 || res.Est.Time <= 0 {
+		t.Fatalf("degenerate estimate %+v", res.Est)
+	}
+
+	// Evaluate is consistent with the optimizer's own estimate.
+	est := Evaluate(res.Plan)
+	if est.Cost != res.Est.Cost {
+		t.Fatalf("Evaluate disagrees with Optimize: %v vs %v", est.Cost, res.Est.Cost)
+	}
+
+	runner := &Runner{Market: market, Profile: bt}
+	st := MonteCarlo(NewSOMPI(market), runner, MCConfig{
+		Deadline: baseline * 1.5, Runs: 2, Seed: 1,
+	})
+	if st.Runs != 2 {
+		t.Fatalf("MonteCarlo ran %d times", st.Runs)
+	}
+	if st.Cost.Mean() <= 0 {
+		t.Fatal("no cost recorded")
+	}
+}
+
+func TestWorkloadsComplete(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 8 {
+		t.Fatalf("%d workloads, want 8 (6 NPB + 2 LAMMPS)", len(ws))
+	}
+	for _, w := range ws {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	if len(Experiments()) != 13 {
+		t.Fatalf("%d experiments, want 13", len(Experiments()))
+	}
+	if _, err := ExperimentByID("fig5"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategyConstructorsProduceDistinctNames(t *testing.T) {
+	m := GenerateMarket(24*5, 2)
+	names := map[string]bool{}
+	for _, s := range []Strategy{
+		NewSOMPI(m), NewBaseline(), NewOnDemand(),
+		NewMarathe(m), NewMaratheOpt(m), NewSpotInf(m), NewSpotAvg(m),
+	} {
+		if names[s.Name()] {
+			t.Errorf("duplicate strategy name %q", s.Name())
+		}
+		names[s.Name()] = true
+	}
+}
