@@ -1,0 +1,30 @@
+# SOMPI build and verification targets. `make check` is the full gate:
+# it must pass before every commit.
+
+GO ?= go
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel search and the Group caches are exercised under the race
+# detector; this is the concurrency-soundness gate.
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+# Regenerate the optimizer benchmark-regression file. Compares the
+# exhaustive serial search against branch-and-bound and the parallel
+# worker pool, and fails if the variants disagree on the plan.
+bench:
+	$(GO) run ./cmd/bench -benchtime 5x -out BENCH_opt.json

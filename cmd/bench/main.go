@@ -1,0 +1,125 @@
+// Command bench is the benchmark-regression harness for the optimizer's
+// search. It times the three search configurations — the exhaustive
+// serial search (the pre-parallel baseline), branch-and-bound pruning on
+// one worker, and pruning on the full worker pool — on the same
+// synthesized market BenchmarkOptimize uses, checks that all three agree
+// on the plan, and writes the numbers to a JSON file so CI can diff runs.
+//
+// Usage:
+//
+//	bench [-out BENCH_opt.json] [-benchtime 5x]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"sompi/internal/app"
+	"sompi/internal/cloud"
+	"sompi/internal/opt"
+)
+
+// variantResult is one row of the regression file.
+type variantResult struct {
+	Name    string  `json:"name"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Evals   int     `json:"evals"`
+	Pruned  int     `json:"pruned"`
+	Cost    float64 `json:"plan_cost"`
+	// Speedup is ns/op of the serial exhaustive baseline divided by this
+	// variant's ns/op.
+	Speedup float64 `json:"speedup_vs_exhaustive"`
+}
+
+type benchFile struct {
+	// Benchmark parameters, recorded so a regression diff compares like
+	// with like.
+	MarketHours int             `json:"market_hours"`
+	Seed        uint64          `json:"seed"`
+	Profile     string          `json:"profile"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Results     []variantResult `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	testing.Init() // registers test.benchtime before we set it
+	var (
+		out       = flag.String("out", "BENCH_opt.json", "output JSON path")
+		benchtime = flag.String("benchtime", "", "benchtime passed to the testing harness (e.g. 5x, 2s)")
+	)
+	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	const hours, seed = 24 * 14, 42
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), hours, seed)
+	p := app.BT()
+	deadline := opt.FastestOnDemand(nil, p).T * 1.5
+
+	variants := []struct {
+		name string
+		cfg  opt.Config
+	}{
+		{"serial-exhaustive", opt.Config{Workers: 1, DisablePruning: true}},
+		{"serial-pruned", opt.Config{Workers: 1}},
+		{"parallel-pruned", opt.Config{Workers: 0}},
+	}
+
+	file := benchFile{MarketHours: hours, Seed: seed, Profile: p.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	var wantCost float64
+	for i, v := range variants {
+		cfg := v.cfg
+		cfg.Profile, cfg.Market, cfg.Deadline = p, m, deadline
+		var last opt.Result
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := opt.Optimize(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+		})
+		if i == 0 {
+			wantCost = last.Est.Cost
+		} else if last.Est.Cost != wantCost {
+			log.Fatalf("%s found cost %v, baseline found %v — search configurations disagree",
+				v.name, last.Est.Cost, wantCost)
+		}
+		file.Results = append(file.Results, variantResult{
+			Name:    v.name,
+			NsPerOp: r.NsPerOp(),
+			Evals:   last.Evals,
+			Pruned:  last.Pruned,
+			Cost:    last.Est.Cost,
+		})
+		fmt.Printf("%-18s %12d ns/op  %7d evals  %7d pruned\n",
+			v.name, r.NsPerOp(), last.Evals, last.Pruned)
+	}
+	base := float64(file.Results[0].NsPerOp)
+	for i := range file.Results {
+		file.Results[i].Speedup = base / float64(file.Results[i].NsPerOp)
+	}
+	fmt.Printf("speedup vs serial exhaustive: pruned %.2fx, parallel+pruned %.2fx (GOMAXPROCS=%d)\n",
+		file.Results[1].Speedup, file.Results[2].Speedup, file.GOMAXPROCS)
+
+	buf, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

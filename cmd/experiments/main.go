@@ -20,13 +20,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		id    = flag.String("id", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		runs  = flag.Int("runs", 0, "Monte Carlo replications per configuration (0 = default)")
-		seed  = flag.Uint64("seed", 0, "market + sampling seed (0 = default)")
-		hours = flag.Float64("hours", 0, "synthesized market length in hours (0 = default)")
-		csv   = flag.String("csv", "", "also write the table as CSV to this file")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		id       = flag.String("id", "", "experiment id to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		runs     = flag.Int("runs", 0, "Monte Carlo replications per configuration (0 = default)")
+		seed     = flag.Uint64("seed", 0, "market + sampling seed (0 = default)")
+		hours    = flag.Float64("hours", 0, "synthesized market length in hours (0 = default)")
+		csv      = flag.String("csv", "", "also write the table as CSV to this file")
+		parallel = flag.Int("parallel", 0, "optimizer/replay worker count (0 = GOMAXPROCS, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 		return
 	}
 
-	params := experiments.Params{Seed: *seed, MarketHours: *hours, Runs: *runs}
+	params := experiments.Params{Seed: *seed, MarketHours: *hours, Runs: *runs, Workers: *parallel}
 	switch {
 	case *all:
 		for _, e := range experiments.Registry() {

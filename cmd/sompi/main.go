@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sompi -app BT -deadline 1.5 [-seed 42] [-hours 720] [-replay 20]
+//	sompi -app BT -deadline 1.5 [-seed 42] [-hours 720] [-replay 20] [-parallel N]
 package main
 
 import (
@@ -29,6 +29,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "market seed")
 		hours    = flag.Float64("hours", 720, "market history length")
 		replays  = flag.Int("replay", 0, "Monte Carlo replays of the adaptive strategy (0 = skip)")
+		parallel = flag.Int("parallel", 0, "optimizer/replay worker count (0 = GOMAXPROCS, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 	fmt.Printf("deadline: %.1fh (%.2fx baseline)\n\n", dl, *deadline)
 
 	train := m.Window(0, baselines.History)
-	res, err := opt.Optimize(opt.Config{Profile: profile, Market: train, Deadline: dl})
+	res, err := opt.Optimize(opt.Config{Profile: profile, Market: train, Deadline: dl, Workers: *parallel})
 	if err != nil {
 		log.Fatalf("optimization failed: %v", err)
 	}
@@ -55,7 +56,7 @@ func main() {
 	if *replays > 0 {
 		r := &replay.Runner{Market: m, Profile: profile}
 		st := replay.MonteCarlo(baselines.SOMPI(m), r, replay.MCConfig{
-			Deadline: dl, Runs: *replays, Seed: *seed,
+			Deadline: dl, Runs: *replays, Seed: *seed, Workers: *parallel,
 		})
 		fmt.Printf("\nadaptive replay: %s\n", st.String())
 		fmt.Printf("normalized cost vs baseline: %.2f\n", st.Cost.Mean()/baselineFleet.FullCost())
@@ -63,8 +64,8 @@ func main() {
 }
 
 func printPlan(res opt.Result) {
-	fmt.Printf("plan (expected cost $%.0f, expected time %.1fh, %d evaluations):\n",
-		res.Est.Cost, res.Est.Time, res.Evals)
+	fmt.Printf("plan (expected cost $%.0f, expected time %.1fh, %d evaluations, %d pruned):\n",
+		res.Est.Cost, res.Est.Time, res.Evals, res.Pruned)
 	if len(res.Plan.Groups) == 0 {
 		fmt.Println("  pure on-demand execution")
 	}

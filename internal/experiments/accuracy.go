@@ -91,7 +91,7 @@ func AccModel(p Params) *report.Table {
 		// the formulas, not day-over-day market drift. Train and replay
 		// on one 10-day window.
 		train := m.Window(0, 240)
-		res, err := opt.Optimize(opt.Config{Profile: pr, Market: train, Deadline: deadline})
+		res, err := opt.Optimize(opt.Config{Profile: pr, Market: train, Deadline: deadline, Workers: p.Workers})
 		if err != nil {
 			continue
 		}
@@ -104,6 +104,7 @@ func AccModel(p Params) *report.Table {
 		}
 		st := replay.MonteCarlo(fixed, r, replay.MCConfig{
 			Deadline: deadline, Runs: p.Runs * 4, History: baselines.History, Seed: p.Seed + 2,
+			Workers: p.Workers,
 		})
 		rel := math.Abs(res.Est.Cost-st.Cost.Mean()) / st.Cost.Mean()
 		if rel > worst {

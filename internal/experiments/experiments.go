@@ -35,6 +35,10 @@ type Params struct {
 	Runs int
 	// Apps restricts the workloads (nil = the paper's full set).
 	Apps []app.Profile
+	// Workers is the optimizer/replay worker count (0 = GOMAXPROCS,
+	// 1 = serial). Every experiment's numbers are identical at any
+	// worker count; only wall-clock changes.
+	Workers int
 }
 
 func (p Params) withDefaults() Params {
@@ -72,6 +76,7 @@ func mc(s replay.Strategy, m *cloud.Market, pr app.Profile, deadline float64, p 
 		Runs:     p.Runs,
 		History:  baselines.History,
 		Seed:     p.Seed + 1,
+		Workers:  p.Workers,
 	})
 }
 

@@ -64,6 +64,35 @@ func firstExceedCyclic(tr *trace.Trace, start int, bid, horizonHours float64) (f
 	return horizonHours, false
 }
 
+// exceedSteps returns, for every sample index, the number of samples to
+// the first price (cyclically) strictly above the bid, or -1 when no
+// sample in the whole history exceeds it. One O(n) backward sweep over
+// the doubled index space replaces the O(n·horizon) per-start rescan of
+// firstExceedCyclic; the distances are the same integers that scan would
+// count, so every derived quantity is bit-identical.
+func exceedSteps(tr *trace.Trace, bid float64) []int {
+	n := tr.Len()
+	dist := make([]int, n)
+	next := -1
+	for i := 2*n - 1; i >= 0; i-- {
+		j := i
+		if j >= n {
+			j -= n
+		}
+		if tr.Prices[j] > bid {
+			next = i
+		}
+		if i < n {
+			if next < 0 {
+				dist[i] = -1
+			} else {
+				dist[i] = next - i
+			}
+		}
+	}
+	return dist
+}
+
 // Estimate computes the failure-time distribution exhaustively: every
 // sample of the history is used as a start point once, which makes the
 // result deterministic and exact with respect to the empirical history.
@@ -76,9 +105,13 @@ func Estimate(tr *trace.Trace, bid float64, horizon int) *Dist {
 		panic("failure: non-positive horizon")
 	}
 	d := &Dist{T: horizon, P: make([]float64, horizon+1)}
-	for s := 0; s < tr.Len(); s++ {
-		h, exceeded := firstExceedCyclic(tr, s, bid, float64(horizon))
-		d.record(h, exceeded)
+	steps := int(math.Ceil(float64(horizon) / tr.Step))
+	for _, ds := range exceedSteps(tr, bid) {
+		if ds >= 0 && ds < steps {
+			d.record(float64(ds)*tr.Step, true)
+		} else {
+			d.record(float64(horizon), false)
+		}
 	}
 	d.normalize(float64(tr.Len()))
 	return d
@@ -150,14 +183,16 @@ func MTTF(tr *trace.Trace, bid float64) float64 {
 		return math.Inf(1)
 	}
 	horizon := tr.Duration() * 2
+	steps := int(math.Ceil(horizon / tr.Step))
 	sum := 0.0
 	censored := false
-	for s := 0; s < tr.Len(); s++ {
-		h, exceeded := firstExceedCyclic(tr, s, bid, horizon)
-		if !exceeded {
+	for _, ds := range exceedSteps(tr, bid) {
+		if ds >= 0 && ds < steps {
+			sum += float64(ds) * tr.Step
+		} else {
 			censored = true
+			sum += horizon
 		}
-		sum += h
 	}
 	if censored {
 		// Bid below the max but some cyclic scans still never exceeded it

@@ -231,3 +231,28 @@ func TestFigure4Shape(t *testing.T) {
 		t.Fatal("expected spot price not increasing in bid")
 	}
 }
+
+// TestExceedStepsMatchesScan pins the O(n) first-passage sweep against
+// the original per-start cyclic scan it replaced, on a real synthesized
+// trace across the bid range (below min, interior, at/above max).
+func TestExceedStepsMatchesScan(t *testing.T) {
+	tr := marketTrace(5)
+	horizon := tr.Duration() * 2
+	steps := int(math.Ceil(horizon / tr.Step))
+	bids := []float64{0, tr.Mean() * 0.5, tr.Mean(), tr.Max() * 0.99, tr.Max(), tr.Max() * 2}
+	for _, bid := range bids {
+		dist := exceedSteps(tr, bid)
+		for s := 0; s < tr.Len(); s += 7 {
+			wantH, wantEx := firstExceedCyclic(tr, s, bid, horizon)
+			gotEx := dist[s] >= 0 && dist[s] < steps
+			gotH := horizon
+			if gotEx {
+				gotH = float64(dist[s]) * tr.Step
+			}
+			if gotEx != wantEx || gotH != wantH {
+				t.Fatalf("bid %v start %d: sweep (%v,%v) != scan (%v,%v)",
+					bid, s, gotH, gotEx, wantH, wantEx)
+			}
+		}
+	}
+}

@@ -19,9 +19,7 @@ func benchPlan(tb testing.TB, T int) Plan {
 	mk := func(zone string) GroupPlan {
 		g := NewGroup(app.BT(), cloud.M1Medium, zone, m.Trace(cloud.M1Medium.Name, zone))
 		g.T = T
-		g2 := *g
-		g2.distCache = nil
-		return GroupPlan{Group: &g2, Bid: 0.04, Interval: 3}
+		return GroupPlan{Group: resetCache(g), Bid: 0.04, Interval: 3}
 	}
 	return Plan{
 		Groups:   []GroupPlan{mk(cloud.ZoneA), mk(cloud.ZoneB), mk(cloud.ZoneC)},

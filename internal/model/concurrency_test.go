@@ -1,0 +1,135 @@
+package model
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"sompi/internal/app"
+	"sompi/internal/cloud"
+)
+
+// TestGroupCachesConcurrent hammers one shared Group's per-bid caches
+// from many goroutines, mixing cold lookups, warm lookups and a
+// concurrent Prewarm. Run under -race this is the proof that the
+// two-tier cache is sound; the value assertions prove every racer sees
+// the same derived numbers.
+func TestGroupCachesConcurrent(t *testing.T) {
+	m := testMarket(5)
+	g := NewGroup(app.BT(), cloud.M1Medium, cloud.ZoneA, m.Trace(cloud.M1Medium.Name, cloud.ZoneA))
+	bids := []float64{0.02, 0.04, 0.08, 0.16, 0.32, 0.64}
+	g.Prewarm(bids[:3]) // half warm, half cold
+
+	// Reference values computed single-threaded on a cache-equivalent
+	// twin group.
+	ref := resetCache(g)
+	wantPrice := make([]float64, len(bids))
+	wantMTTF := make([]float64, len(bids))
+	wantComplete := make([]float64, len(bids))
+	for i, bid := range bids {
+		wantPrice[i] = ref.ExpectedPrice(bid)
+		wantMTTF[i] = ref.MTTF(bid)
+		wantComplete[i] = ref.Dist(bid).Complete()
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if w == 0 {
+				g.Prewarm(bids) // concurrent re-warm must not disturb readers
+			}
+			for rep := 0; rep < 20; rep++ {
+				for i, bid := range bids {
+					if got := g.ExpectedPrice(bid); got != wantPrice[i] {
+						errs <- "ExpectedPrice diverged"
+						return
+					}
+					if got := g.MTTF(bid); got != wantMTTF[i] {
+						errs <- "MTTF diverged"
+						return
+					}
+					if got := g.Dist(bid).Complete(); got != wantComplete[i] {
+						errs <- "Dist diverged"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestEvaluatorMatchesPackageFunction asserts the scratch-reusing
+// Evaluator returns exactly what the allocating package function does,
+// across repeated calls with different plan widths (the reuse pattern of
+// the optimizer's workers).
+func TestEvaluatorMatchesPackageFunction(t *testing.T) {
+	m := testMarket(6)
+	od := defaultRecovery()
+	var pgs []*PreparedGroup
+	for _, zone := range cloud.DefaultZones() {
+		g := NewGroup(app.BT(), cloud.M1Medium, zone, m.Trace(cloud.M1Medium.Name, zone))
+		pgs = append(pgs, Prepare(GroupPlan{Group: g, Bid: 0.05, Interval: 3}))
+	}
+	var ev Evaluator
+	for n := len(pgs); n >= 0; n-- { // shrinking widths stress scratch reslicing
+		want := EvaluatePrepared(pgs[:n], od)
+		got := ev.EvaluatePrepared(pgs[:n], od)
+		if got != want {
+			t.Errorf("width %d: Evaluator %+v != package %+v", n, got, want)
+		}
+		if again := ev.EvaluatePrepared(pgs[:n], od); again != want {
+			t.Errorf("width %d: second reuse diverged", n)
+		}
+	}
+}
+
+// TestEvaluatorAllocationFree verifies the optimizer's inner loop does
+// not allocate per evaluation once the Evaluator's scratch has grown.
+func TestEvaluatorAllocationFree(t *testing.T) {
+	m := testMarket(7)
+	od := defaultRecovery()
+	var pgs []*PreparedGroup
+	for _, zone := range cloud.DefaultZones() {
+		g := NewGroup(app.BT(), cloud.M1Medium, zone, m.Trace(cloud.M1Medium.Name, zone))
+		pgs = append(pgs, Prepare(GroupPlan{Group: g, Bid: 0.05, Interval: 3}))
+	}
+	var ev Evaluator
+	ev.EvaluatePrepared(pgs, od) // grow scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		ev.EvaluatePrepared(pgs, od)
+	})
+	if allocs > 0 {
+		t.Errorf("EvaluatePrepared allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestPrewarmMatchesColdPath asserts warm and cold lookups derive the
+// same quantities.
+func TestPrewarmMatchesColdPath(t *testing.T) {
+	m := testMarket(8)
+	cold := NewGroup(app.BT(), cloud.C3XLarge, cloud.ZoneB, m.Trace(cloud.C3XLarge.Name, cloud.ZoneB))
+	warm := resetCache(cold)
+	bids := []float64{0.1, 0.2, 0.4}
+	warm.Prewarm(bids)
+	for _, bid := range bids {
+		if a, b := cold.ExpectedPrice(bid), warm.ExpectedPrice(bid); a != b {
+			t.Errorf("ExpectedPrice(%v): cold %v warm %v", bid, a, b)
+		}
+		if a, b := cold.MTTF(bid), warm.MTTF(bid); a != b {
+			t.Errorf("MTTF(%v): cold %v warm %v", bid, a, b)
+		}
+		a, b := cold.Dist(bid), warm.Dist(bid)
+		if a.Complete() != b.Complete() || math.Abs(a.Survival(1)-b.Survival(1)) > 0 {
+			t.Errorf("Dist(%v) diverged", bid)
+		}
+	}
+}

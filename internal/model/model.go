@@ -20,6 +20,8 @@ package model
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"sompi/internal/app"
 	"sompi/internal/cloud"
@@ -47,9 +49,30 @@ type Group struct {
 	// estimation.
 	Hist *trace.Trace
 
-	distCache  map[float64]*failure.Dist
-	priceCache map[float64]float64
-	mttfCache  map[float64]float64
+	// The per-bid derived quantities (failure distribution, expected
+	// price, MTTF) are cached in two tiers. warm is an immutable snapshot
+	// published by Prewarm and read without synchronization — the hot
+	// path once the optimizer has warmed the bid grid. cold catches any
+	// bid outside the warmed set under mu, so a Group stays correct (if
+	// slower) for ad-hoc lookups from concurrent goroutines.
+	warm atomic.Pointer[groupCaches]
+	mu   sync.RWMutex
+	cold groupCaches
+}
+
+// groupCaches holds the lazily-derived per-bid quantities of one Group.
+type groupCaches struct {
+	dist  map[float64]*failure.Dist
+	price map[float64]float64
+	mttf  map[float64]float64
+}
+
+func newGroupCaches(n int) groupCaches {
+	return groupCaches{
+		dist:  make(map[float64]*failure.Dist, n),
+		price: make(map[float64]float64, n),
+		mttf:  make(map[float64]float64, n),
+	}
 }
 
 // NewGroup builds the circle group for running profile on instances of
@@ -66,42 +89,117 @@ func NewGroup(p app.Profile, it cloud.InstanceType, zone string, hist *trace.Tra
 	}
 }
 
+// Prewarm derives and publishes the failure distribution, expected price
+// and MTTF for every bid in bids. After it returns, lookups for those
+// bids are lock-free; bids outside the warmed set fall back to the
+// mutex-protected cold cache. Prewarm is intended for the optimizer's
+// single-threaded prepare phase (warming the whole bid grid before the
+// parallel search starts); concurrent Prewarm calls are safe but each
+// snapshot supersedes the last, so racing warms may recompute work.
+func (g *Group) Prewarm(bids []float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w := newGroupCaches(len(bids))
+	if old := g.warm.Load(); old != nil {
+		for k, v := range old.dist {
+			w.dist[k] = v
+		}
+		for k, v := range old.price {
+			w.price[k] = v
+		}
+		for k, v := range old.mttf {
+			w.mttf[k] = v
+		}
+	}
+	for _, bid := range bids {
+		if _, ok := w.dist[bid]; !ok {
+			w.dist[bid] = failure.Estimate(g.Hist, bid, g.T)
+		}
+		if _, ok := w.price[bid]; !ok {
+			w.price[bid] = failure.ExpectedSpotPrice(g.Hist, bid)
+		}
+		if _, ok := w.mttf[bid]; !ok {
+			w.mttf[bid] = failure.MTTF(g.Hist, bid)
+		}
+	}
+	g.warm.Store(&w)
+}
+
 // Dist returns the failure-time distribution for the given bid, cached.
 func (g *Group) Dist(bid float64) *failure.Dist {
-	if g.distCache == nil {
-		g.distCache = make(map[float64]*failure.Dist)
+	if w := g.warm.Load(); w != nil {
+		if d, ok := w.dist[bid]; ok {
+			return d
+		}
 	}
-	if d, ok := g.distCache[bid]; ok {
+	g.mu.RLock()
+	d, ok := g.cold.dist[bid]
+	g.mu.RUnlock()
+	if ok {
 		return d
 	}
-	d := failure.Estimate(g.Hist, bid, g.T)
-	g.distCache[bid] = d
+	d = failure.Estimate(g.Hist, bid, g.T)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if prev, ok := g.cold.dist[bid]; ok { // lost the compute race
+		return prev
+	}
+	if g.cold.dist == nil {
+		g.cold.dist = make(map[float64]*failure.Dist)
+	}
+	g.cold.dist[bid] = d
 	return d
 }
 
 // ExpectedPrice reports S_i(bid), the mean price paid while running.
 func (g *Group) ExpectedPrice(bid float64) float64 {
-	if g.priceCache == nil {
-		g.priceCache = make(map[float64]float64)
+	if w := g.warm.Load(); w != nil {
+		if s, ok := w.price[bid]; ok {
+			return s
+		}
 	}
-	if s, ok := g.priceCache[bid]; ok {
+	g.mu.RLock()
+	s, ok := g.cold.price[bid]
+	g.mu.RUnlock()
+	if ok {
 		return s
 	}
-	s := failure.ExpectedSpotPrice(g.Hist, bid)
-	g.priceCache[bid] = s
+	s = failure.ExpectedSpotPrice(g.Hist, bid)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if prev, ok := g.cold.price[bid]; ok {
+		return prev
+	}
+	if g.cold.price == nil {
+		g.cold.price = make(map[float64]float64)
+	}
+	g.cold.price[bid] = s
 	return s
 }
 
 // MTTF reports the mean time to out-of-bid at the given bid, cached.
 func (g *Group) MTTF(bid float64) float64 {
-	if g.mttfCache == nil {
-		g.mttfCache = make(map[float64]float64)
+	if w := g.warm.Load(); w != nil {
+		if m, ok := w.mttf[bid]; ok {
+			return m
+		}
 	}
-	if m, ok := g.mttfCache[bid]; ok {
+	g.mu.RLock()
+	m, ok := g.cold.mttf[bid]
+	g.mu.RUnlock()
+	if ok {
 		return m
 	}
-	m := failure.MTTF(g.Hist, bid)
-	g.mttfCache[bid] = m
+	m = failure.MTTF(g.Hist, bid)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if prev, ok := g.cold.mttf[bid]; ok {
+		return prev
+	}
+	if g.cold.mttf == nil {
+		g.cold.mttf = make(map[float64]float64)
+	}
+	g.cold.mttf[bid] = m
 	return m
 }
 
@@ -243,6 +341,12 @@ type PreparedGroup struct {
 	timeVals, timeCDF []float64
 }
 
+// CostSpot reports the group's separable contribution to the plan's
+// expected spot cost — a lower bound on the cost of any plan containing
+// this prepared group, which is what the optimizer's branch-and-bound
+// pruning keys on.
+func (pg *PreparedGroup) CostSpot() float64 { return pg.costSpot }
+
 // Prepare evaluates the per-group distributions for one bid/interval
 // choice.
 func Prepare(gp GroupPlan) *PreparedGroup {
@@ -323,6 +427,32 @@ func Evaluate(p Plan) Estimate {
 
 // EvaluatePrepared combines prepared groups with a recovery fleet.
 func EvaluatePrepared(pgs []*PreparedGroup, od OnDemand) Estimate {
+	var e Evaluator
+	return e.EvaluatePrepared(pgs, od)
+}
+
+// Evaluator evaluates prepared plans while reusing its scratch buffers,
+// making each evaluation allocation-free. The optimizer's search workers
+// each own one (an Evaluator must not be shared between goroutines); the
+// package-level EvaluatePrepared remains for one-off callers.
+type Evaluator struct {
+	idx []int
+}
+
+// scratch returns a zeroed index buffer of length n.
+func (e *Evaluator) scratch(n int) []int {
+	if cap(e.idx) < n {
+		e.idx = make([]int, n)
+	}
+	e.idx = e.idx[:n]
+	for i := range e.idx {
+		e.idx[i] = 0
+	}
+	return e.idx
+}
+
+// EvaluatePrepared combines prepared groups with a recovery fleet.
+func (e *Evaluator) EvaluatePrepared(pgs []*PreparedGroup, od OnDemand) Estimate {
 	if len(pgs) == 0 {
 		full := od.Rate() * od.T
 		return Estimate{
@@ -337,8 +467,8 @@ func EvaluatePrepared(pgs []*PreparedGroup, od OnDemand) Estimate {
 		est.CostSpot += pg.costSpot
 		est.PAllFail *= 1 - pg.complete
 	}
-	est.EMinRatio = expectedMin(pgs)
-	est.TimeSpot = expectedMax(pgs)
+	est.EMinRatio = expectedMin(pgs, e.scratch(len(pgs)))
+	est.TimeSpot = expectedMax(pgs, e.scratch(len(pgs)))
 	est.CostOD = est.EMinRatio * od.T * od.Rate()
 	est.TimeOD = est.EMinRatio * od.T
 	est.Cost = est.CostSpot + est.CostOD
@@ -348,9 +478,9 @@ func EvaluatePrepared(pgs []*PreparedGroup, od OnDemand) Estimate {
 
 // expectedMin computes E[min_i Ratio_i] for independent groups via
 // E[min] = ∫ Π_i P(Ratio_i > x) dx, walking the merged support points
-// without materializing them.
-func expectedMin(pgs []*PreparedGroup) float64 {
-	idx := make([]int, len(pgs))
+// without materializing them. idx is caller-supplied zeroed scratch of
+// length len(pgs).
+func expectedMin(pgs []*PreparedGroup, idx []int) float64 {
 	prev, e := 0.0, 0.0
 	for {
 		next := math.Inf(1)
@@ -375,9 +505,9 @@ func expectedMin(pgs []*PreparedGroup) float64 {
 }
 
 // expectedMax computes E[max_i SpotTime_i] via
-// E[max] = ∫ (1 − Π_i P(SpotTime_i <= x)) dx.
-func expectedMax(pgs []*PreparedGroup) float64 {
-	idx := make([]int, len(pgs))
+// E[max] = ∫ (1 − Π_i P(SpotTime_i <= x)) dx. idx is caller-supplied
+// zeroed scratch of length len(pgs).
+func expectedMax(pgs []*PreparedGroup, idx []int) float64 {
 	prev, e := 0.0, 0.0
 	for {
 		next := math.Inf(1)

@@ -24,11 +24,11 @@ func smallGroup(seed uint64, zone string, T int) *Group {
 	return resetCache(g)
 }
 
-// resetCache clears the dist cache (the horizon changed after NewGroup).
+// resetCache rebuilds the group without its caches (the horizon changed
+// after NewGroup); a Group must not be copied once used, so only the data
+// fields carry over.
 func resetCache(g *Group) *Group {
-	g2 := *g
-	g2.distCache = nil
-	return &g2
+	return &Group{Key: g.Key, Instance: g.Instance, M: g.M, T: g.T, O: g.O, R: g.R, Hist: g.Hist}
 }
 
 func defaultRecovery() OnDemand {
@@ -307,10 +307,10 @@ func TestExpectedMinMaxSimple(t *testing.T) {
 	// Two deterministic "distributions": min is 2, max is 5.
 	a := pgFrom([]float64{2}, []float64{1})
 	b := pgFrom([]float64{5}, []float64{1})
-	if m := expectedMin([]*PreparedGroup{a, b}); math.Abs(m-2) > 1e-12 {
+	if m := expectedMin([]*PreparedGroup{a, b}, make([]int, 2)); math.Abs(m-2) > 1e-12 {
 		t.Errorf("expectedMin = %v, want 2", m)
 	}
-	if m := expectedMax([]*PreparedGroup{a, b}); math.Abs(m-5) > 1e-12 {
+	if m := expectedMax([]*PreparedGroup{a, b}, make([]int, 2)); math.Abs(m-5) > 1e-12 {
 		t.Errorf("expectedMax = %v, want 5", m)
 	}
 }
@@ -320,10 +320,10 @@ func TestExpectedMinTwoCoinFlips(t *testing.T) {
 	// E[max] = 10 * (1 - P(both=0)) = 7.5.
 	a := pgFrom([]float64{0, 10}, []float64{0.5, 0.5})
 	b := pgFrom([]float64{0, 10}, []float64{0.5, 0.5})
-	if m := expectedMin([]*PreparedGroup{a, b}); math.Abs(m-2.5) > 1e-12 {
+	if m := expectedMin([]*PreparedGroup{a, b}, make([]int, 2)); math.Abs(m-2.5) > 1e-12 {
 		t.Errorf("expectedMin = %v, want 2.5", m)
 	}
-	if m := expectedMax([]*PreparedGroup{a, b}); math.Abs(m-7.5) > 1e-12 {
+	if m := expectedMax([]*PreparedGroup{a, b}, make([]int, 2)); math.Abs(m-7.5) > 1e-12 {
 		t.Errorf("expectedMax = %v, want 7.5", m)
 	}
 }

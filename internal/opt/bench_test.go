@@ -24,6 +24,39 @@ func BenchmarkOptimize(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeSearch compares the search configurations the
+// regression harness (cmd/bench) tracks: the exhaustive serial search
+// (the pre-parallel baseline), branch-and-bound alone, and
+// branch-and-bound on the full worker pool. All three return the same
+// plan; only the work to find it differs.
+func BenchmarkOptimizeSearch(b *testing.B) {
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), 24*14, 42)
+	p := app.BT()
+	deadline := FastestOnDemand(nil, p).T * 1.5
+	for _, bc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"serial-exhaustive", Config{Workers: 1, DisablePruning: true}},
+		{"serial-pruned", Config{Workers: 1}},
+		{"parallel-pruned", Config{Workers: 0}},
+	} {
+		cfg := bc.cfg
+		cfg.Profile, cfg.Market, cfg.Deadline = p, m, deadline
+		b.Run(bc.name, func(b *testing.B) {
+			var res Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				if res, err = Optimize(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Evals), "evals/op")
+			b.ReportMetric(float64(res.Pruned), "pruned/op")
+		})
+	}
+}
+
 // BenchmarkOptimizeKappa sweeps κ, the paper's Section 5.2 overhead
 // study, as a benchmark.
 func BenchmarkOptimizeKappa(b *testing.B) {

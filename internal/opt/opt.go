@@ -10,7 +10,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"sompi/internal/app"
 	"sompi/internal/cloud"
@@ -66,6 +69,16 @@ type Config struct {
 	// its final committed window, where an all-groups-dead outcome means
 	// an on-demand recovery that can overshoot the deadline.
 	MaxAllFail float64
+	// Workers is the number of concurrent subset-search workers. Zero
+	// means runtime.GOMAXPROCS(0); 1 forces a fully serial search. The
+	// returned Plan and Est are byte-identical at every worker count.
+	Workers int
+	// DisablePruning turns off the branch-and-bound lower-bound cuts,
+	// forcing exhaustive enumeration. The optimum is unaffected either
+	// way (pruning only discards provably-dominated subtrees); the knob
+	// exists for the benchmark-regression harness and the determinism
+	// tests.
+	DisablePruning bool
 }
 
 func (c Config) withDefaults() Config {
@@ -153,7 +166,13 @@ func Phi(g *model.Group, bid float64) float64 {
 	if f > T {
 		return T
 	}
-	const minInterval = 0.5 // below this, overhead dwarfs saved work
+	// Below half an hour, checkpoint overhead dwarfs the saved work — but
+	// never clamp past T itself, or a very short run would silently flip
+	// into the Interval >= T "no checkpoints" convention.
+	minInterval := 0.5
+	if T < minInterval {
+		minInterval = T
+	}
 	if f < minInterval {
 		f = minInterval
 	}
@@ -181,8 +200,14 @@ type Result struct {
 	Plan model.Plan
 	Est  model.Estimate
 	// Evals counts cost-model evaluations performed — the optimization-
-	// overhead metric of the κ parameter study.
-	Evals int
+	// overhead metric of the κ parameter study. Pruned counts the
+	// evaluations branch-and-bound skipped because a partial plan's spot
+	// cost already exceeded the incumbent best. Plan and Est are
+	// deterministic at any worker count; Evals and Pruned depend on how
+	// quickly the shared incumbent tightens and are only reproducible
+	// with Workers=1.
+	Evals  int
+	Pruned int
 }
 
 // Optimize runs the full SOMPI pipeline and returns the cheapest plan
@@ -216,16 +241,24 @@ func Optimize(cfg Config) (Result, error) {
 		return Result{Plan: plan, Est: model.Evaluate(plan)}, err
 	}
 
-	groups := buildGroups(cfg)
+	groups, err := buildGroups(cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	best := Result{Plan: model.Plan{Recovery: od}}
 	best.Est = model.Evaluate(best.Plan)
 	evals := 1
 
 	// Prepare every (group, bid-grid-point) pair once, with its
 	// F = φ(P) interval; subsets below only combine prepared groups.
+	// Prewarm publishes each group's per-bid caches for the whole grid
+	// while still single-threaded, so the parallel search below only ever
+	// takes the lock-free read path.
 	prepared := make([][]*model.PreparedGroup, len(groups))
 	for i, g := range groups {
-		for _, bid := range BidGrid(g, cfg.GridLevels) {
+		grid := BidGrid(g, cfg.GridLevels)
+		g.Prewarm(grid)
+		for _, bid := range grid {
 			interval := float64(g.T)
 			if !cfg.DisableCheckpoints {
 				interval = Phi(g, bid)
@@ -242,11 +275,14 @@ func Optimize(cfg Config) (Result, error) {
 			idx   int
 			score float64
 		}
+		var ev model.Evaluator
+		single := make([]*model.PreparedGroup, 1)
 		scores := make([]scored, len(groups))
 		for i := range groups {
 			best := math.Inf(1)
 			for _, pg := range prepared[i] {
-				est := model.EvaluatePrepared([]*model.PreparedGroup{pg}, od)
+				single[0] = pg
+				est := ev.EvaluatePrepared(single, od)
 				evals++
 				if est.Cost < best {
 					best = est.Cost
@@ -268,62 +304,268 @@ func Optimize(cfg Config) (Result, error) {
 	if kappa > len(groups) {
 		kappa = len(groups)
 	}
+	if len(groups) == 0 {
+		best.Evals = evals
+		return best, nil
+	}
+
 	// Traverse every subset of up to κ circle groups (Section 4.4's
 	// "traverse all of possible cases each with a specific combination"),
-	// and within each subset every combination of grid bids.
-	subset := make([]int, 0, kappa)
-	pgs := make([]*model.PreparedGroup, 0, kappa)
-	var searchBids func(depth int)
-	searchBids = func(depth int) {
-		if depth == len(subset) {
-			est := model.EvaluatePrepared(pgs, od)
-			evals++
-			if cfg.MaxAllFail > 0 && est.PAllFail > cfg.MaxAllFail {
-				return
+	// and within each subset every combination of grid bids. The subset
+	// space partitions cleanly by first group index — partition i holds
+	// every subset whose smallest member is i — so each partition becomes
+	// one work unit for a GOMAXPROCS-sized worker pool. Workers keep a
+	// per-partition best and share only a monotonically-tightening
+	// incumbent cost for pruning; the final merge walks partitions in
+	// index order with a strict < comparison, which reproduces the serial
+	// traversal's first-strictly-better-wins tie-breaking exactly (see
+	// searcher.searchBids for why pruning cannot disturb the winner).
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+
+	// minSpot[i] bounds the cheapest possible spot contribution of group
+	// i across its bid grid; suffix sums of it sharpen the lower bound.
+	minSpot := make([]float64, len(groups))
+	for i, pgs := range prepared {
+		minSpot[i] = math.Inf(1)
+		for _, pg := range pgs {
+			if c := pg.CostSpot(); c < minSpot[i] {
+				minSpot[i] = c
 			}
-			if est.Time <= cfg.Deadline && est.Cost < best.Est.Cost {
-				gps := make([]model.GroupPlan, len(pgs))
-				for i, pg := range pgs {
-					gps[i] = pg.GP
-				}
-				best = Result{Plan: model.Plan{Groups: gps, Recovery: od}, Est: est}
-			}
-			return
-		}
-		for _, pg := range prepared[subset[depth]] {
-			pgs = append(pgs, pg)
-			searchBids(depth + 1)
-			pgs = pgs[:len(pgs)-1]
 		}
 	}
-	var recurse func(start int)
-	recurse = func(start int) {
-		if len(subset) > 0 {
-			searchBids(0)
-		}
-		if len(subset) == kappa {
-			return
-		}
-		for i := start; i < len(groups); i++ {
-			subset = append(subset, i)
-			recurse(i + 1)
-			subset = subset[:len(subset)-1]
+
+	incumbent := newSharedCost(best.Est.Cost)
+	parts := make([]partitionResult, len(groups))
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := &searcher{
+				cfg:       cfg,
+				od:        od,
+				prepared:  prepared,
+				minSpot:   minSpot,
+				kappa:     kappa,
+				baseline:  best.Est.Cost,
+				incumbent: incumbent,
+				subset:    make([]int, 0, kappa),
+				pgs:       make([]*model.PreparedGroup, 0, kappa),
+				partial:   make([]float64, kappa+1),
+				suffixMin: make([]float64, kappa+1),
+				leaves:    make([]int, kappa+1),
+			}
+			for first := range tasks {
+				parts[first] = s.searchPartition(first)
+			}
+		}()
+	}
+	for i := range groups {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+
+	pruned := 0
+	for _, pr := range parts {
+		evals += pr.evals
+		pruned += pr.pruned
+		if pr.found && pr.best.Est.Cost < best.Est.Cost {
+			best = pr.best
 		}
 	}
-	recurse(0)
 	best.Evals = evals
+	best.Pruned = pruned
 	return best, nil
 }
 
-// buildGroups constructs the candidate circle groups.
-func buildGroups(cfg Config) []*model.Group {
+// sharedCost is the workers' shared incumbent: the cheapest plan cost
+// found so far, stored as positive-float bits so a CAS loop can lower it
+// monotonically without locks. For positive IEEE-754 floats the bit
+// pattern orders identically to the value.
+type sharedCost struct {
+	bits atomic.Uint64
+}
+
+func newSharedCost(c float64) *sharedCost {
+	s := &sharedCost{}
+	s.bits.Store(math.Float64bits(c))
+	return s
+}
+
+func (s *sharedCost) load() float64 { return math.Float64frombits(s.bits.Load()) }
+
+func (s *sharedCost) lower(c float64) {
+	bits := math.Float64bits(c)
+	for {
+		cur := s.bits.Load()
+		if bits >= cur || s.bits.CompareAndSwap(cur, bits) {
+			return
+		}
+	}
+}
+
+// partitionResult is one partition's contribution to the final merge.
+type partitionResult struct {
+	best   Result
+	found  bool
+	evals  int
+	pruned int
+}
+
+// searcher is the per-worker search state: scratch buffers and an
+// allocation-free evaluator, reused across every partition the worker
+// pulls. Nothing in it is shared; the only cross-worker communication is
+// the incumbent cost.
+type searcher struct {
+	cfg       Config
+	od        model.OnDemand
+	prepared  [][]*model.PreparedGroup
+	minSpot   []float64
+	kappa     int
+	baseline  float64
+	incumbent *sharedCost
+	eval      model.Evaluator
+
+	subset []int
+	pgs    []*model.PreparedGroup
+	// partial[d] is the spot-cost sum of the groups placed at depths
+	// < d; suffixMin[d] is the cheapest possible spot cost of the groups
+	// at depths >= d; leaves[d] is the number of bid combinations below
+	// depth d. All three are per-subset precomputations for the
+	// branch-and-bound cut.
+	partial   []float64
+	suffixMin []float64
+	leaves    []int
+
+	best   Result
+	found  bool
+	evals  int
+	pruned int
+}
+
+// searchPartition traverses every subset whose first (smallest) group
+// index is first, in the exact order the serial recursion visits them.
+func (s *searcher) searchPartition(first int) partitionResult {
+	s.best, s.found = Result{}, false
+	s.evals, s.pruned = 0, 0
+	s.subset = s.subset[:0]
+	s.subset = append(s.subset, first)
+	s.extend(first + 1)
+	return partitionResult{best: s.best, found: s.found, evals: s.evals, pruned: s.pruned}
+}
+
+// extend evaluates the current subset's bid grid, then grows the subset
+// with every index above start, mirroring the serial recursion.
+func (s *searcher) extend(start int) {
+	s.searchSubset()
+	if len(s.subset) == s.kappa {
+		return
+	}
+	for i := start; i < len(s.prepared); i++ {
+		s.subset = append(s.subset, i)
+		s.extend(i + 1)
+		s.subset = s.subset[:len(s.subset)-1]
+	}
+}
+
+// searchSubset enumerates every grid-bid combination for the current
+// subset with branch-and-bound cuts.
+func (s *searcher) searchSubset() {
+	n := len(s.subset)
+	// leaves[d]: bid combinations in depths d..n-1; suffixMin[d]: spot
+	// cost floor of depths d..n-1.
+	s.leaves[n] = 1
+	s.suffixMin[n] = 0
+	for d := n - 1; d >= 0; d-- {
+		s.leaves[d] = s.leaves[d+1] * len(s.prepared[s.subset[d]])
+		s.suffixMin[d] = s.suffixMin[d+1] + s.minSpot[s.subset[d]]
+	}
+	if !s.cfg.DisablePruning && s.suffixMin[0] > s.incumbent.load() {
+		// Even the cheapest bid choice for every member exceeds the
+		// incumbent: skip the whole subset.
+		s.pruned += s.leaves[0]
+		return
+	}
+	s.partial[0] = 0
+	s.pgs = s.pgs[:0]
+	s.searchBids(0)
+}
+
+func (s *searcher) searchBids(depth int) {
+	if depth == len(s.subset) {
+		est := s.eval.EvaluatePrepared(s.pgs, s.od)
+		s.evals++
+		if s.cfg.MaxAllFail > 0 && est.PAllFail > s.cfg.MaxAllFail {
+			return
+		}
+		if est.Time <= s.cfg.Deadline && est.Cost < s.localBound() {
+			gps := make([]model.GroupPlan, len(s.pgs))
+			for i, pg := range s.pgs {
+				gps[i] = pg.GP
+			}
+			s.best = Result{Plan: model.Plan{Groups: gps, Recovery: s.od}, Est: est}
+			s.found = true
+			s.incumbent.lower(est.Cost)
+		}
+		return
+	}
+	for _, pg := range s.prepared[s.subset[depth]] {
+		bound := s.partial[depth] + pg.CostSpot() + s.suffixMin[depth+1]
+		// A plan's cost is its groups' spot costs plus a non-negative
+		// on-demand term, so bound is a true lower bound on every leaf
+		// below this choice. Pruning only on strict > keeps equal-cost
+		// plans alive: the eventual winner has cost equal to the final
+		// incumbent, its bounds never strictly exceed a value the
+		// incumbent (which only tightens) held at any earlier time, so
+		// the winning leaf is always evaluated — which is what makes the
+		// result independent of worker count and pruning alike.
+		if !s.cfg.DisablePruning && bound > s.incumbent.load() {
+			s.pruned += s.leaves[depth+1]
+			continue
+		}
+		s.partial[depth+1] = s.partial[depth] + pg.CostSpot()
+		s.pgs = append(s.pgs, pg)
+		s.searchBids(depth + 1)
+		s.pgs = s.pgs[:len(s.pgs)-1]
+	}
+}
+
+// localBound is the acceptance threshold for the current partition: the
+// partition's own best if it has one, else the pure-on-demand baseline.
+// Acceptance must not consult the shared incumbent — another partition's
+// equal-cost plan would otherwise block this one nondeterministically —
+// so determinism comes from per-partition bests merged in index order.
+func (s *searcher) localBound() float64 {
+	if s.found {
+		return s.best.Est.Cost
+	}
+	return s.baseline
+}
+
+// buildGroups constructs the candidate circle groups. A candidate naming
+// an instance type outside the market's catalog, or a market the trace
+// set does not cover, is a caller error (typically a stale Candidates
+// list) and is reported as such rather than panicking.
+func buildGroups(cfg Config) ([]*model.Group, error) {
 	groups := make([]*model.Group, 0, len(cfg.Candidates))
 	for _, key := range cfg.Candidates {
 		it, ok := cfg.Market.Catalog.ByName(key.Type)
 		if !ok {
-			panic(fmt.Sprintf("opt: candidate %v not in catalog", key))
+			return nil, fmt.Errorf("opt: candidate %v not in catalog", key)
 		}
-		g := model.NewGroup(cfg.Profile, it, key.Zone, cfg.Market.Trace(key.Type, key.Zone))
+		tr, ok := cfg.Market.Traces[key]
+		if !ok {
+			return nil, fmt.Errorf("opt: candidate %v has no price history in the market", key)
+		}
+		g := model.NewGroup(cfg.Profile, it, key.Zone, tr)
 		// A group that cannot finish before the deadline even alone and
 		// failure-free can still contribute checkpoints, but in practice
 		// it only burns money; prune it like the paper's implementation.
@@ -331,5 +573,5 @@ func buildGroups(cfg Config) []*model.Group {
 			groups = append(groups, g)
 		}
 	}
-	return groups
+	return groups, nil
 }

@@ -2,6 +2,9 @@ package replay
 
 import (
 	"fmt"
+	"math"
+	"runtime"
+	"sync"
 
 	"sompi/internal/model"
 	"sompi/internal/stats"
@@ -41,6 +44,16 @@ func (s *MCStats) MissRate() float64 {
 	return float64(s.DeadlineMisses) / float64(s.Runs)
 }
 
+// merge folds another worker's replications into s. Merging worker
+// chunks in run order reproduces the serial accumulation exactly.
+func (s *MCStats) merge(other *MCStats) {
+	s.Cost.Merge(&other.Cost)
+	s.Hours.Merge(&other.Hours)
+	s.DeadlineMisses += other.DeadlineMisses
+	s.Runs += other.Runs
+	s.Failures += other.Failures
+}
+
 // String renders a one-line summary.
 func (s *MCStats) String() string {
 	return fmt.Sprintf("%-14s cost $%.0f ±%.0f  time %.1fh  miss %.0f%%  (n=%d, errors=%d)",
@@ -59,10 +72,21 @@ type MCConfig struct {
 	History float64
 	// Seed drives start-point sampling.
 	Seed uint64
+	// Workers is the number of concurrent replay workers. Zero means
+	// runtime.GOMAXPROCS(0); 1 forces serial replay. Results are
+	// identical at every worker count: replication i draws its start
+	// point from its own RNG stream derived from (Seed, i), so the
+	// sampled starts — and therefore every statistic — depend only on
+	// Seed and Runs.
+	Workers int
 }
 
 // MonteCarlo replays the strategy Runs times from random start points and
-// aggregates cost, time and deadline-miss statistics.
+// aggregates cost, time and deadline-miss statistics. Replications run
+// concurrently on Workers goroutines; each replication owns a
+// splitmix-derived RNG stream (stats.StreamRNG(Seed, i)), making the
+// aggregate reproducible for a fixed Seed regardless of worker count and
+// identical to a serial run.
 func MonteCarlo(st Strategy, r *Runner, cfg MCConfig) MCStats {
 	if cfg.Runs <= 0 {
 		panic("replay: non-positive run count")
@@ -70,16 +94,19 @@ func MonteCarlo(st Strategy, r *Runner, cfg MCConfig) MCStats {
 	if cfg.History <= 0 {
 		cfg.History = 96
 	}
-	rng := stats.NewRNG(cfg.Seed)
-	out := MCStats{Name: st.Name()}
 
 	// Leave room after the start point for the run itself (deadline
 	// overruns included) so the replay doesn't spend most of its time
-	// clamped at the trace's final sample.
-	var dur float64
-	for _, k := range r.Market.Keys() {
-		dur = r.Market.Traces[k].Duration()
-		break
+	// clamped at the trace's final sample. The shortest trace governs:
+	// sampling past it would run a strategy off the end of that market.
+	dur := math.Inf(1)
+	for _, tr := range r.Market.Traces {
+		if d := tr.Duration(); d < dur {
+			dur = d
+		}
+	}
+	if math.IsInf(dur, 1) {
+		dur = 0
 	}
 	lo := cfg.History
 	hi := dur - 3*cfg.Deadline
@@ -87,19 +114,55 @@ func MonteCarlo(st Strategy, r *Runner, cfg MCConfig) MCStats {
 		hi = lo + 1
 	}
 
-	for i := 0; i < cfg.Runs; i++ {
-		start := lo + rng.Float64()*(hi-lo)
-		o, err := st.Run(r, cfg.Deadline, start)
-		if err != nil {
-			out.Failures++
-			continue
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+
+	// Contiguous chunks per worker, merged in chunk order, reproduce the
+	// serial insertion order of every observation.
+	chunk := func(w int) (int, int) {
+		base, rem := cfg.Runs/workers, cfg.Runs%workers
+		lo := w*base + min(w, rem)
+		size := base
+		if w < rem {
+			size++
 		}
-		out.Runs++
-		out.Cost.Add(o.Cost)
-		out.Hours.Add(o.Hours)
-		if o.Hours > cfg.Deadline {
-			out.DeadlineMisses++
-		}
+		return lo, lo + size
+	}
+	parts := make([]MCStats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := &parts[w]
+			first, last := chunk(w)
+			for i := first; i < last; i++ {
+				rng := stats.StreamRNG(cfg.Seed, uint64(i))
+				start := lo + rng.Float64()*(hi-lo)
+				o, err := st.Run(r, cfg.Deadline, start)
+				if err != nil {
+					local.Failures++
+					continue
+				}
+				local.Runs++
+				local.Cost.Add(o.Cost)
+				local.Hours.Add(o.Hours)
+				if o.Hours > cfg.Deadline {
+					local.DeadlineMisses++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	out := MCStats{Name: st.Name()}
+	for w := range parts {
+		out.merge(&parts[w])
 	}
 	return out
 }

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSummaryMergeEqualsWhole is the Merge property test: splitting a
+// sample at any point, summarizing the pieces and merging them in order
+// must reproduce the whole-sample summary bit-for-bit — Merge replays
+// the Add sequence, so even the floating-point moments are exact.
+func TestSummaryMergeEqualsWhole(t *testing.T) {
+	prop := func(seed uint64, n uint8, cut uint8) bool {
+		rng := NewRNG(seed)
+		vals := make([]float64, int(n)+1)
+		for i := range vals {
+			vals[i] = rng.LogNormal(0, 1.5)
+		}
+		k := int(cut) % len(vals)
+
+		var whole, left, right Summary
+		for _, v := range vals {
+			whole.Add(v)
+		}
+		for _, v := range vals[:k] {
+			left.Add(v)
+		}
+		for _, v := range vals[k:] {
+			right.Add(v)
+		}
+		left.Merge(&right)
+
+		if left.N() != whole.N() || left.Mean() != whole.Mean() ||
+			left.Var() != whole.Var() || left.Min() != whole.Min() ||
+			left.Max() != whole.Max() {
+			return false
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+			if left.Quantile(q) != whole.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSummaryMergeThreeWay checks associativity over several pieces and
+// that merging empty summaries (in either direction) is a no-op.
+func TestSummaryMergeThreeWay(t *testing.T) {
+	rng := NewRNG(99)
+	var whole Summary
+	parts := make([]Summary, 3)
+	for i := 0; i < 31; i++ {
+		v := rng.Float64() * 100
+		whole.Add(v)
+		parts[i%3].Add(v)
+	}
+	// Out-of-order interleave above: only moments and order statistics
+	// (not insertion order) are comparable.
+	var acc Summary
+	var empty Summary
+	acc.Merge(&empty)
+	for i := range parts {
+		acc.Merge(&parts[i])
+	}
+	acc.Merge(&empty)
+	acc.Merge(nil)
+	if acc.N() != whole.N() || math.Abs(acc.Mean()-whole.Mean()) > 1e-9 ||
+		math.Abs(acc.Var()-whole.Var()) > 1e-9 ||
+		acc.Min() != whole.Min() || acc.Max() != whole.Max() ||
+		acc.Median() != whole.Median() {
+		t.Errorf("three-way merge diverged: %v vs %v", acc.String(), whole.String())
+	}
+}
+
+// TestStreamRNGMatchesSequential pins the StreamRNG contract that
+// parallel Monte Carlo relies on: stream i's first draw equals the
+// (i+1)-th draw of a single sequential generator with the same seed.
+func TestStreamRNGMatchesSequential(t *testing.T) {
+	for _, seed := range []uint64{0, 7, 1 << 40} {
+		seq := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			want := seq.Float64()
+			if got := StreamRNG(seed, uint64(i)).Float64(); got != want {
+				t.Fatalf("seed %d stream %d: %v != sequential %v", seed, i, got, want)
+			}
+		}
+	}
+}

@@ -29,6 +29,20 @@ func (r *RNG) Split() *RNG {
 	return &RNG{state: r.Uint64()*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
 }
 
+// StreamRNG derives the stream-th generator from seed without any shared
+// state, so concurrent workers can each own a stream chosen by index
+// rather than by spawn order. The derivation advances the splitmix64
+// state by stream golden-ratio increments: stream i's first output equals
+// the (i+1)-th output of NewRNG(seed), which makes any computation that
+// draws a bounded, known number of values per stream (e.g. one start
+// point per Monte Carlo replication) identical to a single sequential
+// generator — and therefore independent of how streams are distributed
+// across workers. Streams at adjacent indices overlap after the first
+// draw; callers that need many draws per stream should use Split instead.
+func StreamRNG(seed, stream uint64) *RNG {
+	return &RNG{state: seed + 0x9e3779b97f4a7c15*stream}
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -23,6 +23,28 @@ func (s *Summary) Add(v float64) {
 	s.sorted = false
 }
 
+// Merge folds every observation recorded in other into s, as if each had
+// been Added individually in other's insertion order. Merging the pieces
+// of a partitioned sample in partition order therefore reproduces the
+// unpartitioned summary exactly, which is what lets parallel Monte Carlo
+// workers accumulate locally and combine at the end.
+func (s *Summary) Merge(other *Summary) {
+	if other == nil || len(other.values) == 0 {
+		return
+	}
+	s.values = append(s.values, other.values...)
+	// Re-accumulate value by value rather than adding other's partial
+	// sums: float addition is not associative, and replaying the exact
+	// sequence of Add operations keeps the merged moments bit-identical
+	// to an unpartitioned summary (the worker-count-independence
+	// guarantee of parallel Monte Carlo).
+	for _, v := range other.values {
+		s.sum += v
+		s.sumSq += v * v
+	}
+	s.sorted = false
+}
+
 // N reports the number of observations recorded.
 func (s *Summary) N() int { return len(s.values) }
 
