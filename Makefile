@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race serve-smoke bench check
 
 all: check
 
@@ -21,7 +21,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+# Boot a real sompid process, ingest a tick, request a plan over HTTP and
+# byte-diff it against the library-path optimizer, then SIGTERM for the
+# graceful-shutdown check.
+serve-smoke:
+	$(GO) run ./cmd/serve-smoke
+
+check: build vet race serve-smoke
 
 # Regenerate the optimizer benchmark-regression file. Compares the
 # exhaustive serial search against branch-and-bound and the parallel

@@ -1,0 +1,190 @@
+// Command serve-smoke is the sompid end-to-end gate: it builds and boots
+// a real sompid process on an ephemeral port, ingests a price tick,
+// requests a plan over HTTP, byte-diffs the served plan against the
+// library-path optimizer at the same market state, and checks graceful
+// shutdown on SIGTERM. `make serve-smoke` wires it into `make check`.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"sompi/internal/app"
+	"sompi/internal/cloud"
+	"sompi/internal/opt"
+	"sompi/internal/serve"
+)
+
+const (
+	smokeHours = 240
+	smokeSeed  = 7
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve-smoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("serve-smoke: PASS")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "sompid-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "sompid")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sompid")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building sompid: %w", err)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-hours", fmt.Sprint(smokeHours),
+		"-seed", fmt.Sprint(smokeSeed))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting sompid: %w", err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		return fmt.Errorf("sompid printed nothing")
+	}
+	banner := sc.Text()
+	i := strings.Index(banner, "http://")
+	if i < 0 {
+		return fmt.Errorf("no listen address in banner %q", banner)
+	}
+	base := strings.Fields(banner[i:])[0]
+	fmt.Printf("serve-smoke: sompid at %s\n", base)
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	if err := waitHealthy(base); err != nil {
+		return err
+	}
+
+	// Ingest one tick; the market version must move to 2.
+	tick := serve.PriceTick{Type: cloud.M1Medium.Name, Zone: cloud.ZoneA, Prices: []float64{0.05, 0.06}}
+	var pricesResp serve.PricesResponse
+	if err := postJSON(base+"/v1/prices", tick, &pricesResp); err != nil {
+		return fmt.Errorf("ingesting tick: %w", err)
+	}
+	if pricesResp.MarketVersion != 2 || pricesResp.Ticks != 1 {
+		return fmt.Errorf("ingest response %+v, want version 2 after 1 tick", pricesResp)
+	}
+
+	// Served plan (workers=1 so the search-effort counters are
+	// deterministic too).
+	req := serve.PlanRequest{
+		App: "BT", DeadlineHours: 60,
+		Workers: 1, Kappa: 2, GridLevels: 3, MaxGroups: 3,
+	}
+	payload, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/plan", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("requesting plan: %w", err)
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("plan request: %d %s", resp.StatusCode, served)
+	}
+
+	// Library path: rebuild the identical market state in-process and
+	// render through the same encoding helper. Any divergence — price
+	// generation, ingestion, training window, optimizer, JSON layout —
+	// breaks the byte diff.
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), smokeHours, smokeSeed)
+	if _, err := m.Append(cloud.MarketKey{Type: tick.Type, Zone: tick.Zone}, tick.Prices); err != nil {
+		return err
+	}
+	profile, ok := app.ByName(req.App)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", req.App)
+	}
+	frontier := m.MinDuration()
+	lo := math.Max(0, frontier-96)
+	res, err := opt.OptimizeContext(context.Background(), req.Config(profile, m.Window(lo, frontier-lo)))
+	if err != nil {
+		return fmt.Errorf("library optimize: %w", err)
+	}
+	want, _ := json.Marshal(serve.BuildPlanResponse(m.Version(), res))
+	if !bytes.Equal(served, want) {
+		return fmt.Errorf("served plan differs from library plan:\n served %s\nlibrary %s", served, want)
+	}
+	fmt.Println("serve-smoke: served plan is byte-identical to the library path")
+
+	// Graceful shutdown: SIGTERM must drain and exit cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("sompid exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("sompid did not exit within 15s of SIGTERM")
+	}
+	fmt.Println("serve-smoke: graceful shutdown ok")
+	return nil
+}
+
+func waitHealthy(base string) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("sompid never became healthy")
+}
+
+func postJSON(url string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %d %s", url, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}

@@ -1,0 +1,107 @@
+// Command sompid runs the SOMPI planner as a long-lived HTTP/JSON
+// service: plan, evaluate and Monte Carlo requests against a live,
+// versioned spot market that grows through streaming price ingestion.
+//
+// Usage:
+//
+//	sompid [-addr :8377] [-seed 42] [-hours 720] [-traces DIR]
+//	       [-window 15] [-history 96] [-cache 256] [-timeout 60s]
+//
+// The market is either synthesized (-seed/-hours) or loaded from a
+// cmd/tracegen CSV directory (-traces). The v1 API:
+//
+//	POST /v1/plan        optimize a workload against the latest prices
+//	POST /v1/evaluate    cost-model an explicit plan
+//	POST /v1/montecarlo  replay a strategy over the ingested market
+//	POST /v1/prices      append spot-price ticks (array or NDJSON)
+//	GET  /v1/sessions    tracked Algorithm-1 sessions
+//	GET  /metrics        Prometheus text exposition
+//	GET  /healthz        liveness + market version
+//	GET  /debug/pprof/   runtime profiles
+//
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sompi/internal/cloud"
+	"sompi/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sompid: ")
+	var (
+		addr    = flag.String("addr", ":8377", "listen address (use :0 for an ephemeral port)")
+		seed    = flag.Uint64("seed", 42, "market seed for the synthesized market")
+		hours   = flag.Float64("hours", 720, "hours of synthesized price history")
+		traces  = flag.String("traces", "", "load the market from this cmd/tracegen CSV directory instead of synthesizing")
+		window  = flag.Float64("window", 0, "re-optimization window T_m in hours (0 = paper default)")
+		history = flag.Float64("history", 0, "default training history in hours (0 = default 96)")
+		cache   = flag.Int("cache", 256, "plan cache entries")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-request timeout for plan/evaluate/montecarlo")
+	)
+	flag.Parse()
+
+	var m *cloud.Market
+	var err error
+	if *traces != "" {
+		m, err = cloud.LoadMarket(*traces, cloud.DefaultCatalog(), cloud.DefaultZones())
+		if err != nil {
+			log.Fatalf("loading market: %v", err)
+		}
+	} else {
+		m = cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), *hours, *seed)
+	}
+
+	s, err := serve.New(serve.Config{
+		Market:         m,
+		WindowHours:    *window,
+		HistoryHours:   *history,
+		CacheSize:      *cache,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatalf("configuring service: %v", err)
+	}
+
+	// Listen before announcing so -addr :0 callers can parse a real port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("sompid: listening on http://%s (market v%d, %d markets, frontier %.1fh)\n",
+		ln.Addr(), m.Version(), len(m.Traces), m.MinDuration())
+
+	srv := &http.Server{Handler: s.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Printf("sompid: %v: draining\n", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		fmt.Println("sompid: bye")
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}

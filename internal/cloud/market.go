@@ -1,12 +1,30 @@
 package cloud
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"sompi/internal/stats"
 	"sompi/internal/trace"
 )
+
+// ErrUnknownMarket reports an append against a (type, zone) pair the
+// market does not carry. Ingestion must target existing markets: the
+// catalog and zone set are fixed at market construction, and a typo'd
+// key silently creating a new market would corrupt every version-keyed
+// cache downstream.
+var ErrUnknownMarket = errors.New("cloud: unknown market")
+
+// ErrBadSample reports an ingested price that is not a price (negative,
+// NaN or infinite). The offending request is rejected whole: a partial
+// append would leave the market's version claiming an update that only
+// half-happened.
+var ErrBadSample = errors.New("cloud: invalid price sample")
 
 // MarketKey identifies one spot market: an instance type in an availability
 // zone. Each market is a candidate circle group.
@@ -20,10 +38,47 @@ func (k MarketKey) String() string { return k.Type + "/" + k.Zone }
 // Market holds the spot-price histories for every (type, zone) pair plus
 // the catalog they refer to. It is the optimizer's entire view of the
 // cloud's spot economy.
+//
+// A market is versioned: construction (GenerateMarket, LoadMarket) yields
+// version 1 and every Append bumps the version, so downstream caches can
+// key on (inputs, version) and ingestion is well-defined. Traces are
+// immutable — Append installs a new *trace.Trace rather than growing the
+// old one — so a view captured before an append (a Window, a Group's
+// Hist) stays internally consistent. The Market struct itself is not
+// synchronized; concurrent mutation and reading must be fenced by the
+// owner (internal/serve holds an RWMutex and hands out Window snapshots).
 type Market struct {
 	Catalog Catalog
 	Zones   []string
 	Traces  map[MarketKey]*trace.Trace
+
+	// version counts mutations: 1 for a freshly built market, +1 per
+	// Append. Zero means a hand-assembled Market that never ingested.
+	version uint64
+}
+
+// Version reports the market's mutation version.
+func (m *Market) Version() uint64 { return m.version }
+
+// Append extends one market's price history with new samples (prices in
+// $/instance-hour, one per trace step) and returns the market's new
+// version. The existing trace is not mutated: a fresh trace replaces it,
+// so previously captured views remain consistent. Appending an empty
+// sample set is a no-op that still bumps the version (the ingestion
+// heartbeat advanced, even if no price changed).
+func (m *Market) Append(key MarketKey, samples []float64) (uint64, error) {
+	tr, ok := m.Traces[key]
+	if !ok {
+		return m.version, fmt.Errorf("%w: %v", ErrUnknownMarket, key)
+	}
+	for i, p := range samples {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return m.version, fmt.Errorf("%w: sample %d for %v is not a price: %v", ErrBadSample, i, key, p)
+		}
+	}
+	m.Traces[key] = tr.Append(trace.New(tr.Step, samples))
+	m.version++
+	return m.version, nil
 }
 
 // Trace returns the price history for the given market. It panics if the
@@ -54,12 +109,43 @@ func (m *Market) Keys() []MarketKey {
 
 // Window returns a market view restricted to [startHour, startHour+dur).
 // The adaptive optimizer trains on the previous optimization window only.
+// The view keeps the parent's version: it is a projection of the same
+// market state, not a new one.
 func (m *Market) Window(startHour, dur float64) *Market {
-	out := &Market{Catalog: m.Catalog, Zones: m.Zones, Traces: make(map[MarketKey]*trace.Trace, len(m.Traces))}
+	out := &Market{Catalog: m.Catalog, Zones: m.Zones, Traces: make(map[MarketKey]*trace.Trace, len(m.Traces)), version: m.version}
 	for k, tr := range m.Traces {
 		out.Traces[k] = tr.Window(startHour, dur)
 	}
 	return out
+}
+
+// Snapshot returns a shallow copy of the market at its current version.
+// Traces are shared, not copied — they are immutable, so the snapshot is a
+// consistent view that later Appends on the parent cannot disturb. The
+// planner service hands snapshots to long-running work (Monte Carlo
+// replays) so ingestion never races a replay's market reads.
+func (m *Market) Snapshot() *Market {
+	out := &Market{Catalog: m.Catalog, Zones: m.Zones, Traces: make(map[MarketKey]*trace.Trace, len(m.Traces)), version: m.version}
+	for k, tr := range m.Traces {
+		out.Traces[k] = tr
+	}
+	return out
+}
+
+// MinDuration reports the shortest trace duration across the market's
+// markets — the consistent "now" frontier for ingestion-driven replay
+// (every market has prices up to at least this hour).
+func (m *Market) MinDuration() float64 {
+	dur := math.Inf(1)
+	for _, tr := range m.Traces {
+		if d := tr.Duration(); d < dur {
+			dur = d
+		}
+	}
+	if math.IsInf(dur, 1) {
+		return 0
+	}
+	return dur
 }
 
 // zoneProfile captures how turbulent a zone's markets are. The paper's
@@ -143,7 +229,7 @@ func ModelFor(it InstanceType, zone string) trace.Model {
 // different markets are independent.
 func GenerateMarket(cat Catalog, zones []string, hours float64, seed uint64) *Market {
 	root := stats.NewRNG(seed)
-	m := &Market{Catalog: cat, Zones: zones, Traces: make(map[MarketKey]*trace.Trace)}
+	m := &Market{Catalog: cat, Zones: zones, Traces: make(map[MarketKey]*trace.Trace), version: 1}
 	// Iterate in deterministic order so the seed fully determines output.
 	for _, it := range cat {
 		for _, z := range zones {
@@ -151,4 +237,31 @@ func GenerateMarket(cat Catalog, zones []string, hours float64, seed uint64) *Ma
 		}
 	}
 	return m
+}
+
+// LoadMarket builds a version-1 market from a directory of per-market CSV
+// files as written by cmd/tracegen: one "<type>_<zone>.csv" file (slashes
+// in the type name also flattened to underscores) per (type, zone) pair,
+// each in the two-column hour,price shape trace.ReadCSV accepts. Every
+// (catalog × zones) pair must be present — a market with holes would make
+// candidate enumeration silently lossy.
+func LoadMarket(dir string, cat Catalog, zones []string) (*Market, error) {
+	m := &Market{Catalog: cat, Zones: zones, Traces: make(map[MarketKey]*trace.Trace), version: 1}
+	for _, it := range cat {
+		for _, z := range zones {
+			key := MarketKey{it.Name, z}
+			name := strings.ReplaceAll(key.String(), "/", "_") + ".csv"
+			f, err := os.Open(filepath.Join(dir, name))
+			if err != nil {
+				return nil, fmt.Errorf("cloud: loading market %v: %w", key, err)
+			}
+			tr, err := trace.ReadCSV(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("cloud: loading market %v: %w", key, err)
+			}
+			m.Traces[key] = tr
+		}
+	}
+	return m, nil
 }

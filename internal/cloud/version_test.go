@@ -1,0 +1,138 @@
+package cloud
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGeneratedMarketIsVersionOne(t *testing.T) {
+	m := GenerateMarket(DefaultCatalog(), DefaultZones(), 24, 1)
+	if m.Version() != 1 {
+		t.Fatalf("fresh market has version %d, want 1", m.Version())
+	}
+}
+
+func TestAppendBumpsVersionMonotonically(t *testing.T) {
+	m := GenerateMarket(DefaultCatalog(), DefaultZones(), 24, 1)
+	key := m.Keys()[0]
+	before := m.Trace(key.Type, key.Zone)
+	n := before.Len()
+
+	v, err := m.Append(key, []float64{0.05, 0.06, 0.07})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("first append returned version %d, want 2", v)
+	}
+	if got := m.Version(); got != 2 {
+		t.Fatalf("Version() = %d after append, want 2", got)
+	}
+	after := m.Trace(key.Type, key.Zone)
+	if after.Len() != n+3 {
+		t.Fatalf("trace grew to %d samples, want %d", after.Len(), n+3)
+	}
+	if after.Prices[n] != 0.05 || after.Prices[n+2] != 0.07 {
+		t.Fatal("appended samples not at the tail")
+	}
+	// Immutability: the pre-append trace view is untouched, so snapshots
+	// taken before ingestion stay internally consistent.
+	if before.Len() != n {
+		t.Fatalf("pre-append trace mutated to %d samples", before.Len())
+	}
+
+	if v, err = m.Append(key, nil); err != nil || v != 3 {
+		t.Fatalf("empty append: version %d err %v, want 3 nil", v, err)
+	}
+}
+
+func TestAppendRejectsUnknownMarketAndBadPrices(t *testing.T) {
+	m := GenerateMarket(DefaultCatalog(), DefaultZones(), 24, 1)
+	if _, err := m.Append(MarketKey{"no-such-type", ZoneA}, []float64{0.1}); !errors.Is(err, ErrUnknownMarket) {
+		t.Fatalf("unknown market append returned %v, want ErrUnknownMarket", err)
+	}
+	key := m.Keys()[0]
+	for _, bad := range [][]float64{{-0.1}, {math.NaN()}, {math.Inf(1)}} {
+		if _, err := m.Append(key, bad); err == nil {
+			t.Fatalf("append accepted bad sample %v", bad)
+		}
+	}
+	if m.Version() != 1 {
+		t.Fatalf("failed appends bumped version to %d", m.Version())
+	}
+}
+
+func TestWindowCarriesVersion(t *testing.T) {
+	m := GenerateMarket(DefaultCatalog(), DefaultZones(), 24, 1)
+	if _, err := m.Append(m.Keys()[0], []float64{0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if w := m.Window(0, 12); w.Version() != m.Version() {
+		t.Fatalf("window has version %d, market %d", w.Version(), m.Version())
+	}
+}
+
+func TestMinDuration(t *testing.T) {
+	m := GenerateMarket(DefaultCatalog(), DefaultZones(), 24, 1)
+	if d := m.MinDuration(); math.Abs(d-24) > 1 {
+		t.Fatalf("MinDuration %v, want ~24", d)
+	}
+	// Appending to one market moves the frontier only when every market
+	// catches up.
+	if _, err := m.Append(m.Keys()[0], []float64{0.1, 0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.MinDuration(); math.Abs(d-24) > 1 {
+		t.Fatalf("MinDuration moved to %v after a single-market append", d)
+	}
+	if (&Market{}).MinDuration() != 0 {
+		t.Fatal("empty market should report zero duration")
+	}
+}
+
+func TestLoadMarketRoundTripsTracegenLayout(t *testing.T) {
+	dir := t.TempDir()
+	src := GenerateMarket(DefaultCatalog(), DefaultZones(), 6, 3)
+	for _, key := range src.Keys() {
+		name := strings.ReplaceAll(key.String(), "/", "_") + ".csv"
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Traces[key].WriteCSV(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	m, err := LoadMarket(dir, DefaultCatalog(), DefaultZones())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() != 1 {
+		t.Fatalf("loaded market has version %d, want 1", m.Version())
+	}
+	for _, key := range src.Keys() {
+		a, b := src.Traces[key], m.Traces[key]
+		if a.Len() != b.Len() {
+			t.Fatalf("%v: %d samples loaded, want %d", key, b.Len(), a.Len())
+		}
+		for i := range a.Prices {
+			if math.Abs(a.Prices[i]-b.Prices[i]) > 1e-6 {
+				t.Fatalf("%v sample %d: %v loaded, want %v", key, i, b.Prices[i], a.Prices[i])
+			}
+		}
+	}
+
+	// A hole in the directory is an error, not a silent partial market.
+	if err := os.Remove(filepath.Join(dir, strings.ReplaceAll(src.Keys()[0].String(), "/", "_")+".csv")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMarket(dir, DefaultCatalog(), DefaultZones()); err == nil {
+		t.Fatal("LoadMarket accepted a directory with a missing market")
+	}
+}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 
 	"sompi/internal/model"
@@ -39,7 +40,10 @@ func (a *Adaptive) Name() string {
 }
 
 // Run implements replay.Strategy, executing Algorithm 1 from absolute
-// market hour start.
+// market hour start. The per-window state (progress, elapsed wall clock,
+// accumulated cost) is carried by a replay.Session — the same vehicle the
+// planner service uses — so the in-process and served adaptive loops stay
+// behaviourally identical.
 func (a *Adaptive) Run(r *replay.Runner, deadline, start float64) (replay.Outcome, error) {
 	window := a.Window
 	if window <= 0 {
@@ -53,39 +57,37 @@ func (a *Adaptive) Run(r *replay.Runner, deadline, start float64) (replay.Outcom
 	base.Profile = r.Profile
 	base = base.withDefaults()
 
-	var total replay.Outcome
-	progress := 0.0
-	elapsed := 0.0
+	sess := replay.NewSession(r, deadline, start)
 	maxWindows := int(deadline/window) + 32 // hard stop against livelock
 
-	for w := 0; w < maxWindows && progress < 1; w++ {
-		leftover := deadline - elapsed
-		resid := r.Profile.Scale(1 - progress)
+	for w := 0; w < maxWindows && sess.Progress < 1; w++ {
+		leftover := sess.Remaining()
+		resid := r.Profile.Scale(1 - sess.Progress)
 		fastest := FastestOnDemand(base.OnDemandTypes, resid)
 
 		// Train on the trailing History hours only (line 17: "update the
 		// spot price trace with the spot price history in this window").
-		trainStart := start + elapsed - history
+		trainStart := sess.Now() - history
 		if trainStart < 0 {
 			trainStart = 0
 		}
 		cfg := base
 		cfg.Profile = resid
-		cfg.Market = base.Market.Window(trainStart, start+elapsed-trainStart)
+		cfg.Market = base.Market.Window(trainStart, sess.Now()-trainStart)
 		cfg.Deadline = leftover
 
 		// Algorithm 1 line 7: if the deadline cannot be satisfied, run the
 		// remainder on on-demand instances. "Satisfied" is the model's
 		// E[Time] <= leftover feasibility.
-		res, err := Optimize(cfg)
+		res, err := OptimizeContext(context.Background(), cfg)
 		if err != nil || leftover <= 0 {
-			o := r.ExecuteWindow(model.Plan{Recovery: fastest}, start+elapsed, math.Inf(1), progress)
-			return accumulate(total, o), nil
+			sess.Advance(model.Plan{Recovery: fastest}, math.Inf(1))
+			return sess.Outcome(), nil
 		}
 		if len(res.Plan.Groups) == 0 {
 			// The optimizer's best feasible plan is pure on-demand.
-			o := r.ExecuteWindow(res.Plan, start+elapsed, math.Inf(1), progress)
-			return accumulate(total, o), nil
+			sess.Advance(res.Plan, math.Inf(1))
+			return sess.Outcome(), nil
 		}
 
 		// While a completely fruitless window would still leave time to
@@ -101,47 +103,30 @@ func (a *Adaptive) Run(r *replay.Runner, deadline, start float64) (replay.Outcom
 			// blows the deadline, so only high-confidence plans qualify.
 			commitCfg := cfg
 			commitCfg.MaxAllFail = 0.1
-			if committed, err := Optimize(commitCfg); err == nil && len(committed.Plan.Groups) > 0 {
+			if committed, err := OptimizeContext(context.Background(), commitCfg); err == nil && len(committed.Plan.Groups) > 0 {
 				res = committed
 			}
-			o := r.ExecuteWindow(res.Plan, start+elapsed, math.Inf(1), progress)
-			total = accumulate(total, o)
-			elapsed += o.Hours
-			progress = o.Progress
-			if o.Completed {
-				return total, nil
+			if o := sess.Advance(res.Plan, math.Inf(1)); o.Completed {
+				return sess.Outcome(), nil
 			}
 			break // all groups died: on-demand recovery below
 		}
 
-		o := r.ExecuteWindow(res.Plan, start+elapsed, math.Min(window, safeWindow), progress)
-		total = accumulate(total, o)
-		elapsed += o.Hours
-		progress = o.Progress
+		o := sess.Advance(res.Plan, math.Min(window, safeWindow))
 		if o.Completed {
-			return total, nil
+			return sess.Outcome(), nil
 		}
 		if o.Hours <= 0 {
 			break // no wall-clock motion: bail out below
 		}
 	}
 
-	if progress < 1 {
-		resid := r.Profile.Scale(1 - progress)
+	if sess.Progress < 1 {
+		resid := r.Profile.Scale(1 - sess.Progress)
 		fastest := FastestOnDemand(base.OnDemandTypes, resid)
-		o := r.ExecuteWindow(model.Plan{Recovery: fastest}, start+elapsed, math.Inf(1), progress)
-		total = accumulate(total, o)
+		sess.Advance(model.Plan{Recovery: fastest}, math.Inf(1))
 	}
-	return total, nil
-}
-
-func accumulate(total, o replay.Outcome) replay.Outcome {
-	total.Cost += o.Cost
-	total.Hours += o.Hours
-	total.Progress = o.Progress
-	total.Completed = o.Completed
-	total.AllGroupsDead = o.AllGroupsDead
-	return total
+	return sess.Outcome(), nil
 }
 
 // OneShot is SOMPI without update maintenance (the paper's w/o-MT

@@ -7,7 +7,7 @@
 package opt
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -103,10 +103,33 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// ErrNoFeasibleOnDemand is returned when no on-demand type can finish
-// within the slack-reduced deadline; the caller must either relax the
-// deadline or accept the fastest type regardless.
-var ErrNoFeasibleOnDemand = errors.New("opt: no on-demand type meets the deadline")
+// validate reports ErrInvalidConfig-wrapped errors for numeric fields a
+// defaulted Config cannot repair. It runs after withDefaults, so zero
+// values have already been replaced by the paper's defaults and anything
+// still out of range was set deliberately — and wrongly — by the caller.
+func (c Config) validate() error {
+	switch {
+	case c.Market == nil:
+		return fmt.Errorf("%w: nil market", ErrInvalidConfig)
+	case math.IsNaN(c.Deadline) || c.Deadline <= 0:
+		return fmt.Errorf("%w: non-positive deadline %v", ErrInvalidConfig, c.Deadline)
+	case c.Slack < 0 || c.Slack >= 1:
+		return fmt.Errorf("%w: slack %v outside [0,1)", ErrInvalidConfig, c.Slack)
+	case c.Kappa < 1:
+		return fmt.Errorf("%w: non-positive kappa %d", ErrInvalidConfig, c.Kappa)
+	case c.GridLevels < 1:
+		return fmt.Errorf("%w: non-positive grid levels %d", ErrInvalidConfig, c.GridLevels)
+	case c.MaxGroups < 1:
+		return fmt.Errorf("%w: non-positive max groups %d", ErrInvalidConfig, c.MaxGroups)
+	case c.Kappa > c.MaxGroups:
+		return fmt.Errorf("%w: kappa %d exceeds max groups %d", ErrInvalidConfig, c.Kappa, c.MaxGroups)
+	case c.MaxAllFail < 0 || c.MaxAllFail > 1:
+		return fmt.Errorf("%w: max-all-fail %v outside [0,1]", ErrInvalidConfig, c.MaxAllFail)
+	case c.Workers < 0:
+		return fmt.Errorf("%w: negative worker count %d", ErrInvalidConfig, c.Workers)
+	}
+	return nil
+}
 
 // SelectOnDemand solves Formulas 12–13: among types whose execution time
 // fits within Deadline·(1−Slack), pick the one with the smallest full-run
@@ -129,7 +152,7 @@ func SelectOnDemand(types []cloud.InstanceType, p app.Profile, deadline, slack f
 		}
 	}
 	if math.IsInf(bestCost, 1) {
-		return model.OnDemand{}, ErrNoFeasibleOnDemand
+		return model.OnDemand{}, ErrDeadlineInfeasible
 	}
 	return best, nil
 }
@@ -213,16 +236,36 @@ type Result struct {
 // Optimize runs the full SOMPI pipeline and returns the cheapest plan
 // whose expected completion time meets the deadline.
 //
-// If no spot plan is feasible the returned plan has no groups (pure
-// on-demand). If not even on-demand fits, ErrNoFeasibleOnDemand is
-// returned together with a fastest-fleet fallback plan.
+// Deprecated: use OptimizeContext, which adds cancellation and
+// functional options. Optimize remains as a thin wrapper so pre-v1
+// callers keep compiling; it behaves identically.
 func Optimize(cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
-	if cfg.Market == nil {
-		return Result{}, errors.New("opt: nil market")
+	return OptimizeContext(context.Background(), cfg)
+}
+
+// OptimizeContext runs the full SOMPI pipeline and returns the cheapest
+// plan whose expected completion time meets the deadline. Options are
+// applied to cfg first, then defaults, then validation (ErrInvalidConfig
+// on out-of-range fields).
+//
+// If no spot plan is feasible the returned plan has no groups (pure
+// on-demand). If not even on-demand fits, ErrDeadlineInfeasible is
+// returned together with a fastest-fleet fallback plan.
+//
+// Cancelling ctx aborts the κ-subset search at the next evaluation
+// checkpoint: OptimizeContext returns ctx.Err() together with a partial
+// Result whose Evals/Pruned counters record how much of the search
+// actually ran (the cancellation guarantee the service layer tests).
+func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, error) {
+	for _, o := range opts {
+		o(&cfg)
 	}
-	if cfg.Deadline <= 0 {
-		return Result{}, fmt.Errorf("opt: non-positive deadline %v", cfg.Deadline)
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 
 	// Tight deadlines (the paper's 1.05x Baseline) leave less headroom
@@ -340,6 +383,25 @@ func Optimize(cfg Config) (Result, error) {
 		}
 	}
 
+	// Cancellation: a watcher goroutine flips stop when ctx is done, and
+	// every worker polls the flag on each bid-grid descent, so an
+	// abandoned request stops burning CPU within roughly one cost-model
+	// evaluation. Polling an atomic bool costs ~1ns against the ~µs
+	// evaluation, which is why the flag is checked per grid point rather
+	// than per partition.
+	var stop atomic.Bool
+	if done := ctx.Done(); done != nil {
+		watch := make(chan struct{})
+		defer close(watch)
+		go func() {
+			select {
+			case <-done:
+				stop.Store(true)
+			case <-watch:
+			}
+		}()
+	}
+
 	incumbent := newSharedCost(best.Est.Cost)
 	parts := make([]partitionResult, len(groups))
 	tasks := make(chan int)
@@ -356,6 +418,7 @@ func Optimize(cfg Config) (Result, error) {
 				kappa:     kappa,
 				baseline:  best.Est.Cost,
 				incumbent: incumbent,
+				stop:      &stop,
 				subset:    make([]int, 0, kappa),
 				pgs:       make([]*model.PreparedGroup, 0, kappa),
 				partial:   make([]float64, kappa+1),
@@ -383,6 +446,12 @@ func Optimize(cfg Config) (Result, error) {
 	}
 	best.Evals = evals
 	best.Pruned = pruned
+	if err := ctx.Err(); err != nil {
+		// The merge above still ran: the partial Result documents how far
+		// the search got (and may hold a usable incumbent plan), but a
+		// cancelled search makes no optimality claim.
+		return best, err
+	}
 	return best, nil
 }
 
@@ -432,6 +501,7 @@ type searcher struct {
 	kappa     int
 	baseline  float64
 	incumbent *sharedCost
+	stop      *atomic.Bool
 	eval      model.Evaluator
 
 	subset []int
@@ -465,6 +535,9 @@ func (s *searcher) searchPartition(first int) partitionResult {
 // extend evaluates the current subset's bid grid, then grows the subset
 // with every index above start, mirroring the serial recursion.
 func (s *searcher) extend(start int) {
+	if s.stop.Load() {
+		return
+	}
 	s.searchSubset()
 	if len(s.subset) == s.kappa {
 		return
@@ -518,6 +591,9 @@ func (s *searcher) searchBids(depth int) {
 		return
 	}
 	for _, pg := range s.prepared[s.subset[depth]] {
+		if s.stop.Load() {
+			return
+		}
 		bound := s.partial[depth] + pg.CostSpot() + s.suffixMin[depth+1]
 		// A plan's cost is its groups' spot costs plus a non-negative
 		// on-demand term, so bound is a true lower bound on every leaf
@@ -559,11 +635,11 @@ func buildGroups(cfg Config) ([]*model.Group, error) {
 	for _, key := range cfg.Candidates {
 		it, ok := cfg.Market.Catalog.ByName(key.Type)
 		if !ok {
-			return nil, fmt.Errorf("opt: candidate %v not in catalog", key)
+			return nil, fmt.Errorf("%w: candidate %v not in catalog", ErrNoCandidates, key)
 		}
 		tr, ok := cfg.Market.Traces[key]
 		if !ok {
-			return nil, fmt.Errorf("opt: candidate %v has no price history in the market", key)
+			return nil, fmt.Errorf("%w: candidate %v has no price history in the market", ErrNoCandidates, key)
 		}
 		g := model.NewGroup(cfg.Profile, it, key.Zone, tr)
 		// A group that cannot finish before the deadline even alone and

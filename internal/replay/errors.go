@@ -1,0 +1,16 @@
+package replay
+
+import "errors"
+
+// Sentinel errors of the v1 replay API; branch on them with errors.Is.
+var (
+	// ErrInvalidConfig reports an MCConfig whose numeric fields make no
+	// sense: a non-positive deadline or replication count, a negative
+	// history or worker count.
+	ErrInvalidConfig = errors.New("replay: invalid config")
+
+	// ErrMarketTooShort reports that the runner's market carries too
+	// little price history to replay against — no traces at all, or a
+	// trace with zero samples, so no start point can be drawn.
+	ErrMarketTooShort = errors.New("replay: market history too short")
+)

@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -81,17 +82,55 @@ type MCConfig struct {
 	Workers int
 }
 
-// MonteCarlo replays the strategy Runs times from random start points and
-// aggregates cost, time and deadline-miss statistics. Replications run
-// concurrently on Workers goroutines; each replication owns a
-// splitmix-derived RNG stream (stats.StreamRNG(Seed, i)), making the
-// aggregate reproducible for a fixed Seed regardless of worker count and
-// identical to a serial run.
-func MonteCarlo(st Strategy, r *Runner, cfg MCConfig) MCStats {
-	if cfg.Runs <= 0 {
-		panic("replay: non-positive run count")
+// Validate reports ErrInvalidConfig-wrapped errors for numeric fields
+// that make the evaluation meaningless.
+func (c MCConfig) Validate() error {
+	switch {
+	case math.IsNaN(c.Deadline) || c.Deadline <= 0:
+		return fmt.Errorf("%w: non-positive deadline %v", ErrInvalidConfig, c.Deadline)
+	case c.Runs <= 0:
+		return fmt.Errorf("%w: non-positive run count %d", ErrInvalidConfig, c.Runs)
+	case c.History < 0:
+		return fmt.Errorf("%w: negative history %v", ErrInvalidConfig, c.History)
+	case c.Workers < 0:
+		return fmt.Errorf("%w: negative worker count %d", ErrInvalidConfig, c.Workers)
 	}
-	if cfg.History <= 0 {
+	return nil
+}
+
+// MonteCarlo replays the strategy Runs times from random start points and
+// aggregates cost, time and deadline-miss statistics.
+//
+// Deprecated: use MonteCarloContext, which validates the config with
+// typed errors and supports cancellation. MonteCarlo keeps the pre-v1
+// contract for existing callers: it panics on an invalid config.
+func MonteCarlo(st Strategy, r *Runner, cfg MCConfig) MCStats {
+	stats, err := MonteCarloContext(context.Background(), st, r, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return stats
+}
+
+// MonteCarloContext replays the strategy Runs times from random start
+// points and aggregates cost, time and deadline-miss statistics.
+// Replications run concurrently on Workers goroutines; each replication
+// owns a splitmix-derived RNG stream (stats.StreamRNG(Seed, i)), making
+// the aggregate reproducible for a fixed Seed regardless of worker count
+// and identical to a serial run.
+//
+// An invalid config is reported as ErrInvalidConfig and a market with no
+// usable price history as ErrMarketTooShort. Cancelling ctx stops
+// launching new replications; the partial statistics accumulated so far
+// are returned together with ctx.Err().
+func MonteCarloContext(ctx context.Context, st Strategy, r *Runner, cfg MCConfig) (MCStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return MCStats{}, err
+	}
+	if len(r.Market.Traces) == 0 || r.Market.MinDuration() <= 0 {
+		return MCStats{}, fmt.Errorf("%w: no price samples to draw start points from", ErrMarketTooShort)
+	}
+	if cfg.History == 0 {
 		cfg.History = 96
 	}
 
@@ -99,15 +138,7 @@ func MonteCarlo(st Strategy, r *Runner, cfg MCConfig) MCStats {
 	// overruns included) so the replay doesn't spend most of its time
 	// clamped at the trace's final sample. The shortest trace governs:
 	// sampling past it would run a strategy off the end of that market.
-	dur := math.Inf(1)
-	for _, tr := range r.Market.Traces {
-		if d := tr.Duration(); d < dur {
-			dur = d
-		}
-	}
-	if math.IsInf(dur, 1) {
-		dur = 0
-	}
+	dur := r.Market.MinDuration()
 	lo := cfg.History
 	hi := dur - 3*cfg.Deadline
 	if hi <= lo {
@@ -142,6 +173,9 @@ func MonteCarlo(st Strategy, r *Runner, cfg MCConfig) MCStats {
 			local := &parts[w]
 			first, last := chunk(w)
 			for i := first; i < last; i++ {
+				if ctx.Err() != nil {
+					return
+				}
 				rng := stats.StreamRNG(cfg.Seed, uint64(i))
 				start := lo + rng.Float64()*(hi-lo)
 				o, err := st.Run(r, cfg.Deadline, start)
@@ -164,7 +198,10 @@ func MonteCarlo(st Strategy, r *Runner, cfg MCConfig) MCStats {
 	for w := range parts {
 		out.merge(&parts[w])
 	}
-	return out
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
 }
 
 // FixedPlan is the simplest strategy: build one plan from history at the

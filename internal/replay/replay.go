@@ -131,6 +131,14 @@ func (r *Runner) ExecuteWindow(plan model.Plan, start, windowHours, startProgres
 	if startProgress < 0 || startProgress >= 1 {
 		panic(fmt.Sprintf("replay: start progress %v outside [0,1)", startProgress))
 	}
+	// A zero-length (or negative) window is a degenerate boundary the
+	// adaptive loop can legitimately produce when the deadline leaves no
+	// exploration room: nothing runs, nothing is charged — in particular
+	// no boundary checkpoint, which the group path below would otherwise
+	// bill for zero hours of work.
+	if windowHours <= 0 {
+		return Outcome{Progress: startProgress}
+	}
 	if len(plan.Groups) == 0 {
 		return r.runOnDemand(plan.Recovery, windowHours, startProgress, true)
 	}
@@ -177,7 +185,11 @@ func (r *Runner) ExecuteWindow(plan model.Plan, start, windowHours, startProgres
 					st.ckLeft = st.gp.Group.O
 				}
 			}
-			if st.productive >= remaining {
+			// The completion test tolerates the float drift of summing
+			// ~step-sized increments: a window sized exactly to the
+			// remaining work must complete inside it, not fall one
+			// ulp-short step past the boundary.
+			if st.productive >= remaining-1e-9 {
 				// Winner: the application is done; losers are terminated
 				// right now, having been billed up to this instant.
 				out.Hours = wall + dt

@@ -1,0 +1,73 @@
+package replay
+
+import "sompi/internal/model"
+
+// Session carries the state Algorithm 1 threads between optimization
+// windows: how far the application has progressed (checkpoint-durable),
+// how much wall clock and money it has consumed, and where "now" sits on
+// the market's absolute clock. Both the in-process adaptive strategy
+// (opt.Adaptive) and the long-running planner service (internal/serve)
+// drive their window-by-window execution through a Session, which is what
+// keeps the two paths behaviourally identical.
+type Session struct {
+	// Runner replays each window against the market.
+	Runner *Runner
+	// Deadline is the completion deadline in hours of wall clock since
+	// Start.
+	Deadline float64
+	// Start is the absolute market hour the session launched at.
+	Start float64
+
+	// Progress is the fraction of the application completed
+	// (checkpoint-durable at window boundaries). Elapsed is the wall
+	// clock consumed and Cost the dollars spent so far.
+	Progress float64
+	Elapsed  float64
+	Cost     float64
+	// Windows counts Advance calls; Completed and AllGroupsDead mirror
+	// the latest window's outcome.
+	Windows       int
+	Completed     bool
+	AllGroupsDead bool
+}
+
+// NewSession starts a session for the runner's application at absolute
+// market hour start.
+func NewSession(r *Runner, deadline, start float64) *Session {
+	return &Session{Runner: r, Deadline: deadline, Start: start}
+}
+
+// Now reports the absolute market hour the session has executed up to.
+func (s *Session) Now() float64 { return s.Start + s.Elapsed }
+
+// Remaining reports the wall-clock hours left before the deadline
+// (negative once the deadline has passed).
+func (s *Session) Remaining() float64 { return s.Deadline - s.Elapsed }
+
+// Advance executes one window of the given plan from the session's
+// current position and folds the outcome into the carried state. The
+// returned outcome is the window's own (not the running total); the
+// window ends early if the application completes or every spot group
+// dies, exactly as ExecuteWindow reports.
+func (s *Session) Advance(plan model.Plan, windowHours float64) Outcome {
+	o := s.Runner.ExecuteWindow(plan, s.Now(), windowHours, s.Progress)
+	s.Cost += o.Cost
+	s.Elapsed += o.Hours
+	s.Progress = o.Progress
+	s.Completed = o.Completed
+	s.AllGroupsDead = o.AllGroupsDead
+	s.Windows++
+	return o
+}
+
+// Outcome renders the session's accumulated state as a single outcome,
+// the shape strategy Run implementations return.
+func (s *Session) Outcome() Outcome {
+	return Outcome{
+		Cost:          s.Cost,
+		Hours:         s.Elapsed,
+		Progress:      s.Progress,
+		Completed:     s.Completed,
+		AllGroupsDead: s.AllGroupsDead,
+	}
+}

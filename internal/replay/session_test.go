@@ -1,0 +1,172 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"sompi/internal/cloud"
+	"sompi/internal/model"
+)
+
+func singleGroupPlan(r *Runner, bid float64) model.Plan {
+	g := groupFor(r, cloud.M1Medium, cloud.ZoneA)
+	return model.Plan{
+		Groups:   []model.GroupPlan{{Group: g, Bid: bid, Interval: float64(g.T)}},
+		Recovery: model.NewOnDemand(r.Profile, cloud.CC28XLarge),
+	}
+}
+
+// TestExecuteWindowZeroLength: a zero-length window runs nothing, charges
+// nothing (in particular no boundary checkpoint), and preserves progress.
+func TestExecuteWindowZeroLength(t *testing.T) {
+	r := runner(flatMarket(0.02, 200))
+	plan := singleGroupPlan(r, 0.05)
+	for _, win := range []float64{0, -1} {
+		o := r.ExecuteWindow(plan, 10, win, 0.25)
+		if o.Cost != 0 || o.Hours != 0 {
+			t.Fatalf("window %v charged $%v over %vh, want nothing", win, o.Cost, o.Hours)
+		}
+		if o.Progress != 0.25 || o.Completed || o.AllGroupsDead {
+			t.Fatalf("window %v outcome %+v, want untouched progress 0.25", win, o)
+		}
+	}
+}
+
+// TestExecuteWindowEndsExactlyAtCompletion: a window sized exactly to the
+// remaining work completes the application inside it — float drift from
+// summing step-sized increments must not push completion one step past
+// the boundary (where the boundary path would bill an extra checkpoint
+// and report the run unfinished).
+func TestExecuteWindowEndsExactlyAtCompletion(t *testing.T) {
+	r := runner(flatMarket(0.02, 400))
+	plan := singleGroupPlan(r, 0.05) // interval = T: no checkpoints
+	T := float64(plan.Groups[0].Group.T)
+
+	o := r.ExecuteWindow(plan, 0, T, 0)
+	if !o.Completed {
+		t.Fatalf("window of exactly %vh (the full run) did not complete: %+v", T, o)
+	}
+	if o.Progress != 1 {
+		t.Fatalf("progress %v at completion, want 1", o.Progress)
+	}
+	if math.Abs(o.Hours-T) > 1e-6 {
+		t.Fatalf("completion at %vh, want %vh", o.Hours, T)
+	}
+	// No checkpoints and no recovery ran: cost is price × M × T exactly.
+	want := 0.02 * float64(plan.Groups[0].Group.M) * T
+	if math.Abs(o.Cost-want) > 1e-6 {
+		t.Fatalf("cost $%v, want $%v (pure running cost, no boundary checkpoint)", o.Cost, want)
+	}
+
+	// One step short of completion must NOT complete — the epsilon is an
+	// ulp tolerance, not a semantic change.
+	step := r.Market.Trace(plan.Groups[0].Group.Key.Type, plan.Groups[0].Group.Key.Zone).Step
+	o = r.ExecuteWindow(plan, 0, T-step, 0)
+	if o.Completed {
+		t.Fatalf("window one step short of the work completed anyway: %+v", o)
+	}
+	if o.Progress >= 1 || o.Progress < 0.9 {
+		t.Fatalf("one-step-short progress %v, want just under 1", o.Progress)
+	}
+}
+
+// TestExecuteWindowPartialThenResume: the mid-run boundary checkpoint
+// carries durable progress into the next window, the core of Algorithm
+// 1's state hand-off.
+func TestExecuteWindowPartialThenResume(t *testing.T) {
+	r := runner(flatMarket(0.02, 400))
+	plan := singleGroupPlan(r, 0.05)
+	T := float64(plan.Groups[0].Group.T)
+
+	half := r.ExecuteWindow(plan, 0, T/2, 0)
+	if half.Completed || half.Progress <= 0.4 || half.Progress >= 0.6 {
+		t.Fatalf("half window: %+v, want ~0.5 progress", half)
+	}
+	rest := r.ExecuteWindow(plan, T/2, T, half.Progress)
+	if !rest.Completed {
+		t.Fatalf("resumed window did not finish: %+v", rest)
+	}
+}
+
+func TestSessionCarriesStateAcrossWindows(t *testing.T) {
+	r := runner(flatMarket(0.02, 400))
+	plan := singleGroupPlan(r, 0.05)
+	T := float64(plan.Groups[0].Group.T)
+
+	sess := NewSession(r, 2*T, 5)
+	if sess.Now() != 5 || sess.Remaining() != 2*T {
+		t.Fatalf("fresh session: now %v remaining %v", sess.Now(), sess.Remaining())
+	}
+
+	o1 := sess.Advance(plan, T/2)
+	if sess.Windows != 1 || sess.Elapsed != o1.Hours || sess.Progress != o1.Progress {
+		t.Fatalf("session did not absorb first window: %+v", sess)
+	}
+	if sess.Now() != 5+o1.Hours {
+		t.Fatalf("session clock %v, want %v", sess.Now(), 5+o1.Hours)
+	}
+
+	o2 := sess.Advance(plan, 2*T)
+	if !sess.Completed {
+		t.Fatalf("session unfinished after full-length second window: %+v", sess)
+	}
+	total := sess.Outcome()
+	if math.Abs(total.Cost-(o1.Cost+o2.Cost)) > 1e-9 || math.Abs(total.Hours-(o1.Hours+o2.Hours)) > 1e-9 {
+		t.Fatalf("outcome %+v does not sum the windows (%+v, %+v)", total, o1, o2)
+	}
+	if !total.Completed || total.Progress != 1 {
+		t.Fatalf("final outcome %+v, want completed", total)
+	}
+}
+
+func TestMCConfigValidation(t *testing.T) {
+	r := runner(flatMarket(0.02, 200))
+	strat := FixedPlan{Label: "fixed", Provider: func(r *Runner, deadline, start float64) (model.Plan, error) {
+		return singleGroupPlan(r, 0.05), nil
+	}}
+	cases := []MCConfig{
+		{Deadline: -5, Runs: 3},
+		{Deadline: 0, Runs: 3},
+		{Deadline: 50, Runs: 0},
+		{Deadline: 50, Runs: -2},
+		{Deadline: 50, Runs: 3, History: -1},
+		{Deadline: 50, Runs: 3, Workers: -1},
+	}
+	for _, cfg := range cases {
+		if _, err := MonteCarloContext(context.Background(), strat, r, cfg); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("config %+v returned %v, want ErrInvalidConfig", cfg, err)
+		}
+	}
+	// A valid config still runs.
+	st, err := MonteCarloContext(context.Background(), strat, r, MCConfig{Deadline: 50, Runs: 3, Seed: 1})
+	if err != nil || st.Runs != 3 {
+		t.Fatalf("valid config: %v (runs %d)", err, st.Runs)
+	}
+}
+
+func TestMonteCarloContextEmptyMarket(t *testing.T) {
+	empty := &cloud.Market{Catalog: cloud.DefaultCatalog(), Zones: cloud.DefaultZones()}
+	r := &Runner{Market: empty, Profile: runner(flatMarket(0.02, 10)).Profile}
+	_, err := MonteCarloContext(context.Background(), FixedPlan{}, r, MCConfig{Deadline: 10, Runs: 1})
+	if !errors.Is(err, ErrMarketTooShort) {
+		t.Fatalf("empty market returned %v, want ErrMarketTooShort", err)
+	}
+}
+
+func TestMonteCarloContextCancellation(t *testing.T) {
+	r := runner(flatMarket(0.02, 2000))
+	strat := FixedPlan{Label: "fixed", Provider: func(r *Runner, deadline, start float64) (model.Plan, error) {
+		return singleGroupPlan(r, 0.05), nil
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := MonteCarloContext(ctx, strat, r, MCConfig{Deadline: 50, Runs: 100, Seed: 1, Workers: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if st.Runs >= 100 {
+		t.Fatalf("cancelled run completed all %d replications", st.Runs)
+	}
+}

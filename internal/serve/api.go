@@ -1,0 +1,293 @@
+// Package serve implements sompid, the long-running SOMPI planner
+// service: an HTTP/JSON v1 API over the optimizer (POST /v1/plan), the
+// cost model (POST /v1/evaluate), the Monte Carlo harness
+// (POST /v1/montecarlo) and streaming spot-price ingestion
+// (POST /v1/prices). Ingestion appends to a versioned cloud.Market;
+// tracked plan sessions are re-optimized Algorithm-1 style whenever the
+// ingested price frontier crosses their next T_m window boundary.
+//
+// Plan responses are deduplicated through an LRU cache keyed on the full
+// request plus the market version, so a cache hit is byte-identical to
+// the miss that populated it and any ingestion invalidates every stale
+// entry at once (the version changed, so the keys no longer match).
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"sompi/internal/app"
+	"sompi/internal/cloud"
+	"sompi/internal/model"
+	"sompi/internal/opt"
+)
+
+// PlanRequest asks the service for a SOMPI plan. Zero-valued knobs take
+// the paper's defaults, exactly as the library's opt.Config does.
+type PlanRequest struct {
+	// App names a workload preset (BT, SP, LU, FT, IS, BTIO, LAMMPS-32,
+	// LAMMPS-128).
+	App string `json:"app"`
+	// DeadlineHours is the absolute completion deadline in hours.
+	DeadlineHours float64 `json:"deadline_hours"`
+	// HistoryHours is how much trailing price history the optimization
+	// trains on; zero means the service default.
+	HistoryHours float64 `json:"history_hours,omitempty"`
+
+	// Optimizer knobs, mirroring opt.Config field for field.
+	Workers            int     `json:"workers,omitempty"`
+	Kappa              int     `json:"kappa,omitempty"`
+	GridLevels         int     `json:"grid_levels,omitempty"`
+	MaxGroups          int     `json:"max_groups,omitempty"`
+	Slack              float64 `json:"slack,omitempty"`
+	MaxAllFail         float64 `json:"max_all_fail,omitempty"`
+	DisableCheckpoints bool    `json:"disable_checkpoints,omitempty"`
+	DisablePruning     bool    `json:"disable_pruning,omitempty"`
+
+	// Track registers the plan as a live session: every time ingested
+	// prices cross the session's next T_m window boundary, the service
+	// replays the elapsed window against the actual prices and
+	// re-optimizes the residual work (Algorithm 1). Tracked requests
+	// bypass the plan cache — each one creates a distinct session.
+	Track bool `json:"track,omitempty"`
+}
+
+// Config builds the optimizer configuration for the request against the
+// given training market. The mapping is total: every optimizer knob the
+// request carries lands in the config, which is what keeps served plans
+// byte-identical to library-path OptimizeContext calls.
+func (pr PlanRequest) Config(profile app.Profile, train *cloud.Market) opt.Config {
+	return opt.Config{
+		Profile:            profile,
+		Market:             train,
+		Deadline:           pr.DeadlineHours,
+		Slack:              pr.Slack,
+		Kappa:              pr.Kappa,
+		GridLevels:         pr.GridLevels,
+		MaxGroups:          pr.MaxGroups,
+		MaxAllFail:         pr.MaxAllFail,
+		Workers:            pr.Workers,
+		DisableCheckpoints: pr.DisableCheckpoints,
+		DisablePruning:     pr.DisablePruning,
+	}
+}
+
+// GroupPayload is one circle group of a plan on the wire.
+type GroupPayload struct {
+	Type          string  `json:"type"`
+	Zone          string  `json:"zone"`
+	Instances     int     `json:"instances"`
+	Bid           float64 `json:"bid"`
+	IntervalHours float64 `json:"interval_hours"`
+}
+
+// RecoveryPayload is the on-demand recovery fleet on the wire.
+type RecoveryPayload struct {
+	Type      string  `json:"type"`
+	Instances int     `json:"instances"`
+	Hours     float64 `json:"hours"`
+}
+
+// PlanPayload is a hybrid plan on the wire.
+type PlanPayload struct {
+	Groups   []GroupPayload  `json:"groups"`
+	Recovery RecoveryPayload `json:"recovery"`
+}
+
+// EstimatePayload mirrors model.Estimate on the wire.
+type EstimatePayload struct {
+	Cost      float64 `json:"cost"`
+	TimeHours float64 `json:"time_hours"`
+	CostSpot  float64 `json:"cost_spot"`
+	CostOD    float64 `json:"cost_ondemand"`
+	TimeSpot  float64 `json:"time_spot_hours"`
+	TimeOD    float64 `json:"time_ondemand_hours"`
+	PAllFail  float64 `json:"p_all_fail"`
+	EMinRatio float64 `json:"e_min_ratio"`
+}
+
+// PlanResponse is the service's answer to a plan request.
+type PlanResponse struct {
+	// MarketVersion is the market version the plan was optimized at.
+	MarketVersion uint64          `json:"market_version"`
+	Plan          PlanPayload     `json:"plan"`
+	Estimate      EstimatePayload `json:"estimate"`
+	// Evals and Pruned report the optimizer's search effort. They are
+	// only reproducible with workers=1 (see opt.Result).
+	Evals  int `json:"evals"`
+	Pruned int `json:"pruned"`
+	// SessionID names the tracked session when the request set track.
+	SessionID string `json:"session_id,omitempty"`
+}
+
+// EncodePlan renders a plan for the wire.
+func EncodePlan(p model.Plan) PlanPayload {
+	out := PlanPayload{
+		Recovery: RecoveryPayload{
+			Type:      p.Recovery.Instance.Name,
+			Instances: p.Recovery.M,
+			Hours:     p.Recovery.T,
+		},
+	}
+	for _, gp := range p.Groups {
+		out.Groups = append(out.Groups, GroupPayload{
+			Type:          gp.Group.Key.Type,
+			Zone:          gp.Group.Key.Zone,
+			Instances:     gp.Group.M,
+			Bid:           gp.Bid,
+			IntervalHours: gp.Interval,
+		})
+	}
+	return out
+}
+
+// EncodeEstimate renders an estimate for the wire.
+func EncodeEstimate(e model.Estimate) EstimatePayload {
+	return EstimatePayload{
+		Cost:      e.Cost,
+		TimeHours: e.Time,
+		CostSpot:  e.CostSpot,
+		CostOD:    e.CostOD,
+		TimeSpot:  e.TimeSpot,
+		TimeOD:    e.TimeOD,
+		PAllFail:  e.PAllFail,
+		EMinRatio: e.EMinRatio,
+	}
+}
+
+// BuildPlanResponse renders an optimizer result for the wire. It is the
+// single encoding path for both the service handler and out-of-process
+// comparisons (cmd/serve-smoke byte-diffs a served plan against a
+// library-path result rendered through this same function).
+func BuildPlanResponse(marketVersion uint64, res opt.Result) PlanResponse {
+	return PlanResponse{
+		MarketVersion: marketVersion,
+		Plan:          EncodePlan(res.Plan),
+		Estimate:      EncodeEstimate(res.Est),
+		Evals:         res.Evals,
+		Pruned:        res.Pruned,
+	}
+}
+
+// DecodePlan reconstructs an evaluable plan from its wire form: groups
+// and the recovery fleet are rebuilt from the profile against the given
+// (training) market, so the failure distributions behind the estimate
+// come from the same histories a fresh optimization would use. The
+// payload's instance counts and recovery hours are derived quantities
+// and are ignored on input.
+func DecodePlan(p PlanPayload, profile app.Profile, train *cloud.Market) (model.Plan, error) {
+	rec, ok := train.Catalog.ByName(p.Recovery.Type)
+	if !ok {
+		return model.Plan{}, fmt.Errorf("%w: recovery type %q not in catalog", opt.ErrNoCandidates, p.Recovery.Type)
+	}
+	out := model.Plan{Recovery: model.NewOnDemand(profile, rec)}
+	for i, g := range p.Groups {
+		it, ok := train.Catalog.ByName(g.Type)
+		if !ok {
+			return model.Plan{}, fmt.Errorf("%w: group %d type %q not in catalog", opt.ErrNoCandidates, i, g.Type)
+		}
+		tr, ok := train.Traces[cloud.MarketKey{Type: g.Type, Zone: g.Zone}]
+		if !ok {
+			return model.Plan{}, fmt.Errorf("%w: group %d market %s/%s has no price history", opt.ErrNoCandidates, i, g.Type, g.Zone)
+		}
+		if g.Bid <= 0 || math.IsNaN(g.Bid) {
+			return model.Plan{}, fmt.Errorf("%w: group %d bid %v is not a price", opt.ErrInvalidConfig, i, g.Bid)
+		}
+		grp := model.NewGroup(profile, it, g.Zone, tr)
+		interval := g.IntervalHours
+		if interval <= 0 {
+			interval = float64(grp.T) // the "no checkpoints" convention
+		}
+		out.Groups = append(out.Groups, model.GroupPlan{Group: grp, Bid: g.Bid, Interval: interval})
+	}
+	return out, nil
+}
+
+// EvaluateRequest asks for a cost-model evaluation of an explicit plan.
+type EvaluateRequest struct {
+	App          string      `json:"app"`
+	HistoryHours float64     `json:"history_hours,omitempty"`
+	Plan         PlanPayload `json:"plan"`
+}
+
+// EvaluateResponse is the answer to an evaluate request.
+type EvaluateResponse struct {
+	MarketVersion uint64          `json:"market_version"`
+	Estimate      EstimatePayload `json:"estimate"`
+}
+
+// MonteCarloRequest asks for a Monte Carlo replay of a strategy over the
+// market ingested so far.
+type MonteCarloRequest struct {
+	App           string  `json:"app"`
+	DeadlineHours float64 `json:"deadline_hours"`
+	Runs          int     `json:"runs"`
+	Seed          uint64  `json:"seed,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+	HistoryHours  float64 `json:"history_hours,omitempty"`
+	// Strategy selects the replayed policy: sompi (default), baseline,
+	// on-demand, marathe, marathe-opt, spot-inf, spot-avg.
+	Strategy string `json:"strategy,omitempty"`
+	// WindowHours overrides T_m for the sompi strategy.
+	WindowHours float64 `json:"window_hours,omitempty"`
+}
+
+// MonteCarloResponse summarizes the replications.
+type MonteCarloResponse struct {
+	MarketVersion  uint64  `json:"market_version"`
+	Strategy       string  `json:"strategy"`
+	Runs           int     `json:"runs"`
+	Failures       int     `json:"failures"`
+	CostMean       float64 `json:"cost_mean"`
+	CostStd        float64 `json:"cost_std"`
+	HoursMean      float64 `json:"hours_mean"`
+	HoursStd       float64 `json:"hours_std"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	MissRate       float64 `json:"miss_rate"`
+}
+
+// PriceTick is one ingestion unit: new trailing samples for one market.
+// Prices are $/instance-hour, one per trace step.
+type PriceTick struct {
+	Type   string    `json:"type"`
+	Zone   string    `json:"zone"`
+	Prices []float64 `json:"prices"`
+}
+
+// PricesResponse reports what an ingestion request changed.
+type PricesResponse struct {
+	// MarketVersion is the version after the last applied tick.
+	MarketVersion uint64 `json:"market_version"`
+	// Ticks and Samples count what was applied.
+	Ticks   int `json:"ticks"`
+	Samples int `json:"samples"`
+	// FrontierHours is the consistent price frontier (every market has
+	// samples up to at least this hour) after ingestion.
+	FrontierHours float64 `json:"frontier_hours"`
+	// Reoptimized counts tracked sessions whose window boundary the
+	// ingestion crossed (each was replayed and re-planned); Completed
+	// counts sessions that finished during those windows.
+	Reoptimized int `json:"reoptimized"`
+	Completed   int `json:"completed"`
+}
+
+// SessionInfo is the observable state of one tracked session.
+type SessionInfo struct {
+	ID            string  `json:"id"`
+	App           string  `json:"app"`
+	DeadlineHours float64 `json:"deadline_hours"`
+	StartHours    float64 `json:"start_hours"`
+	Progress      float64 `json:"progress"`
+	ElapsedHours  float64 `json:"elapsed_hours"`
+	Cost          float64 `json:"cost"`
+	Windows       int     `json:"windows"`
+	Reoptimized   int     `json:"reoptimized"`
+	PlanVersion   uint64  `json:"plan_version"`
+	Done          bool    `json:"done"`
+	Completed     bool    `json:"completed"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

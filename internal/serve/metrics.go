@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// endpoint indexes the per-endpoint counters.
+type endpoint int
+
+const (
+	epPlan endpoint = iota
+	epEvaluate
+	epMonteCarlo
+	epPrices
+	epSessions
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{"plan", "evaluate", "montecarlo", "prices", "sessions"}
+
+// metrics is the service's observable state, all lock-free counters so
+// the hot paths never contend. Rendering is Prometheus text exposition
+// format — gauges and counters only, no client library needed.
+type metrics struct {
+	requests  [numEndpoints]atomic.Int64
+	errors    [numEndpoints]atomic.Int64
+	latencyNs [numEndpoints]atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	evals     atomic.Int64
+	pruned    atomic.Int64
+	cancelled atomic.Int64
+
+	ingestTicks   atomic.Int64
+	ingestSamples atomic.Int64
+
+	reoptimizations   atomic.Int64
+	activeSessions    atomic.Int64
+	completedSessions atomic.Int64
+}
+
+// observe records one request's latency and error outcome.
+func (m *metrics) observe(ep endpoint, ns int64, failed bool) {
+	m.requests[ep].Add(1)
+	m.latencyNs[ep].Add(ns)
+	if failed {
+		m.errors[ep].Add(1)
+	}
+}
+
+// render writes the exposition text. marketVersion and cacheLen are
+// sampled by the caller (they live behind the server's lock, not here).
+func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, cacheLen int) {
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		name := endpointNames[ep]
+		fmt.Fprintf(w, "sompid_requests_total{endpoint=%q} %d\n", name, m.requests[ep].Load())
+		fmt.Fprintf(w, "sompid_request_errors_total{endpoint=%q} %d\n", name, m.errors[ep].Load())
+		fmt.Fprintf(w, "sompid_request_seconds_sum{endpoint=%q} %.6f\n", name, float64(m.latencyNs[ep].Load())/1e9)
+	}
+	fmt.Fprintf(w, "sompid_plan_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "sompid_plan_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintf(w, "sompid_plan_cache_entries %d\n", cacheLen)
+	fmt.Fprintf(w, "sompid_optimizer_evals_total %d\n", m.evals.Load())
+	fmt.Fprintf(w, "sompid_optimizer_pruned_total %d\n", m.pruned.Load())
+	fmt.Fprintf(w, "sompid_requests_cancelled_total %d\n", m.cancelled.Load())
+	fmt.Fprintf(w, "sompid_ingest_ticks_total %d\n", m.ingestTicks.Load())
+	fmt.Fprintf(w, "sompid_ingest_samples_total %d\n", m.ingestSamples.Load())
+	fmt.Fprintf(w, "sompid_market_version %d\n", marketVersion)
+	fmt.Fprintf(w, "sompid_market_frontier_hours %.6f\n", frontier)
+	fmt.Fprintf(w, "sompid_reoptimizations_total %d\n", m.reoptimizations.Load())
+	fmt.Fprintf(w, "sompid_active_sessions %d\n", m.activeSessions.Load())
+	fmt.Fprintf(w, "sompid_sessions_completed_total %d\n", m.completedSessions.Load())
+}

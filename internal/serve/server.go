@@ -1,0 +1,501 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"sompi/internal/app"
+	"sompi/internal/baselines"
+	"sompi/internal/cloud"
+	"sompi/internal/model"
+	"sompi/internal/opt"
+	"sompi/internal/replay"
+)
+
+// StatusClientClosedRequest is reported when the client abandoned the
+// request before the work finished (nginx's 499 convention — the client
+// never sees it, but logs and metrics do).
+const StatusClientClosedRequest = 499
+
+// Config parameterizes a planner service.
+type Config struct {
+	// Market is the service's live market; ingestion appends to it.
+	Market *cloud.Market
+	// WindowHours is T_m, the re-optimization window for tracked
+	// sessions; zero means opt.DefaultWindow.
+	WindowHours float64
+	// HistoryHours is the default training history for requests that do
+	// not set their own; zero means baselines.History.
+	HistoryHours float64
+	// CacheSize bounds the plan LRU; zero means 256 entries.
+	CacheSize int
+	// RequestTimeout bounds each plan/evaluate/montecarlo request; zero
+	// means 60s. Ingestion is not bounded by it.
+	RequestTimeout time.Duration
+}
+
+// Server is the sompid planner service. One RWMutex fences the live
+// market and the session registry: reads (plan, evaluate, montecarlo)
+// take cheap snapshots under RLock and do their heavy work unlocked on
+// immutable trace views, while ingestion mutates and advances sessions
+// under the write lock.
+type Server struct {
+	window  float64
+	history float64
+	timeout time.Duration
+
+	mu       sync.RWMutex
+	market   *cloud.Market
+	sessions map[string]*trackedSession
+	order    []string // session iteration in creation order
+	nextID   int
+
+	cache *planCache
+	met   metrics
+}
+
+// New builds a Server over the given live market.
+func New(cfg Config) (*Server, error) {
+	if cfg.Market == nil {
+		return nil, fmt.Errorf("%w: nil market", opt.ErrInvalidConfig)
+	}
+	if cfg.WindowHours < 0 || cfg.HistoryHours < 0 {
+		return nil, fmt.Errorf("%w: negative window or history", opt.ErrInvalidConfig)
+	}
+	s := &Server{
+		window:   cfg.WindowHours,
+		history:  cfg.HistoryHours,
+		timeout:  cfg.RequestTimeout,
+		market:   cfg.Market,
+		sessions: make(map[string]*trackedSession),
+		cache:    newPlanCache(cfg.CacheSize),
+	}
+	if s.window == 0 {
+		s.window = opt.DefaultWindow
+	}
+	if s.history == 0 {
+		s.history = baselines.History
+	}
+	if s.timeout == 0 {
+		s.timeout = 60 * time.Second
+	}
+	if cfg.CacheSize == 0 {
+		s.cache = newPlanCache(256)
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", s.instrument(epPlan, s.handlePlan))
+	mux.HandleFunc("POST /v1/evaluate", s.instrument(epEvaluate, s.handleEvaluate))
+	mux.HandleFunc("POST /v1/montecarlo", s.instrument(epMonteCarlo, s.handleMonteCarlo))
+	mux.HandleFunc("POST /v1/prices", s.instrument(epPrices, s.handlePrices))
+	mux.HandleFunc("GET /v1/sessions", s.instrument(epSessions, s.handleSessions))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// statusRecorder captures the response code for the error counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint request, latency and
+// error counters.
+func (s *Server) instrument(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		s.met.observe(ep, time.Since(start).Nanoseconds(), rec.status >= 400)
+	}
+}
+
+// statusOf maps the library's typed errors onto HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, opt.ErrInvalidConfig),
+		errors.Is(err, replay.ErrInvalidConfig),
+		errors.Is(err, cloud.ErrBadSample):
+		return http.StatusBadRequest
+	case errors.Is(err, opt.ErrDeadlineInfeasible),
+		errors.Is(err, opt.ErrNoCandidates),
+		errors.Is(err, replay.ErrMarketTooShort),
+		errors.Is(err, cloud.ErrUnknownMarket):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, code, body)
+}
+
+// writeBody sends pre-marshaled JSON verbatim — the cache stores these
+// exact bytes, which is what makes hits byte-identical to misses.
+func writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// decodeBody strictly decodes one JSON object request body.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", opt.ErrInvalidConfig, err)
+	}
+	return nil
+}
+
+// historyOr returns the request's training history or the server default.
+func (s *Server) historyOr(h float64) float64 {
+	if h > 0 {
+		return h
+	}
+	return s.history
+}
+
+// trainSnapshot captures, under the read lock, everything a planning
+// request needs: the market version, the price frontier and the trailing
+// training window (an immutable view later Appends cannot disturb).
+func (s *Server) trainSnapshot(history float64) (version uint64, frontier float64, train *cloud.Market) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	version = s.market.Version()
+	frontier = s.market.MinDuration()
+	lo := math.Max(0, frontier-history)
+	return version, frontier, s.market.Window(lo, frontier-lo)
+}
+
+// planKey is the cache key: every optimizer knob plus the market version.
+func planKey(req PlanRequest, version uint64) string {
+	return fmt.Sprintf("%s|%g|%g|%d|%d|%d|%d|%g|%g|%t|%t|v%d",
+		req.App, req.DeadlineHours, req.HistoryHours, req.Workers, req.Kappa,
+		req.GridLevels, req.MaxGroups, req.Slack, req.MaxAllFail,
+		req.DisableCheckpoints, req.DisablePruning, version)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	profile, ok := app.ByName(req.App)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown workload %q", opt.ErrInvalidConfig, req.App))
+		return
+	}
+	version, frontier, train := s.trainSnapshot(s.historyOr(req.HistoryHours))
+
+	key := planKey(req, version)
+	if !req.Track {
+		if body, ok := s.cache.get(key); ok {
+			s.met.cacheHits.Add(1)
+			w.Header().Set("X-Sompid-Cache", "hit")
+			writeBody(w, http.StatusOK, body)
+			return
+		}
+		s.met.cacheMisses.Add(1)
+		w.Header().Set("X-Sompid-Cache", "miss")
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	res, err := opt.OptimizeContext(ctx, req.Config(profile, train))
+	s.met.evals.Add(int64(res.Evals))
+	s.met.pruned.Add(int64(res.Pruned))
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.met.cancelled.Add(1)
+		}
+		writeError(w, statusOf(err), err)
+		return
+	}
+
+	resp := BuildPlanResponse(version, res)
+	if req.Track {
+		resp.SessionID = s.registerSession(profile, req, res, version, frontier)
+	}
+	body, merr := json.Marshal(resp)
+	if merr != nil {
+		writeError(w, http.StatusInternalServerError, merr)
+		return
+	}
+	if !req.Track {
+		s.cache.put(key, body)
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+// registerSession creates a tracked session for a freshly served plan,
+// starting at the price frontier the plan was optimized at.
+func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.Result, version uint64, frontier float64) string {
+	base := req.Config(profile, nil)
+	base.Market = nil // refilled per re-optimization
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	t := &trackedSession{
+		id:      id,
+		profile: profile,
+		history: s.historyOr(req.HistoryHours),
+		base:    base,
+		sess: replay.NewSession(&replay.Runner{Market: s.market, Profile: profile},
+			req.DeadlineHours, frontier),
+		plan:        res.Plan,
+		boundary:    frontier + s.window,
+		planVersion: version,
+	}
+	s.sessions[id] = t
+	s.order = append(s.order, id)
+	s.met.activeSessions.Add(1)
+	return id
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	profile, ok := app.ByName(req.App)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown workload %q", opt.ErrInvalidConfig, req.App))
+		return
+	}
+	version, _, train := s.trainSnapshot(s.historyOr(req.HistoryHours))
+	plan, err := DecodePlan(req.Plan, profile, train)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	if err := plan.Validate(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvaluateResponse{
+		MarketVersion: version,
+		Estimate:      EncodeEstimate(model.Evaluate(plan)),
+	})
+}
+
+func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
+	var req MonteCarloRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	profile, ok := app.ByName(req.App)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown workload %q", opt.ErrInvalidConfig, req.App))
+		return
+	}
+
+	// Long replays work on a snapshot: ingestion appending mid-run must
+	// not race the replay's market reads (traces are immutable, so the
+	// shallow copy is a consistent view).
+	s.mu.RLock()
+	snap := s.market.Snapshot()
+	s.mu.RUnlock()
+
+	strat, err := strategyFor(req, snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	st, err := replay.MonteCarloContext(ctx, strat, &replay.Runner{Market: snap, Profile: profile}, replay.MCConfig{
+		Deadline: req.DeadlineHours,
+		Runs:     req.Runs,
+		History:  req.HistoryHours,
+		Seed:     req.Seed,
+		Workers:  req.Workers,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.met.cancelled.Add(1)
+		}
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MonteCarloResponse{
+		MarketVersion:  snap.Version(),
+		Strategy:       st.Name,
+		Runs:           st.Runs,
+		Failures:       st.Failures,
+		CostMean:       st.Cost.Mean(),
+		CostStd:        st.Cost.Std(),
+		HoursMean:      st.Hours.Mean(),
+		HoursStd:       st.Hours.Std(),
+		DeadlineMisses: st.DeadlineMisses,
+		MissRate:       st.MissRate(),
+	})
+}
+
+// strategyFor resolves the request's strategy name against the snapshot.
+func strategyFor(req MonteCarloRequest, m *cloud.Market) (replay.Strategy, error) {
+	switch strings.ToLower(req.Strategy) {
+	case "", "sompi":
+		if req.WindowHours > 0 {
+			return baselines.SOMPIWindow(m, req.WindowHours), nil
+		}
+		return baselines.SOMPI(m), nil
+	case "baseline":
+		return baselines.Baseline(), nil
+	case "on-demand":
+		return baselines.OnDemandOnly(), nil
+	case "marathe":
+		return baselines.Marathe(m), nil
+	case "marathe-opt":
+		return baselines.MaratheOpt(m), nil
+	case "spot-inf":
+		return baselines.SpotInf(m), nil
+	case "spot-avg":
+		return baselines.SpotAvg(m), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown strategy %q", opt.ErrInvalidConfig, req.Strategy)
+	}
+}
+
+// handlePrices ingests spot-price ticks. The body is a stream: either a
+// single JSON array of ticks or whitespace/newline-separated tick
+// objects (NDJSON). Each tick is applied — and tracked sessions advanced
+// across any crossed window boundaries — before the next one is read, so
+// an arbitrarily long feed ingests in constant memory.
+func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	var resp PricesResponse
+	apply := func(tick PriceTick) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		version, err := s.market.Append(cloud.MarketKey{Type: tick.Type, Zone: tick.Zone}, tick.Prices)
+		if err != nil {
+			return err
+		}
+		reopted, completed := s.advanceSessionsLocked(r.Context())
+		resp.MarketVersion = version
+		resp.Ticks++
+		resp.Samples += len(tick.Prices)
+		resp.Reoptimized += reopted
+		resp.Completed += completed
+		resp.FrontierHours = s.market.MinDuration()
+		s.met.ingestTicks.Add(1)
+		s.met.ingestSamples.Add(int64(len(tick.Prices)))
+		return nil
+	}
+
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("%w: after %d ticks: %v", opt.ErrInvalidConfig, resp.Ticks, err))
+			return
+		}
+		trimmed := strings.TrimSpace(string(raw))
+		if strings.HasPrefix(trimmed, "[") {
+			var ticks []PriceTick
+			if err := json.Unmarshal(raw, &ticks); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("%w: after %d ticks: %v", opt.ErrInvalidConfig, resp.Ticks, err))
+				return
+			}
+			for _, tick := range ticks {
+				if err := apply(tick); err != nil {
+					writeError(w, statusOf(err), fmt.Errorf("after %d ticks: %w", resp.Ticks, err))
+					return
+				}
+			}
+			continue
+		}
+		var tick PriceTick
+		if err := json.Unmarshal(raw, &tick); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("%w: after %d ticks: %v", opt.ErrInvalidConfig, resp.Ticks, err))
+			return
+		}
+		if err := apply(tick); err != nil {
+			writeError(w, statusOf(err), fmt.Errorf("after %d ticks: %w", resp.Ticks, err))
+			return
+		}
+	}
+	if resp.MarketVersion == 0 { // empty feed: report current state
+		s.mu.RLock()
+		resp.MarketVersion = s.market.Version()
+		resp.FrontierHours = s.market.MinDuration()
+		s.mu.RUnlock()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]SessionInfo, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.sessions[id].info())
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	version := s.market.Version()
+	frontier := s.market.MinDuration()
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.render(w, version, frontier, s.cache.len())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	version := s.market.Version()
+	frontier := s.market.MinDuration()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"market_version":  version,
+		"frontier_hours":  frontier,
+		"active_sessions": s.met.activeSessions.Load(),
+	})
+}

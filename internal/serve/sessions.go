@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"math"
+
+	"sompi/internal/app"
+	"sompi/internal/model"
+	"sompi/internal/opt"
+	"sompi/internal/replay"
+)
+
+// trackedSession is one live application run the service manages per
+// Algorithm 1: launched at the market's price frontier, it is replayed
+// forward — against the actually ingested prices — every time the
+// frontier crosses its next T_m window boundary, then re-optimized on
+// the trailing history for the residual work.
+//
+// The live loop deliberately differs from opt.Adaptive's replay of a
+// recorded trace in one place: Adaptive can commit a final window and
+// replay it through to completion because the future prices are already
+// on disk, while the service has no future — when the deadline gets too
+// close for exploration it instead keeps re-planning window by window
+// under the same MaxAllFail survival constraint the committed window
+// would have used.
+type trackedSession struct {
+	id      string
+	profile app.Profile
+	history float64
+	// base carries the request's optimizer knobs; Market, Profile and
+	// Deadline are refilled at every re-optimization.
+	base opt.Config
+	// sess threads progress/cost/clock between windows — the same
+	// vehicle opt.Adaptive uses.
+	sess *replay.Session
+	// plan is the currently executing plan; boundary is the absolute
+	// market hour of the next re-optimization; planVersion the market
+	// version the plan was optimized at.
+	plan        model.Plan
+	boundary    float64
+	planVersion uint64
+	reopts      int
+	done        bool
+}
+
+// info renders the session's observable state. Caller holds s.mu.
+func (t *trackedSession) info() SessionInfo {
+	return SessionInfo{
+		ID:            t.id,
+		App:           t.profile.Name,
+		DeadlineHours: t.sess.Deadline,
+		StartHours:    t.sess.Start,
+		Progress:      t.sess.Progress,
+		ElapsedHours:  t.sess.Elapsed,
+		Cost:          t.sess.Cost,
+		Windows:       t.sess.Windows,
+		Reoptimized:   t.reopts,
+		PlanVersion:   t.planVersion,
+		Done:          t.done,
+		Completed:     t.sess.Completed,
+	}
+}
+
+// advanceSessionsLocked drives every live session up to the current
+// price frontier, one T_m window at a time. Caller holds s.mu for
+// writing, so the replays and re-optimizations below see a quiescent
+// market. Returns how many window-boundary re-optimizations ran and how
+// many sessions reached a terminal state.
+func (s *Server) advanceSessionsLocked(ctx context.Context) (reopted, completed int) {
+	frontier := s.market.MinDuration()
+	for _, id := range s.order {
+		t := s.sessions[id]
+		for !t.done && t.boundary <= frontier+1e-9 {
+			r, done := s.advanceWindowLocked(ctx, t)
+			reopted += r
+			if done {
+				completed++
+			}
+		}
+	}
+	return reopted, completed
+}
+
+// advanceWindowLocked replays one window of the session's current plan
+// (up to its boundary) and re-optimizes the residual. It reports whether
+// a re-optimization ran and whether the session reached a terminal
+// state.
+func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (reopted int, done bool) {
+	if dur := t.boundary - t.sess.Now(); dur > 0 {
+		t.sess.Advance(t.plan, dur)
+	}
+	if t.sess.Completed {
+		return 0, s.finishSessionLocked(t)
+	}
+
+	leftover := t.sess.Remaining()
+	if t.sess.AllGroupsDead || leftover <= 0 || t.sess.Progress >= 1 {
+		// Every group died inside the window (recover on-demand from the
+		// best checkpoint) or the deadline has passed (nothing left to
+		// optimize for): finish on the fastest fleet. On-demand execution
+		// is price-independent, so replaying it past the frontier peeks
+		// at nothing.
+		s.recoverOnDemandLocked(t)
+		return 0, s.finishSessionLocked(t)
+	}
+
+	// Algorithm 1's window boundary: train on the trailing history,
+	// re-optimize the residual work against the deadline's leftover.
+	resid := t.profile.Scale(1 - t.sess.Progress)
+	cfg := t.base
+	cfg.Profile = resid
+	trainStart := math.Max(0, t.boundary-t.history)
+	cfg.Market = s.market.Window(trainStart, t.boundary-trainStart)
+	cfg.Deadline = leftover
+	if fastest := opt.FastestOnDemand(t.base.OnDemandTypes, resid); leftover-fastest.T*1.02 < 2 {
+		// Too close to the deadline for exploration: only plans that are
+		// very unlikely to lose every group qualify (the live-service
+		// analogue of Adaptive's committed window).
+		cfg.MaxAllFail = 0.1
+	}
+
+	res, err := opt.OptimizeContext(ctx, cfg)
+	switch {
+	case err != nil:
+		s.recoverOnDemandLocked(t)
+		return 0, s.finishSessionLocked(t)
+	case len(res.Plan.Groups) == 0:
+		// The optimizer's best feasible plan is pure on-demand: run it
+		// out (price-independent, so no peeking).
+		t.sess.Advance(res.Plan, math.Inf(1))
+		t.reopts++
+		s.met.reoptimizations.Add(1)
+		s.met.evals.Add(int64(res.Evals))
+		s.met.pruned.Add(int64(res.Pruned))
+		return 1, s.finishSessionLocked(t)
+	default:
+		t.plan = res.Plan
+		t.planVersion = s.market.Version()
+		t.boundary += s.window
+		t.reopts++
+		s.met.reoptimizations.Add(1)
+		s.met.evals.Add(int64(res.Evals))
+		s.met.pruned.Add(int64(res.Pruned))
+		return 1, false
+	}
+}
+
+// recoverOnDemandLocked runs the session's remaining work to completion
+// on the fastest on-demand fleet for the residual profile — the same
+// fallback opt.Adaptive takes when a window leaves no feasible plan.
+func (s *Server) recoverOnDemandLocked(t *trackedSession) {
+	if t.sess.Progress >= 1 {
+		return
+	}
+	resid := t.profile.Scale(1 - t.sess.Progress)
+	fastest := opt.FastestOnDemand(t.base.OnDemandTypes, resid)
+	t.sess.Advance(model.Plan{Recovery: fastest}, math.Inf(1))
+}
+
+// finishSessionLocked marks the session terminal and moves the gauges.
+func (s *Server) finishSessionLocked(t *trackedSession) bool {
+	t.done = true
+	s.met.activeSessions.Add(-1)
+	s.met.completedSessions.Add(1)
+	return true
+}

@@ -11,10 +11,20 @@
 //   - every comparison strategy from the paper,
 //   - the experiment registry that regenerates each paper figure/table.
 //
+// The v1 surface is context-aware: OptimizeContext and MonteCarloContext
+// accept a context.Context for cancellation and report typed sentinel
+// errors (ErrInvalidConfig, ErrDeadlineInfeasible, ErrNoCandidates,
+// ErrMarketTooShort) that callers match with errors.Is. The pre-v1
+// entry points (Optimize, MonteCarlo) remain as deprecated thin
+// wrappers. The same engine runs as a long-lived HTTP/JSON service —
+// see cmd/sompid and internal/serve.
+//
 // See examples/quickstart for the three-call happy path.
 package sompi
 
 import (
+	"context"
+
 	"sompi/internal/app"
 	"sompi/internal/baselines"
 	"sompi/internal/cloud"
@@ -51,6 +61,10 @@ type (
 	MCStats = replay.MCStats
 	// MCConfig sizes a Monte Carlo evaluation.
 	MCConfig = replay.MCConfig
+	// Option tweaks an OptimizeContext call (WithWorkers, WithKappa, ...).
+	Option = opt.Option
+	// Session threads Algorithm 1's window-by-window execution state.
+	Session = replay.Session
 	// Table is a rendered experiment result.
 	Table = report.Table
 	// ExperimentParams sizes a paper-experiment run.
@@ -94,15 +108,75 @@ func EstimateHours(p Profile, it InstanceType) float64 { return app.EstimateHour
 
 // Optimize runs the SOMPI optimizer and returns the cheapest plan whose
 // expected completion time meets the deadline.
+//
+// Deprecated: use OptimizeContext, which adds cancellation, functional
+// options and typed errors. Optimize behaves identically.
 func Optimize(cfg Config) (Result, error) { return opt.Optimize(cfg) }
+
+// OptimizeContext runs the SOMPI optimizer under ctx: cancelling aborts
+// the κ-subset search at the next evaluation and returns ctx.Err()
+// alongside a partial Result. Invalid configurations are reported as
+// ErrInvalidConfig; see also ErrDeadlineInfeasible and ErrNoCandidates.
+func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, error) {
+	return opt.OptimizeContext(ctx, cfg, opts...)
+}
+
+// Functional options for OptimizeContext.
+var (
+	WithWorkers        = opt.WithWorkers
+	WithKappa          = opt.WithKappa
+	WithSlack          = opt.WithSlack
+	WithGridLevels     = opt.WithGridLevels
+	WithMaxGroups      = opt.WithMaxGroups
+	WithMaxAllFail     = opt.WithMaxAllFail
+	WithCandidates     = opt.WithCandidates
+	WithOnDemandTypes  = opt.WithOnDemandTypes
+	WithoutCheckpoints = opt.WithoutCheckpoints
+	WithoutPruning     = opt.WithoutPruning
+)
+
+// Typed sentinel errors of the v1 API, for errors.Is matching.
+var (
+	// ErrInvalidConfig reports out-of-range optimizer or Monte Carlo
+	// configuration fields. The opt and replay packages each wrap their
+	// own sentinel; test against the one matching the call.
+	ErrInvalidConfig = opt.ErrInvalidConfig
+	// ErrMCInvalidConfig is the Monte Carlo analogue of ErrInvalidConfig.
+	ErrMCInvalidConfig = replay.ErrInvalidConfig
+	// ErrDeadlineInfeasible reports that no on-demand fleet can meet the
+	// deadline.
+	ErrDeadlineInfeasible = opt.ErrDeadlineInfeasible
+	// ErrNoCandidates reports a candidate market outside the catalog or
+	// trace set.
+	ErrNoCandidates = opt.ErrNoCandidates
+	// ErrMarketTooShort reports a market with no usable price history.
+	ErrMarketTooShort = replay.ErrMarketTooShort
+)
+
+// NewSession starts an Algorithm-1 execution session for the runner's
+// application at absolute market hour start.
+func NewSession(r *Runner, deadline, start float64) *Session {
+	return replay.NewSession(r, deadline, start)
+}
 
 // Evaluate computes the expected monetary cost and execution time of a
 // plan under the paper's cost model.
 func Evaluate(p Plan) Estimate { return model.Evaluate(p) }
 
 // MonteCarlo replays a strategy repeatedly from random trace start points.
+//
+// Deprecated: use MonteCarloContext, which validates the configuration
+// with typed errors and supports cancellation; MonteCarlo panics on an
+// invalid configuration.
 func MonteCarlo(s Strategy, r *Runner, cfg MCConfig) MCStats {
 	return replay.MonteCarlo(s, r, cfg)
+}
+
+// MonteCarloContext replays a strategy repeatedly from random trace
+// start points under ctx. Results are identical at every worker count
+// for a fixed seed.
+func MonteCarloContext(ctx context.Context, s Strategy, r *Runner, cfg MCConfig) (MCStats, error) {
+	return replay.MonteCarloContext(ctx, s, r, cfg)
 }
 
 // Strategies from the paper's evaluation.

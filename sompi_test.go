@@ -1,6 +1,8 @@
 package sompi
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -83,5 +85,65 @@ func TestStrategyConstructorsProduceDistinctNames(t *testing.T) {
 			t.Errorf("duplicate strategy name %q", s.Name())
 		}
 		names[s.Name()] = true
+	}
+}
+
+// TestFacadeV1ContextAPI exercises the v1 surface: context-aware entry
+// points, functional options, typed sentinel errors and the session
+// vehicle — the shape examples/quickstart teaches.
+func TestFacadeV1ContextAPI(t *testing.T) {
+	market := GenerateMarket(24*10, 1)
+	bt := WorkloadBT()
+	deadline := EstimateHours(bt, DefaultCatalog()[0]) // generous
+
+	res, err := OptimizeContext(context.Background(), Config{
+		Profile:  bt,
+		Market:   market.Window(0, 96),
+		Deadline: deadline * 3,
+	}, WithWorkers(1), WithKappa(2), WithGridLevels(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Optimize(Config{
+		Profile: bt, Market: market.Window(0, 96), Deadline: deadline * 3,
+		Workers: 1, Kappa: 2, GridLevels: 3,
+	})
+	if err != nil || res.Est.Cost != legacy.Est.Cost {
+		t.Fatalf("options path disagrees with struct path: %v vs %v (err %v)",
+			res.Est.Cost, legacy.Est.Cost, err)
+	}
+
+	// Typed errors surface through the facade.
+	if _, err := OptimizeContext(context.Background(), Config{
+		Profile: bt, Market: market, Deadline: -1,
+	}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("negative deadline: %v, want ErrInvalidConfig", err)
+	}
+	if _, err := MonteCarloContext(context.Background(), NewBaseline(),
+		&Runner{Market: market, Profile: bt},
+		MCConfig{Deadline: 10, Runs: 0}); !errors.Is(err, ErrMCInvalidConfig) {
+		t.Fatalf("zero runs: %v, want ErrMCInvalidConfig", err)
+	}
+
+	// Cancellation propagates.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OptimizeContext(cancelled, Config{
+		Profile: bt, Market: market.Window(0, 96), Deadline: deadline * 3,
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled optimize: %v, want context.Canceled", err)
+	}
+
+	// Market ingestion and sessions through the facade.
+	if market.Version() != 1 {
+		t.Fatalf("fresh market version %d, want 1", market.Version())
+	}
+	if _, err := market.Append(MarketKey{Type: "nope", Zone: "nowhere"}, nil); err == nil {
+		t.Fatal("append to unknown market succeeded")
+	}
+	sess := NewSession(&Runner{Market: market, Profile: bt}, deadline*3, 96)
+	sess.Advance(res.Plan, 1)
+	if sess.Windows != 1 || sess.Elapsed <= 0 {
+		t.Fatalf("session did not advance: %+v", sess)
 	}
 }
