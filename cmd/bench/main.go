@@ -5,23 +5,35 @@
 // synthesized market BenchmarkOptimize uses, checks that all three agree
 // on the plan, and writes the numbers to a JSON file so CI can diff runs.
 //
+// It then drives a mixed plan+ingest workload through the sompid HTTP
+// handler against the sharded market, recording the plan-cache hit rate
+// and the p50/p99 ingest-to-invalidate latency (the wall time of a
+// /v1/prices POST, which covers the shard append, metric update and
+// session advance that make the next plan request see fresh prices).
+//
 // Usage:
 //
-//	bench [-out BENCH_opt.json] [-benchtime 5x]
+//	bench [-out BENCH_opt.json] [-benchtime 5x] [-serveiters 400]
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	"sompi/internal/app"
 	"sompi/internal/cloud"
 	"sompi/internal/opt"
+	"sompi/internal/serve"
 )
 
 // variantResult is one row of the regression file.
@@ -36,6 +48,20 @@ type variantResult struct {
 	Speedup float64 `json:"speedup_vs_exhaustive"`
 }
 
+// serveResult summarizes the mixed plan+ingest workload against the
+// sharded service: how well the vector-keyed plan cache holds up while
+// ticks land on rotating shards, and how long one ingestion takes
+// end-to-end.
+type serveResult struct {
+	PlanRequests int     `json:"plan_requests"`
+	CacheHits    int     `json:"cache_hits"`
+	CacheMisses  int     `json:"cache_misses"`
+	HitRate      float64 `json:"cache_hit_rate"`
+	Ingests      int     `json:"ingests"`
+	IngestP50Ns  int64   `json:"ingest_to_invalidate_p50_ns"`
+	IngestP99Ns  int64   `json:"ingest_to_invalidate_p99_ns"`
+}
+
 type benchFile struct {
 	// Benchmark parameters, recorded so a regression diff compares like
 	// with like.
@@ -44,6 +70,7 @@ type benchFile struct {
 	Profile     string          `json:"profile"`
 	GOMAXPROCS  int             `json:"gomaxprocs"`
 	Results     []variantResult `json:"results"`
+	Serve       *serveResult    `json:"serve,omitempty"`
 }
 
 func main() {
@@ -51,8 +78,9 @@ func main() {
 	log.SetPrefix("bench: ")
 	testing.Init() // registers test.benchtime before we set it
 	var (
-		out       = flag.String("out", "BENCH_opt.json", "output JSON path")
-		benchtime = flag.String("benchtime", "", "benchtime passed to the testing harness (e.g. 5x, 2s)")
+		out        = flag.String("out", "BENCH_opt.json", "output JSON path")
+		benchtime  = flag.String("benchtime", "", "benchtime passed to the testing harness (e.g. 5x, 2s)")
+		serveiters = flag.Int("serveiters", 400, "iterations of the mixed plan+ingest serve workload (0 disables)")
 	)
 	flag.Parse()
 	if *benchtime != "" {
@@ -114,6 +142,17 @@ func main() {
 	fmt.Printf("speedup vs serial exhaustive: pruned %.2fx, parallel+pruned %.2fx (GOMAXPROCS=%d)\n",
 		file.Results[1].Speedup, file.Results[2].Speedup, file.GOMAXPROCS)
 
+	if *serveiters > 0 {
+		sv, err := benchServe(*serveiters, hours, seed, deadline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		file.Serve = sv
+		fmt.Printf("serve: %d plans (%.0f%% cache hits), %d ingests, invalidate p50 %v p99 %v\n",
+			sv.PlanRequests, 100*sv.HitRate, sv.Ingests,
+			time.Duration(sv.IngestP50Ns), time.Duration(sv.IngestP99Ns))
+	}
+
 	buf, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -122,4 +161,75 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", *out)
+}
+
+// benchServe runs the mixed workload: plan requests rotate over
+// per-shard restricted candidate sets while every eighth iteration
+// ingests a tick on a rotating shard. With vector cache keys only the
+// ticked shard's plans recompute, so the steady-state hit rate stays
+// high; a global version key would drive it to zero.
+func benchServe(iters, hours int, seed uint64, deadline float64) (*serveResult, error) {
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), float64(hours), seed)
+	s, err := serve.New(serve.Config{Market: m})
+	if err != nil {
+		return nil, err
+	}
+	h := s.Handler()
+	post := func(path string, v any) (int, http.Header, []byte) {
+		body, err := json.Marshal(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Header(), rec.Body.Bytes()
+	}
+
+	keys := m.Keys()
+	res := &serveResult{}
+	var ingestNs []int64
+	tickPrice := 0.02
+	for i := 0; i < iters; i++ {
+		if i%8 == 7 {
+			key := keys[(i/8)%len(keys)]
+			tickPrice += 0.0001 // every tick genuinely changes the shard
+			start := time.Now()
+			code, _, body := post("/v1/prices", serve.PriceTick{
+				Type: key.Type, Zone: key.Zone, Prices: []float64{tickPrice, tickPrice},
+			})
+			ingestNs = append(ingestNs, time.Since(start).Nanoseconds())
+			if code != http.StatusOK {
+				return nil, fmt.Errorf("ingest %v: %d %s", key, code, body)
+			}
+			res.Ingests++
+			continue
+		}
+		key := keys[i%len(keys)]
+		req := serve.PlanRequest{
+			App: "BT", DeadlineHours: deadline,
+			Workers: 1, Kappa: 1, GridLevels: 3, MaxGroups: 3,
+			Types: []string{key.Type}, Zones: []string{key.Zone},
+		}
+		code, hdr, body := post("/v1/plan", req)
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("plan %v: %d %s", key, code, body)
+		}
+		res.PlanRequests++
+		if hdr.Get("X-Sompid-Cache") == "hit" {
+			res.CacheHits++
+		} else {
+			res.CacheMisses++
+		}
+	}
+	if res.PlanRequests > 0 {
+		res.HitRate = float64(res.CacheHits) / float64(res.PlanRequests)
+	}
+	sort.Slice(ingestNs, func(i, j int) bool { return ingestNs[i] < ingestNs[j] })
+	if n := len(ingestNs); n > 0 {
+		res.IngestP50Ns = ingestNs[n/2]
+		res.IngestP99Ns = ingestNs[n*99/100]
+	}
+	return res, nil
 }

@@ -6,6 +6,7 @@
 //
 //	sompid [-addr :8377] [-seed 42] [-hours 720] [-traces DIR]
 //	       [-window 15] [-history 96] [-cache 256] [-timeout 60s]
+//	       [-retain 0]
 //
 // The market is either synthesized (-seed/-hours) or loaded from a
 // cmd/tracegen CSV directory (-traces). The v1 API:
@@ -51,6 +52,7 @@ func main() {
 		history = flag.Float64("history", 0, "default training history in hours (0 = default 96)")
 		cache   = flag.Int("cache", 256, "plan cache entries")
 		timeout = flag.Duration("timeout", 60*time.Second, "per-request timeout for plan/evaluate/montecarlo")
+		retain  = flag.Float64("retain", 0, "per-shard price retention in hours (0 = unbounded): a long-lived feed keeps only this much trailing history per (type, zone) shard, compacting older samples")
 	)
 	flag.Parse()
 
@@ -63,6 +65,9 @@ func main() {
 		}
 	} else {
 		m = cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), *hours, *seed)
+	}
+	if *retain > 0 {
+		m.SetRetention(*retain)
 	}
 
 	s, err := serve.New(serve.Config{
@@ -82,7 +87,7 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	fmt.Printf("sompid: listening on http://%s (market v%d, %d markets, frontier %.1fh)\n",
-		ln.Addr(), m.Version(), len(m.Traces), m.MinDuration())
+		ln.Addr(), m.Version(), m.NumMarkets(), m.MinDuration())
 
 	srv := &http.Server{Handler: s.Handler()}
 	done := make(chan error, 1)

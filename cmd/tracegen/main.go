@@ -38,13 +38,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := m.Traces[key].WriteCSV(f); err != nil {
+		tr := m.Trace(key.Type, key.Zone)
+		if err := tr.WriteCSV(f); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%d samples, max $%.3f/h)\n",
-			path, m.Traces[key].Len(), m.Traces[key].Max())
+			path, tr.Len(), tr.Max())
 	}
 }

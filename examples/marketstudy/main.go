@@ -16,8 +16,8 @@ func main() {
 
 	fmt.Println("market                     mean $/h   max $/h   frac below on-demand")
 	for _, key := range market.Keys() {
-		it, _ := market.Catalog.ByName(key.Type)
-		tr := market.Traces[key]
+		it, _ := market.Catalog().ByName(key.Type)
+		tr := market.Trace(key.Type, key.Zone)
 		fmt.Printf("%-26s %8.3f  %8.3f   %.0f%%\n",
 			key, tr.Mean(), tr.Max(), 100*tr.FractionBelow(it.OnDemand))
 	}

@@ -34,7 +34,7 @@ import (
 const History = 96
 
 // trainView returns the market window strictly before start.
-func trainView(m *cloud.Market, start float64) *cloud.Market {
+func trainView(m cloud.MarketView, start float64) cloud.MarketView {
 	lo := math.Max(0, start-History)
 	return m.Window(lo, start-lo)
 }
@@ -75,7 +75,7 @@ func OnDemandOnly() replay.Strategy {
 // Marathe replicates cc2.8xlarge spot instances across every availability
 // zone of the market, bidding the on-demand price, with Young/Daly
 // checkpoint intervals — the fixed-type state of the art.
-func Marathe(m *cloud.Market) replay.Strategy {
+func Marathe(m cloud.MarketView) replay.Strategy {
 	return replay.FixedPlan{
 		Label: "Marathe",
 		Provider: func(r *replay.Runner, deadline, start float64) (model.Plan, error) {
@@ -86,14 +86,14 @@ func Marathe(m *cloud.Market) replay.Strategy {
 
 // MaratheOpt is Marathe with the instance type chosen to minimize the
 // expected cost among deadline-feasible types.
-func MaratheOpt(m *cloud.Market) replay.Strategy {
+func MaratheOpt(m cloud.MarketView) replay.Strategy {
 	return replay.FixedPlan{
 		Label: "Marathe-Opt",
 		Provider: func(r *replay.Runner, deadline, start float64) (model.Plan, error) {
 			train := trainView(m, start)
 			var best model.Plan
 			bestCost := math.Inf(1)
-			for _, it := range train.Catalog {
+			for _, it := range train.Catalog() {
 				plan, err := marathePlan(train, r, it)
 				if err != nil {
 					continue
@@ -115,9 +115,9 @@ func MaratheOpt(m *cloud.Market) replay.Strategy {
 	}
 }
 
-func marathePlan(train *cloud.Market, r *replay.Runner, it cloud.InstanceType) (model.Plan, error) {
+func marathePlan(train cloud.MarketView, r *replay.Runner, it cloud.InstanceType) (model.Plan, error) {
 	plan := model.Plan{Recovery: model.NewOnDemand(r.Profile, it)}
-	for _, zone := range train.Zones {
+	for _, zone := range train.Zones() {
 		g := model.NewGroup(r.Profile, it, zone, train.Trace(it.Name, zone))
 		bid := maratheBid(it)
 		plan.Groups = append(plan.Groups, model.GroupPlan{
@@ -132,7 +132,7 @@ func marathePlan(train *cloud.Market, r *replay.Runner, it cloud.InstanceType) (
 
 // SpotInf bids effectively infinitely on the single cheapest spot market
 // (no replication, no checkpoints) — availability bought with money.
-func SpotInf(m *cloud.Market) replay.Strategy {
+func SpotInf(m cloud.MarketView) replay.Strategy {
 	return singleSpot(m, "Spot-Inf", func(tr *trace.Trace) float64 {
 		return InfiniteBid
 	})
@@ -140,7 +140,7 @@ func SpotInf(m *cloud.Market) replay.Strategy {
 
 // SpotAvg bids the historical average price on the single cheapest spot
 // market (no replication, no checkpoints).
-func SpotAvg(m *cloud.Market) replay.Strategy {
+func SpotAvg(m cloud.MarketView) replay.Strategy {
 	return singleSpot(m, "Spot-Avg", func(tr *trace.Trace) float64 {
 		return tr.Mean()
 	})
@@ -149,20 +149,20 @@ func SpotAvg(m *cloud.Market) replay.Strategy {
 // singleSpot picks, per run, the (type, zone) whose single-group plan has
 // the lowest expected cost under the given bid policy, preferring
 // deadline-feasible choices.
-func singleSpot(m *cloud.Market, label string, bidOf func(*trace.Trace) float64) replay.Strategy {
+func singleSpot(m cloud.MarketView, label string, bidOf func(*trace.Trace) float64) replay.Strategy {
 	return replay.FixedPlan{
 		Label: label,
 		Provider: func(r *replay.Runner, deadline, start float64) (model.Plan, error) {
 			train := trainView(m, start)
-			od, err := opt.SelectOnDemand(train.Catalog, r.Profile, deadline, 0)
+			od, err := opt.SelectOnDemand(train.Catalog(), r.Profile, deadline, 0)
 			if err != nil {
-				od = opt.FastestOnDemand(train.Catalog, r.Profile)
+				od = opt.FastestOnDemand(train.Catalog(), r.Profile)
 			}
 			var best model.Plan
 			bestCost := math.Inf(1)
 			bestFeasible := false
 			for _, key := range train.Keys() {
-				it, _ := train.Catalog.ByName(key.Type)
+				it, _ := train.Catalog().ByName(key.Type)
 				tr := train.Trace(key.Type, key.Zone)
 				g := model.NewGroup(r.Profile, it, key.Zone, tr)
 				plan := model.Plan{
@@ -190,13 +190,13 @@ func singleSpot(m *cloud.Market, label string, bidOf func(*trace.Trace) float64)
 
 // SOMPI is the paper's full algorithm: adaptive re-optimization every
 // optimization window.
-func SOMPI(m *cloud.Market) replay.Strategy {
+func SOMPI(m cloud.MarketView) replay.Strategy {
 	return &opt.Adaptive{Base: opt.Config{Market: m}, History: History}
 }
 
 // SOMPIWindow is SOMPI with an explicit optimization window T_m, for the
 // Section 5.2 parameter study.
-func SOMPIWindow(m *cloud.Market, window float64) replay.Strategy {
+func SOMPIWindow(m cloud.MarketView, window float64) replay.Strategy {
 	return &opt.Adaptive{
 		Base:    opt.Config{Market: m},
 		Window:  window,
@@ -207,13 +207,13 @@ func SOMPIWindow(m *cloud.Market, window float64) replay.Strategy {
 
 // WithoutMT is SOMPI without update maintenance: one optimization at
 // launch, no re-planning (Section 5.4.2's w/o-MT).
-func WithoutMT(m *cloud.Market) replay.Strategy {
+func WithoutMT(m cloud.MarketView) replay.Strategy {
 	return &opt.OneShot{Base: opt.Config{Market: m}, History: History}
 }
 
 // WithoutRP disables replicated execution: the optimizer may use only one
 // circle group (checkpoints still on).
-func WithoutRP(m *cloud.Market) replay.Strategy {
+func WithoutRP(m cloud.MarketView) replay.Strategy {
 	return &opt.OneShot{
 		Base:    opt.Config{Market: m, Kappa: 1},
 		History: History,
@@ -223,7 +223,7 @@ func WithoutRP(m *cloud.Market) replay.Strategy {
 
 // WithoutCK disables checkpointing: groups run bare and any failure loses
 // all progress (replication still on).
-func WithoutCK(m *cloud.Market) replay.Strategy {
+func WithoutCK(m cloud.MarketView) replay.Strategy {
 	return &opt.OneShot{
 		Base:    opt.Config{Market: m, DisableCheckpoints: true},
 		History: History,
@@ -232,7 +232,7 @@ func WithoutCK(m *cloud.Market) replay.Strategy {
 }
 
 // AllUnable disables both mechanisms: one group, no checkpoints.
-func AllUnable(m *cloud.Market) replay.Strategy {
+func AllUnable(m cloud.MarketView) replay.Strategy {
 	return &opt.OneShot{
 		Base:    opt.Config{Market: m, Kappa: 1, DisableCheckpoints: true},
 		History: History,

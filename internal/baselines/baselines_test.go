@@ -63,8 +63,8 @@ func TestMaratheUsesCC2EverywhereWithCheckpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(plan.Groups) != len(m.Zones) {
-		t.Fatalf("%d groups, want one per zone (%d)", len(plan.Groups), len(m.Zones))
+	if len(plan.Groups) != len(m.Zones()) {
+		t.Fatalf("%d groups, want one per zone (%d)", len(plan.Groups), len(m.Zones()))
 	}
 	for _, gp := range plan.Groups {
 		if gp.Group.Instance.Name != cloud.CC28XLarge.Name {
@@ -214,7 +214,7 @@ func TestTrainViewNeverPeeksForward(t *testing.T) {
 	m := testMarket(11)
 	train := trainView(m, 200)
 	for _, k := range train.Keys() {
-		if d := train.Traces[k].Duration(); d > History+1 {
+		if d := train.Trace(k.Type, k.Zone).Duration(); d > History+1 {
 			t.Fatalf("training window %v spans %vh, max %v", k, d, History)
 		}
 	}

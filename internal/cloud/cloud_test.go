@@ -70,8 +70,8 @@ func TestCatalogPriceOrdering(t *testing.T) {
 func TestGenerateMarketDeterministic(t *testing.T) {
 	a := GenerateMarket(DefaultCatalog(), DefaultZones(), 48, 9)
 	b := GenerateMarket(DefaultCatalog(), DefaultZones(), 48, 9)
-	for k, tr := range a.Traces {
-		other := b.Traces[k]
+	for _, k := range a.Keys() {
+		tr, other := a.Trace(k.Type, k.Zone), b.Trace(k.Type, k.Zone)
 		for i := range tr.Prices {
 			if tr.Prices[i] != other.Prices[i] {
 				t.Fatalf("market %v diverges at sample %d", k, i)
@@ -83,8 +83,8 @@ func TestGenerateMarketDeterministic(t *testing.T) {
 func TestGenerateMarketCoverage(t *testing.T) {
 	m := GenerateMarket(DefaultCatalog(), DefaultZones(), 24, 1)
 	want := len(DefaultCatalog()) * len(DefaultZones())
-	if len(m.Traces) != want {
-		t.Fatalf("market has %d traces, want %d", len(m.Traces), want)
+	if m.NumMarkets() != want {
+		t.Fatalf("market has %d traces, want %d", m.NumMarkets(), want)
 	}
 	for _, k := range m.Keys() {
 		if m.Trace(k.Type, k.Zone).Len() == 0 {
@@ -139,7 +139,7 @@ func TestZoneBQuieterThanZoneA(t *testing.T) {
 func TestSpotCheaperThanOnDemandMostly(t *testing.T) {
 	m := GenerateMarket(DefaultCatalog(), DefaultZones(), 24*14, 3)
 	for _, k := range m.Keys() {
-		it, _ := m.Catalog.ByName(k.Type)
+		it, _ := m.Catalog().ByName(k.Type)
 		if frac := m.Trace(k.Type, k.Zone).FractionBelow(it.OnDemand); frac < 0.6 {
 			t.Errorf("market %v below on-demand only %.0f%% of the time", k, frac*100)
 		}
@@ -150,7 +150,7 @@ func TestMarketWindow(t *testing.T) {
 	m := GenerateMarket(DefaultCatalog(), DefaultZones(), 48, 4)
 	w := m.Window(12, 12)
 	for _, k := range w.Keys() {
-		if d := w.Traces[k].Duration(); math.Abs(d-12) > 2*trace.DefaultStep {
+		if d := w.Trace(k.Type, k.Zone).Duration(); math.Abs(d-12) > 2*trace.DefaultStep {
 			t.Fatalf("window duration %v, want ~12", d)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"sompi/internal/stats"
 	"sompi/internal/trace"
@@ -35,109 +36,378 @@ type MarketKey struct {
 
 func (k MarketKey) String() string { return k.Type + "/" + k.Zone }
 
-// Market holds the spot-price histories for every (type, zone) pair plus
-// the catalog they refer to. It is the optimizer's entire view of the
-// cloud's spot economy.
-//
-// A market is versioned: construction (GenerateMarket, LoadMarket) yields
-// version 1 and every Append bumps the version, so downstream caches can
-// key on (inputs, version) and ingestion is well-defined. Traces are
-// immutable — Append installs a new *trace.Trace rather than growing the
-// old one — so a view captured before an append (a Window, a Group's
-// Hist) stays internally consistent. The Market struct itself is not
-// synchronized; concurrent mutation and reading must be fenced by the
-// owner (internal/serve holds an RWMutex and hands out Window snapshots).
-type Market struct {
-	Catalog Catalog
-	Zones   []string
-	Traces  map[MarketKey]*trace.Trace
+// VersionVector maps each market key to its shard's version. It is the
+// fine-grained analogue of the composite Version: a consumer that only
+// read some shards records just those entries, and a cache keyed on the
+// subset stays valid across ticks on every other shard.
+type VersionVector map[MarketKey]uint64
 
-	// version counts mutations: 1 for a freshly built market, +1 per
-	// Append. Zero means a hand-assembled Market that never ingested.
-	version uint64
-}
-
-// Version reports the market's mutation version.
-func (m *Market) Version() uint64 { return m.version }
-
-// Append extends one market's price history with new samples (prices in
-// $/instance-hour, one per trace step) and returns the market's new
-// version. The existing trace is not mutated: a fresh trace replaces it,
-// so previously captured views remain consistent. Appending an empty
-// sample set is a no-op that still bumps the version (the ingestion
-// heartbeat advanced, even if no price changed).
-func (m *Market) Append(key MarketKey, samples []float64) (uint64, error) {
-	tr, ok := m.Traces[key]
-	if !ok {
-		return m.version, fmt.Errorf("%w: %v", ErrUnknownMarket, key)
+// Subset returns the vector restricted to keys (missing keys are
+// skipped). A nil keys slice returns vv itself.
+func (vv VersionVector) Subset(keys []MarketKey) VersionVector {
+	if keys == nil {
+		return vv
 	}
-	for i, p := range samples {
-		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
-			return m.version, fmt.Errorf("%w: sample %d for %v is not a price: %v", ErrBadSample, i, key, p)
+	out := make(VersionVector, len(keys))
+	for _, k := range keys {
+		if v, ok := vv[k]; ok {
+			out[k] = v
 		}
 	}
-	m.Traces[key] = tr.Append(trace.New(tr.Step, samples))
-	m.version++
-	return m.version, nil
+	return out
 }
 
-// Trace returns the price history for the given market. It panics if the
-// market does not exist — asking for an unknown market is a programming
-// error, not an environmental condition.
-func (m *Market) Trace(typeName, zone string) *trace.Trace {
-	tr, ok := m.Traces[MarketKey{typeName, zone}]
-	if !ok {
-		panic(fmt.Sprintf("cloud: no market for %s/%s", typeName, zone))
-	}
-	return tr
-}
-
-// Keys returns the market keys in deterministic (type, zone) order.
-func (m *Market) Keys() []MarketKey {
-	keys := make([]MarketKey, 0, len(m.Traces))
-	for k := range m.Traces {
+// String renders the vector deterministically — entries in sorted key
+// order — so it can serve as a cache-key component.
+func (vv VersionVector) String() string {
+	keys := make([]MarketKey, 0, len(vv))
+	for k := range vv {
 		keys = append(keys, k)
 	}
+	sortKeys(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%d", k, vv[k])
+	}
+	return b.String()
+}
+
+// MarketView is the read-only interface every price-history consumer —
+// the optimizer, the replay simulator, the baselines, the serve layer —
+// programs against. Two implementations exist: *Market (the live
+// sharded store; reads take per-shard read locks) and *MarketSnapshot
+// (an immutable capture; reads are lock-free). Long-running work
+// (optimization, Monte Carlo) should take a Snapshot first so ingestion
+// never races its reads.
+type MarketView interface {
+	// Catalog returns the instance types the market's keys refer to.
+	Catalog() Catalog
+	// Zones returns the availability zones the market spans.
+	Zones() []string
+	// Keys returns the market keys in deterministic (type, zone) order.
+	Keys() []MarketKey
+	// NumMarkets reports the number of (type, zone) shards.
+	NumMarkets() int
+	// Trace returns one market's price history, panicking if the market
+	// does not exist — asking for an unknown market is a programming
+	// error, not an environmental condition.
+	Trace(typeName, zone string) *trace.Trace
+	// TraceFor is the non-panicking lookup.
+	TraceFor(key MarketKey) (*trace.Trace, bool)
+	// Version is the composite mutation version: construction yields 1
+	// and every Append (to any shard) adds 1, so version arithmetic from
+	// the pre-sharding Market is preserved.
+	Version() uint64
+	// VersionVector returns every shard's individual version.
+	VersionVector() VersionVector
+	// MinDuration reports the shortest price frontier across all shards —
+	// the consistent "now" for ingestion-driven replay.
+	MinDuration() float64
+	// MinDurationFor reports the frontier across just the given shards
+	// (nil means all), so consumers restricted to a candidate subset
+	// advance with their own markets, not the globally slowest one.
+	MinDurationFor(keys []MarketKey) float64
+	// Window returns an immutable view restricted to
+	// [startHour, startHour+dur) in absolute market hours.
+	Window(startHour, dur float64) MarketView
+	// Snapshot returns an immutable capture of the current state.
+	Snapshot() MarketView
+}
+
+var (
+	_ MarketView = (*Market)(nil)
+	_ MarketView = (*MarketSnapshot)(nil)
+)
+
+// Market is the live sharded price store: one shard per (type, zone)
+// pair, each with its own append log, version counter and bounded
+// ring-buffer retention. It is the optimizer's entire view of the
+// cloud's spot economy and the only mutable implementation of
+// MarketView.
+//
+// Concurrency: Append locks only the target shard, so ingestion into
+// different markets proceeds in parallel and readers of other shards are
+// undisturbed. Traces are immutable — an append installs a new
+// *trace.Trace — so any captured view stays internally consistent.
+// Composite reads (Version, VersionVector, MinDuration, Snapshot) visit
+// shards one read-lock at a time and are therefore weakly consistent
+// under concurrent ingestion: each entry is exact, the cross-shard
+// combination may interleave with in-flight appends. Lock ordering:
+// shard locks are leaf locks — no shard lock is ever held while
+// acquiring another shard's lock or any lock outside this package.
+//
+// The zero value is an empty market: version 0, no shards, MinDuration 0.
+type Market struct {
+	cat    Catalog
+	zones  []string
+	shards map[MarketKey]*shard
+	keys   []MarketKey // sorted; immutable after construction
+
+	// base is the construction version (1 for built markets, 0 for the
+	// zero value); composite Version = base + ticks.
+	base  uint64
+	ticks atomic.Uint64
+
+	// retainBits holds the per-shard retention bound in hours as
+	// math.Float64bits (0 = unbounded), atomically so SetRetention is
+	// safe against concurrent appends.
+	retainBits atomic.Uint64
+}
+
+// NewMarket assembles a market over the given traces at version 1. The
+// catalog and zone set are fixed for the market's lifetime; so is the
+// key set (one shard per traces entry).
+func NewMarket(cat Catalog, zones []string, traces map[MarketKey]*trace.Trace) *Market {
+	m := &Market{cat: cat, zones: zones, shards: make(map[MarketKey]*shard, len(traces)), base: 1}
+	for k, tr := range traces {
+		m.shards[k] = newShard(k, tr)
+		m.keys = append(m.keys, k)
+	}
+	sortKeys(m.keys)
+	return m
+}
+
+func sortKeys(keys []MarketKey) {
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].Type != keys[j].Type {
 			return keys[i].Type < keys[j].Type
 		}
 		return keys[i].Zone < keys[j].Zone
 	})
-	return keys
 }
 
-// Window returns a market view restricted to [startHour, startHour+dur).
-// The adaptive optimizer trains on the previous optimization window only.
-// The view keeps the parent's version: it is a projection of the same
-// market state, not a new one.
-func (m *Market) Window(startHour, dur float64) *Market {
-	out := &Market{Catalog: m.Catalog, Zones: m.Zones, Traces: make(map[MarketKey]*trace.Trace, len(m.Traces)), version: m.version}
-	for k, tr := range m.Traces {
-		out.Traces[k] = tr.Window(startHour, dur)
+// Catalog returns the instance types the market's keys refer to.
+func (m *Market) Catalog() Catalog { return m.cat }
+
+// Zones returns the availability zones the market spans.
+func (m *Market) Zones() []string { return m.zones }
+
+// Keys returns the market keys in deterministic (type, zone) order.
+func (m *Market) Keys() []MarketKey {
+	out := make([]MarketKey, len(m.keys))
+	copy(out, m.keys)
+	return out
+}
+
+// NumMarkets reports the number of (type, zone) shards.
+func (m *Market) NumMarkets() int { return len(m.shards) }
+
+// Version reports the composite mutation version: base construction
+// version plus one per applied append across all shards.
+func (m *Market) Version() uint64 { return m.base + m.ticks.Load() }
+
+// VersionVector returns every shard's individual version. Entries are
+// exact per shard; the combination is weakly consistent under
+// concurrent ingestion.
+func (m *Market) VersionVector() VersionVector {
+	vv := make(VersionVector, len(m.shards))
+	for k, s := range m.shards {
+		_, v := s.capture()
+		vv[k] = v
+	}
+	return vv
+}
+
+// SetRetention bounds every shard's retained history to at most hours of
+// trailing samples (0 restores unbounded retention). Existing shards are
+// compacted immediately; future appends enforce the bound as a ring
+// buffer. Compaction drops only samples, never the absolute clock:
+// Duration and MinDuration keep reporting the true frontier.
+func (m *Market) SetRetention(hours float64) {
+	if hours < 0 {
+		hours = 0
+	}
+	m.retainBits.Store(math.Float64bits(hours))
+	for _, s := range m.shards {
+		s.compactTo(hours)
+	}
+}
+
+// Retention reports the per-shard retention bound in hours (0 =
+// unbounded).
+func (m *Market) Retention() float64 {
+	return math.Float64frombits(m.retainBits.Load())
+}
+
+// Append extends one shard's price history with new samples (prices in
+// $/instance-hour, one per trace step) and returns the market's new
+// composite version. Only the target shard is locked: concurrent appends
+// to other shards, and reads of them, proceed undisturbed. The existing
+// trace is not mutated — a fresh trace replaces it, so previously
+// captured views remain consistent. Appending an empty sample set is a
+// no-op that still bumps both the shard and composite versions (the
+// ingestion heartbeat advanced, even if no price changed).
+func (m *Market) Append(key MarketKey, samples []float64) (uint64, error) {
+	s, ok := m.shards[key]
+	if !ok {
+		return m.Version(), fmt.Errorf("%w: %v", ErrUnknownMarket, key)
+	}
+	if _, err := s.append(samples, m.Retention()); err != nil {
+		return m.Version(), err
+	}
+	return m.base + m.ticks.Add(1), nil
+}
+
+// Trace returns the price history for the given market. It panics if the
+// market does not exist.
+func (m *Market) Trace(typeName, zone string) *trace.Trace {
+	tr, ok := m.TraceFor(MarketKey{typeName, zone})
+	if !ok {
+		panic(fmt.Sprintf("cloud: no market for %s/%s", typeName, zone))
+	}
+	return tr
+}
+
+// TraceFor returns the current price history for key, reporting whether
+// the market exists.
+func (m *Market) TraceFor(key MarketKey) (*trace.Trace, bool) {
+	s, ok := m.shards[key]
+	if !ok {
+		return nil, false
+	}
+	return s.currentTrace(), true
+}
+
+// ShardStats returns every shard's observable state in deterministic key
+// order — the /healthz and /metrics payload for ingestion-skew
+// monitoring.
+func (m *Market) ShardStats() []ShardStat {
+	out := make([]ShardStat, 0, len(m.keys))
+	for _, k := range m.keys {
+		out = append(out, m.shards[k].stat())
 	}
 	return out
 }
 
-// Snapshot returns a shallow copy of the market at its current version.
-// Traces are shared, not copied — they are immutable, so the snapshot is a
-// consistent view that later Appends on the parent cannot disturb. The
-// planner service hands snapshots to long-running work (Monte Carlo
-// replays) so ingestion never races a replay's market reads.
-func (m *Market) Snapshot() *Market {
-	out := &Market{Catalog: m.Catalog, Zones: m.Zones, Traces: make(map[MarketKey]*trace.Trace, len(m.Traces)), version: m.version}
-	for k, tr := range m.Traces {
-		out.Traces[k] = tr
-	}
-	return out
-}
+// MinDuration reports the shortest price frontier across all shards.
+func (m *Market) MinDuration() float64 { return m.MinDurationFor(nil) }
 
-// MinDuration reports the shortest trace duration across the market's
-// markets — the consistent "now" frontier for ingestion-driven replay
-// (every market has prices up to at least this hour).
-func (m *Market) MinDuration() float64 {
+// MinDurationFor reports the frontier across the given shards (nil means
+// all). Unknown keys are skipped.
+func (m *Market) MinDurationFor(keys []MarketKey) float64 {
+	if keys == nil {
+		keys = m.keys
+	}
 	dur := math.Inf(1)
-	for _, tr := range m.Traces {
+	for _, k := range keys {
+		s, ok := m.shards[k]
+		if !ok {
+			continue
+		}
+		if d := s.currentTrace().Duration(); d < dur {
+			dur = d
+		}
+	}
+	if math.IsInf(dur, 1) {
+		return 0
+	}
+	return dur
+}
+
+// Window returns an immutable view restricted to [startHour,
+// startHour+dur) in absolute market hours. The adaptive optimizer trains
+// on the previous optimization window only. The view keeps the parent's
+// versions: it is a projection of the same market state, not a new one.
+func (m *Market) Window(startHour, dur float64) MarketView {
+	return m.Capture().Window(startHour, dur)
+}
+
+// Snapshot returns an immutable capture of the market at its current
+// versions. Traces are shared, not copied — they are immutable, so the
+// snapshot is a consistent view that later Appends on the parent cannot
+// disturb. The planner service hands snapshots to long-running work
+// (optimization, Monte Carlo replays) so ingestion never races a
+// replay's market reads.
+func (m *Market) Snapshot() MarketView { return m.Capture() }
+
+// Capture is Snapshot with a concrete return type, for callers that need
+// the snapshot-only API surface.
+func (m *Market) Capture() *MarketSnapshot {
+	snap := &MarketSnapshot{
+		cat:    m.cat,
+		zones:  m.zones,
+		keys:   m.keys,
+		traces: make(map[MarketKey]*trace.Trace, len(m.shards)),
+		vv:     make(VersionVector, len(m.shards)),
+	}
+	for _, k := range m.keys {
+		tr, v := m.shards[k].capture()
+		snap.traces[k] = tr
+		snap.vv[k] = v
+	}
+	snap.version = m.Version()
+	return snap
+}
+
+// MarketSnapshot is an immutable MarketView: the traces, version vector
+// and composite version of a Market at capture time. All reads are
+// lock-free.
+type MarketSnapshot struct {
+	cat     Catalog
+	zones   []string
+	keys    []MarketKey
+	traces  map[MarketKey]*trace.Trace
+	vv      VersionVector
+	version uint64
+}
+
+// Catalog returns the instance types the snapshot's keys refer to.
+func (s *MarketSnapshot) Catalog() Catalog { return s.cat }
+
+// Zones returns the availability zones the snapshot spans.
+func (s *MarketSnapshot) Zones() []string { return s.zones }
+
+// Keys returns the market keys in deterministic (type, zone) order.
+func (s *MarketSnapshot) Keys() []MarketKey {
+	out := make([]MarketKey, len(s.keys))
+	copy(out, s.keys)
+	return out
+}
+
+// NumMarkets reports the number of (type, zone) markets captured.
+func (s *MarketSnapshot) NumMarkets() int { return len(s.traces) }
+
+// Version reports the composite version at capture time.
+func (s *MarketSnapshot) Version() uint64 { return s.version }
+
+// VersionVector returns the per-shard versions at capture time.
+func (s *MarketSnapshot) VersionVector() VersionVector { return s.vv }
+
+// Trace returns the captured price history for the given market,
+// panicking if it does not exist.
+func (s *MarketSnapshot) Trace(typeName, zone string) *trace.Trace {
+	tr, ok := s.traces[MarketKey{typeName, zone}]
+	if !ok {
+		panic(fmt.Sprintf("cloud: no market for %s/%s", typeName, zone))
+	}
+	return tr
+}
+
+// TraceFor returns the captured price history for key, reporting whether
+// the market exists.
+func (s *MarketSnapshot) TraceFor(key MarketKey) (*trace.Trace, bool) {
+	tr, ok := s.traces[key]
+	return tr, ok
+}
+
+// MinDuration reports the shortest price frontier across the capture.
+func (s *MarketSnapshot) MinDuration() float64 { return s.MinDurationFor(nil) }
+
+// MinDurationFor reports the frontier across the given markets (nil
+// means all). Unknown keys are skipped.
+func (s *MarketSnapshot) MinDurationFor(keys []MarketKey) float64 {
+	if keys == nil {
+		keys = s.keys
+	}
+	dur := math.Inf(1)
+	for _, k := range keys {
+		tr, ok := s.traces[k]
+		if !ok {
+			continue
+		}
 		if d := tr.Duration(); d < dur {
 			dur = d
 		}
@@ -147,6 +417,26 @@ func (m *Market) MinDuration() float64 {
 	}
 	return dur
 }
+
+// Window returns a snapshot restricted to [startHour, startHour+dur) in
+// absolute market hours, keeping the parent's versions.
+func (s *MarketSnapshot) Window(startHour, dur float64) MarketView {
+	out := &MarketSnapshot{
+		cat:     s.cat,
+		zones:   s.zones,
+		keys:    s.keys,
+		traces:  make(map[MarketKey]*trace.Trace, len(s.traces)),
+		vv:      s.vv,
+		version: s.version,
+	}
+	for k, tr := range s.traces {
+		out.traces[k] = tr.Window(startHour, dur)
+	}
+	return out
+}
+
+// Snapshot returns the snapshot itself: it is already immutable.
+func (s *MarketSnapshot) Snapshot() MarketView { return s }
 
 // zoneProfile captures how turbulent a zone's markets are. The paper's
 // Figure 1 shows us-east-1a markets spiking past 10x on-demand while
@@ -229,14 +519,14 @@ func ModelFor(it InstanceType, zone string) trace.Model {
 // different markets are independent.
 func GenerateMarket(cat Catalog, zones []string, hours float64, seed uint64) *Market {
 	root := stats.NewRNG(seed)
-	m := &Market{Catalog: cat, Zones: zones, Traces: make(map[MarketKey]*trace.Trace), version: 1}
+	traces := make(map[MarketKey]*trace.Trace)
 	// Iterate in deterministic order so the seed fully determines output.
 	for _, it := range cat {
 		for _, z := range zones {
-			m.Traces[MarketKey{it.Name, z}] = ModelFor(it, z).Generate(root.Split(), hours)
+			traces[MarketKey{it.Name, z}] = ModelFor(it, z).Generate(root.Split(), hours)
 		}
 	}
-	return m
+	return NewMarket(cat, zones, traces)
 }
 
 // LoadMarket builds a version-1 market from a directory of per-market CSV
@@ -246,7 +536,7 @@ func GenerateMarket(cat Catalog, zones []string, hours float64, seed uint64) *Ma
 // (catalog × zones) pair must be present — a market with holes would make
 // candidate enumeration silently lossy.
 func LoadMarket(dir string, cat Catalog, zones []string) (*Market, error) {
-	m := &Market{Catalog: cat, Zones: zones, Traces: make(map[MarketKey]*trace.Trace), version: 1}
+	traces := make(map[MarketKey]*trace.Trace)
 	for _, it := range cat {
 		for _, z := range zones {
 			key := MarketKey{it.Name, z}
@@ -260,8 +550,8 @@ func LoadMarket(dir string, cat Catalog, zones []string) (*Market, error) {
 			if err != nil {
 				return nil, fmt.Errorf("cloud: loading market %v: %w", key, err)
 			}
-			m.Traces[key] = tr
+			traces[key] = tr
 		}
 	}
-	return m, nil
+	return NewMarket(cat, zones, traces), nil
 }

@@ -1,0 +1,156 @@
+package cloud_test
+
+import (
+	"math"
+	"testing"
+
+	"sompi/internal/app"
+	"sompi/internal/cloud"
+	"sompi/internal/model"
+	"sompi/internal/opt"
+	"sompi/internal/trace"
+)
+
+const (
+	retainTestHours = 400
+	retainTestSeed  = 11
+)
+
+func generatedPair() (compacted, pristine *cloud.Market) {
+	compacted = cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), retainTestHours, retainTestSeed)
+	pristine = cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), retainTestHours, retainTestSeed)
+	return
+}
+
+// TestSetRetentionCompactsPastBound: setting a retention bound trims
+// every shard's ring to at most bound/step samples while the absolute
+// price frontier — what MinDuration and replay clocks read — stays put.
+func TestSetRetentionCompactsPastBound(t *testing.T) {
+	m, _ := generatedPair()
+	const retain = 100.0
+	m.SetRetention(retain)
+
+	if got := m.Retention(); got != retain {
+		t.Fatalf("Retention() = %v, want %v", got, retain)
+	}
+	if got := m.MinDuration(); got != retainTestHours {
+		t.Fatalf("MinDuration %v after compaction, want the absolute frontier %v", got, retainTestHours)
+	}
+	bound := int(retain / trace.DefaultStep)
+	stats := m.ShardStats()
+	if len(stats) != len(cloud.DefaultCatalog())*len(cloud.DefaultZones()) {
+		t.Fatalf("%d shard stats, want one per (type, zone)", len(stats))
+	}
+	for _, st := range stats {
+		if st.Samples > bound {
+			t.Errorf("shard %v retains %d samples, bound is %d", st.Key, st.Samples, bound)
+		}
+		if st.Compacted == 0 {
+			t.Errorf("shard %v reports no compaction on a %vh history trimmed to %vh", st.Key, retainTestHours, retain)
+		}
+		if st.DurationHours != retainTestHours {
+			t.Errorf("shard %v frontier %vh, want %vh", st.Key, st.DurationHours, retainTestHours)
+		}
+		if st.Version != 1 {
+			t.Errorf("shard %v version %d: compaction must not look like a price tick", st.Key, st.Version)
+		}
+	}
+}
+
+// TestRetentionPreservesTrainingWindow: the optimizer's training window
+// — the trailing slice replay and planning read — is sample-identical
+// before and after compaction, as long as retention covers it.
+func TestRetentionPreservesTrainingWindow(t *testing.T) {
+	m, pristine := generatedPair()
+	m.SetRetention(120) // comfortably covers the 96h window below
+
+	const history = 96.0
+	lo := retainTestHours - history
+	a := m.Window(lo, history)
+	b := pristine.Window(lo, history)
+	for _, k := range m.Keys() {
+		ta, tb := a.Trace(k.Type, k.Zone), b.Trace(k.Type, k.Zone)
+		if ta.Len() != tb.Len() {
+			t.Fatalf("%v: window %d vs %d samples", k, ta.Len(), tb.Len())
+		}
+		for i := range ta.Prices {
+			if ta.Prices[i] != tb.Prices[i] {
+				t.Fatalf("%v window sample %d: %v vs %v", k, i, ta.Prices[i], tb.Prices[i])
+			}
+		}
+	}
+}
+
+// TestRetentionPreservesPhiAndMTTF: first-passage statistics (MTTF) and
+// the paper's φ(P) checkpoint-interval reduction computed from a
+// training window over the retained range match the uncompacted market
+// exactly — compaction must be invisible to the failure model.
+func TestRetentionPreservesPhiAndMTTF(t *testing.T) {
+	m, pristine := generatedPair()
+	m.SetRetention(120)
+
+	const history = 96.0
+	lo := retainTestHours - history
+	profile := app.BT()
+	for _, k := range []cloud.MarketKey{
+		{Type: cloud.M1Medium.Name, Zone: cloud.ZoneA},
+		{Type: cloud.C3XLarge.Name, Zone: cloud.ZoneC},
+	} {
+		it, _ := cloud.DefaultCatalog().ByName(k.Type)
+		ga := model.NewGroup(profile, it, k.Zone, m.Window(lo, history).Trace(k.Type, k.Zone))
+		gb := model.NewGroup(profile, it, k.Zone, pristine.Window(lo, history).Trace(k.Type, k.Zone))
+		for _, frac := range []float64{0.2, 0.5, 0.9, 1.1} {
+			bid := gb.Hist.Max() * frac
+			ma, mb := ga.MTTF(bid), gb.MTTF(bid)
+			if ma != mb && !(math.IsInf(ma, 1) && math.IsInf(mb, 1)) {
+				t.Errorf("%v bid %v: MTTF %v (compacted) vs %v", k, bid, ma, mb)
+			}
+			if fa, fb := opt.Phi(ga, bid), opt.Phi(gb, bid); fa != fb {
+				t.Errorf("%v bid %v: Phi %v (compacted) vs %v", k, bid, fa, fb)
+			}
+		}
+	}
+}
+
+// TestRetentionBoundsAppends: with retention active, appends keep
+// advancing the frontier and version while the ring stays bounded; a
+// degenerate bound still keeps one sample per shard.
+func TestRetentionBoundsAppends(t *testing.T) {
+	key := cloud.MarketKey{Type: cloud.M1Small.Name, Zone: cloud.ZoneA}
+	flat := make([]float64, int(50/trace.DefaultStep))
+	for i := range flat {
+		flat[i] = 0.01
+	}
+	m := cloud.NewMarket(cloud.Catalog{cloud.M1Small}, []string{cloud.ZoneA},
+		map[cloud.MarketKey]*trace.Trace{key: trace.New(trace.DefaultStep, flat)})
+	m.SetRetention(10)
+	bound := int(10 / trace.DefaultStep)
+
+	for i := 0; i < 5; i++ {
+		if _, err := m.Append(key, []float64{0.02, 0.03, 0.04}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		st := m.ShardStats()[0]
+		if st.Samples > bound {
+			t.Fatalf("append %d: %d samples exceed the %d-sample ring", i, st.Samples, bound)
+		}
+	}
+	st := m.ShardStats()[0]
+	wantFrontier := 50 + 15*trace.DefaultStep
+	if math.Abs(st.DurationHours-wantFrontier) > 1e-9 || m.MinDuration() != st.DurationHours {
+		t.Fatalf("frontier %vh after 15 appended samples, want %vh", st.DurationHours, wantFrontier)
+	}
+	if st.Version != 6 || st.Ticks != 5 {
+		t.Fatalf("shard version %d ticks %d, want 6/5", st.Version, st.Ticks)
+	}
+
+	// A bound below one step still keeps the newest sample: an empty
+	// trace would zero the frontier and break MinDuration consumers.
+	m.SetRetention(trace.DefaultStep / 2)
+	if st := m.ShardStats()[0]; st.Samples != 1 {
+		t.Fatalf("degenerate retention kept %d samples, want exactly 1", st.Samples)
+	}
+	if m.MinDuration() != st.DurationHours {
+		t.Fatal("degenerate retention moved the frontier")
+	}
+}

@@ -1,0 +1,137 @@
+package cloud
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sompi/internal/trace"
+)
+
+// Shard is one spot market's live price store: the append log for a
+// single (instance type, availability zone) pair. Each shard carries its
+// own lock, version counter and bounded ring-buffer retention, so
+// ingestion into one market never contends with ingestion into — or
+// reads of — any other shard. This mirrors the paper's Algorithm 1,
+// which re-optimizes per circle group: price movement in one (type, AZ)
+// market is an event for that market alone.
+//
+// The trace inside a shard is immutable; append installs a fresh
+// *trace.Trace. A reader that captured the trace before an append keeps
+// a consistent view forever.
+type shard struct {
+	key MarketKey
+
+	mu sync.RWMutex
+	tr *trace.Trace
+	// version is this shard's mutation counter: 1 at construction, +1
+	// per append (empty appends included — the ingestion heartbeat).
+	version uint64
+	// ticks counts appends applied; unlike version it starts at 0, so
+	// operators read it directly as "ingestion events seen".
+	ticks uint64
+	// compacted counts samples dropped by ring-buffer retention.
+	compacted uint64
+}
+
+func newShard(key MarketKey, tr *trace.Trace) *shard {
+	return &shard{key: key, tr: tr, version: 1}
+}
+
+// capture returns the shard's current trace and version under one read
+// lock, so the pair is mutually consistent.
+func (s *shard) capture() (*trace.Trace, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tr, s.version
+}
+
+// trace returns the shard's current immutable trace.
+func (s *shard) currentTrace() *trace.Trace {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tr
+}
+
+// append validates and applies new samples, enforcing the retention
+// bound (retainHours of trailing history; 0 disables). It returns the
+// shard's new version. Only this shard's lock is held — appends to
+// different shards proceed in parallel.
+func (s *shard) append(samples []float64, retainHours float64) (uint64, error) {
+	for i, p := range samples {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			s.mu.RLock()
+			v := s.version
+			s.mu.RUnlock()
+			return v, fmt.Errorf("%w: sample %d for %v is not a price: %v", ErrBadSample, i, s.key, p)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.tr.Append(trace.New(s.tr.Step, samples))
+	if drop := retainDrop(next, retainHours); drop > 0 {
+		next = next.Compact(drop)
+		s.compacted += uint64(drop)
+	}
+	s.tr = next
+	s.version++
+	s.ticks++
+	return s.version, nil
+}
+
+// compactTo applies a retention bound to the current trace without
+// appending (used when retention is tightened on a live market).
+func (s *shard) compactTo(retainHours float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if drop := retainDrop(s.tr, retainHours); drop > 0 {
+		s.tr = s.tr.Compact(drop)
+		s.compacted += uint64(drop)
+	}
+}
+
+// retainDrop computes how many leading samples exceed the retention
+// bound. At least one sample is always retained so the shard keeps a
+// live price.
+func retainDrop(tr *trace.Trace, retainHours float64) int {
+	if retainHours <= 0 {
+		return 0
+	}
+	keep := int(retainHours / tr.Step)
+	if keep < 1 {
+		keep = 1
+	}
+	if drop := tr.Len() - keep; drop > 0 {
+		return drop
+	}
+	return 0
+}
+
+// ShardStat is one shard's observable ingestion state, surfaced through
+// /healthz and /metrics so operators can see per-market ingestion skew.
+type ShardStat struct {
+	Key MarketKey
+	// Version is the shard's mutation counter (1 = never appended).
+	Version uint64
+	// Ticks counts appends applied to this shard.
+	Ticks uint64
+	// Samples is the number of retained price samples.
+	Samples int
+	// Compacted counts samples dropped by ring-buffer retention.
+	Compacted uint64
+	// DurationHours is the shard's absolute price frontier.
+	DurationHours float64
+}
+
+func (s *shard) stat() ShardStat {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return ShardStat{
+		Key:           s.key,
+		Version:       s.version,
+		Ticks:         s.ticks,
+		Samples:       s.tr.Len(),
+		Compacted:     s.compacted,
+		DurationHours: s.tr.Duration(),
+	}
+}

@@ -103,7 +103,7 @@ func TestLoadMarketRoundTripsTracegenLayout(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := src.Traces[key].WriteCSV(f); err != nil {
+		if err := src.Trace(key.Type, key.Zone).WriteCSV(f); err != nil {
 			t.Fatal(err)
 		}
 		f.Close()
@@ -117,7 +117,7 @@ func TestLoadMarketRoundTripsTracegenLayout(t *testing.T) {
 		t.Fatalf("loaded market has version %d, want 1", m.Version())
 	}
 	for _, key := range src.Keys() {
-		a, b := src.Traces[key], m.Traces[key]
+		a, b := src.Trace(key.Type, key.Zone), m.Trace(key.Type, key.Zone)
 		if a.Len() != b.Len() {
 			t.Fatalf("%v: %d samples loaded, want %d", key, b.Len(), a.Len())
 		}

@@ -69,7 +69,7 @@ func baselineOf(pr app.Profile) (cost, hours float64) {
 }
 
 // mc runs one strategy through the Monte Carlo harness.
-func mc(s replay.Strategy, m *cloud.Market, pr app.Profile, deadline float64, p Params) replay.MCStats {
+func mc(s replay.Strategy, m cloud.MarketView, pr app.Profile, deadline float64, p Params) replay.MCStats {
 	r := &replay.Runner{Market: m, Profile: pr}
 	return replay.MonteCarlo(s, r, replay.MCConfig{
 		Deadline: deadline,

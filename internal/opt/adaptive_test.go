@@ -10,39 +10,40 @@ import (
 	"sompi/internal/trace"
 )
 
-// quietMarket builds a market whose prices never exceed a fraction of
-// on-demand, so spot plans always survive.
-func quietMarket(hours int) *cloud.Market {
-	m := &cloud.Market{
-		Catalog: cloud.DefaultCatalog(),
-		Zones:   cloud.DefaultZones(),
-		Traces:  map[cloud.MarketKey]*trace.Trace{},
-	}
-	for _, it := range m.Catalog {
-		for _, z := range m.Zones {
+// quietTraces builds per-market traces whose prices never exceed a
+// fraction of on-demand, so spot plans always survive.
+func quietTraces(hours int) map[cloud.MarketKey]*trace.Trace {
+	traces := map[cloud.MarketKey]*trace.Trace{}
+	for _, it := range cloud.DefaultCatalog() {
+		for _, z := range cloud.DefaultZones() {
 			p := make([]float64, hours*12)
 			for i := range p {
 				p[i] = it.OnDemand * 0.3
 			}
-			m.Traces[cloud.MarketKey{Type: it.Name, Zone: z}] = trace.New(trace.DefaultStep, p)
+			traces[cloud.MarketKey{Type: it.Name, Zone: z}] = trace.New(trace.DefaultStep, p)
 		}
 	}
-	return m
+	return traces
+}
+
+// quietMarket wraps quietTraces in a market.
+func quietMarket(hours int) *cloud.Market {
+	return cloud.NewMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), quietTraces(hours))
 }
 
 // spikyMarket is quiet except every market spikes far above on-demand in
 // [at, at+dur).
 func spikyMarket(hours int, at, dur float64) *cloud.Market {
-	m := quietMarket(hours)
-	for k, tr := range m.Traces {
-		it, _ := m.Catalog.ByName(k.Type)
+	traces := quietTraces(hours)
+	for k, tr := range traces {
+		it, _ := cloud.DefaultCatalog().ByName(k.Type)
 		for i := range tr.Prices {
 			if h := float64(i) * tr.Step; h >= at && h < at+dur {
 				tr.Prices[i] = it.OnDemand * 50
 			}
 		}
 	}
-	return m
+	return cloud.NewMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), traces)
 }
 
 func TestAdaptiveCompletesOnQuietMarket(t *testing.T) {

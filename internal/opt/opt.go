@@ -42,7 +42,10 @@ type Config struct {
 	// Profile is the application to run.
 	Profile app.Profile
 	// Market supplies price history for every candidate circle group.
-	Market *cloud.Market
+	// The optimizer only reads the shards named by Candidates (plus the
+	// catalog for the recovery fleet); callers with a live *cloud.Market
+	// should pass a Snapshot so ingestion cannot race the search.
+	Market cloud.MarketView
 	// Deadline is the user's completion deadline in hours.
 	Deadline float64
 	// Slack, Kappa and GridLevels default to the paper's values when zero.
@@ -98,7 +101,7 @@ func (c Config) withDefaults() Config {
 		c.Candidates = c.Market.Keys()
 	}
 	if c.OnDemandTypes == nil && c.Market != nil {
-		c.OnDemandTypes = c.Market.Catalog
+		c.OnDemandTypes = c.Market.Catalog()
 	}
 	return c
 }
@@ -633,11 +636,11 @@ func (s *searcher) localBound() float64 {
 func buildGroups(cfg Config) ([]*model.Group, error) {
 	groups := make([]*model.Group, 0, len(cfg.Candidates))
 	for _, key := range cfg.Candidates {
-		it, ok := cfg.Market.Catalog.ByName(key.Type)
+		it, ok := cfg.Market.Catalog().ByName(key.Type)
 		if !ok {
 			return nil, fmt.Errorf("%w: candidate %v not in catalog", ErrNoCandidates, key)
 		}
-		tr, ok := cfg.Market.Traces[key]
+		tr, ok := cfg.Market.TraceFor(key)
 		if !ok {
 			return nil, fmt.Errorf("%w: candidate %v has no price history in the market", ErrNoCandidates, key)
 		}

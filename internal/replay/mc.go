@@ -127,7 +127,7 @@ func MonteCarloContext(ctx context.Context, st Strategy, r *Runner, cfg MCConfig
 	if err := cfg.Validate(); err != nil {
 		return MCStats{}, err
 	}
-	if len(r.Market.Traces) == 0 || r.Market.MinDuration() <= 0 {
+	if r.Market.NumMarkets() == 0 || r.Market.MinDuration() <= 0 {
 		return MCStats{}, fmt.Errorf("%w: no price samples to draw start points from", ErrMarketTooShort)
 	}
 	if cfg.History == 0 {

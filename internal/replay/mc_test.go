@@ -50,12 +50,12 @@ func TestMonteCarloWorkerCountIndependent(t *testing.T) {
 // start points must leave room before the end of the *shortest* trace in
 // the market, not whatever trace an arbitrary map key happens to pick.
 func TestMonteCarloStartsBoundedByShortestTrace(t *testing.T) {
-	m := flatMarket(0.02, 2000)
+	traces := flatTraces(0.02, 2000)
 	// Truncate a single market to 500h; every other trace keeps 2000h.
 	short := cloud.MarketKey{Type: cloud.C3XLarge.Name, Zone: cloud.ZoneB}
-	tr := m.Traces[short]
+	tr := traces[short]
 	tr.Prices = tr.Prices[:int(500/tr.Step)]
-	r := runner(m)
+	r := runner(cloud.NewMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), traces))
 
 	const deadline = 50.0
 	var mu sync.Mutex

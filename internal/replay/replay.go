@@ -37,9 +37,11 @@ const (
 	BillingHourly
 )
 
-// Runner replays plans for one application against one market.
+// Runner replays plans for one application against one market view.
+// Callers holding a live *cloud.Market should pass a Snapshot so
+// ingestion cannot shift prices mid-replay.
 type Runner struct {
-	Market  *cloud.Market
+	Market  cloud.MarketView
 	Profile app.Profile
 	// Billing selects the spot accounting rule; the zero value is the
 	// paper's continuous integration.

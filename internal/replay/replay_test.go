@@ -10,32 +10,33 @@ import (
 	"sompi/internal/trace"
 )
 
-// flatMarket builds a market where every trace holds a constant price,
-// making replay outcomes exactly predictable.
-func flatMarket(price float64, hours int) *cloud.Market {
-	m := &cloud.Market{
-		Catalog: cloud.DefaultCatalog(),
-		Zones:   cloud.DefaultZones(),
-		Traces:  map[cloud.MarketKey]*trace.Trace{},
-	}
+// flatTraces builds a trace per (type, zone) where every sample holds a
+// constant price, making replay outcomes exactly predictable.
+func flatTraces(price float64, hours int) map[cloud.MarketKey]*trace.Trace {
+	traces := map[cloud.MarketKey]*trace.Trace{}
 	n := hours * 12
-	for _, it := range m.Catalog {
-		for _, z := range m.Zones {
+	for _, it := range cloud.DefaultCatalog() {
+		for _, z := range cloud.DefaultZones() {
 			p := make([]float64, n)
 			for i := range p {
 				p[i] = price
 			}
-			m.Traces[cloud.MarketKey{Type: it.Name, Zone: z}] = trace.New(trace.DefaultStep, p)
+			traces[cloud.MarketKey{Type: it.Name, Zone: z}] = trace.New(trace.DefaultStep, p)
 		}
 	}
-	return m
+	return traces
+}
+
+// flatMarket wraps flatTraces in a market.
+func flatMarket(price float64, hours int) *cloud.Market {
+	return cloud.NewMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), flatTraces(price, hours))
 }
 
 // spikeMarket is flat at low except for a high plateau in [spikeAt,
 // spikeAt+spikeDur) on every trace.
 func spikeMarket(low, high, spikeAt, spikeDur float64, hours int) *cloud.Market {
-	m := flatMarket(low, hours)
-	for _, tr := range m.Traces {
+	traces := flatTraces(low, hours)
+	for _, tr := range traces {
 		for i := range tr.Prices {
 			h := float64(i) * tr.Step
 			if h >= spikeAt && h < spikeAt+spikeDur {
@@ -43,7 +44,7 @@ func spikeMarket(low, high, spikeAt, spikeDur float64, hours int) *cloud.Market 
 			}
 		}
 	}
-	return m
+	return cloud.NewMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), traces)
 }
 
 func runner(m *cloud.Market) *Runner {

@@ -147,7 +147,7 @@ func TestMCConfigValidation(t *testing.T) {
 }
 
 func TestMonteCarloContextEmptyMarket(t *testing.T) {
-	empty := &cloud.Market{Catalog: cloud.DefaultCatalog(), Zones: cloud.DefaultZones()}
+	empty := cloud.NewMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), nil)
 	r := &Runner{Market: empty, Profile: runner(flatMarket(0.02, 10)).Profile}
 	_, err := MonteCarloContext(context.Background(), FixedPlan{}, r, MCConfig{Deadline: 10, Runs: 1})
 	if !errors.Is(err, ErrMarketTooShort) {

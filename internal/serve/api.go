@@ -2,14 +2,16 @@
 // service: an HTTP/JSON v1 API over the optimizer (POST /v1/plan), the
 // cost model (POST /v1/evaluate), the Monte Carlo harness
 // (POST /v1/montecarlo) and streaming spot-price ingestion
-// (POST /v1/prices). Ingestion appends to a versioned cloud.Market;
-// tracked plan sessions are re-optimized Algorithm-1 style whenever the
-// ingested price frontier crosses their next T_m window boundary.
+// (POST /v1/prices). Ingestion appends to the sharded cloud.Market —
+// locking only the target (type, zone) shard — and tracked plan sessions
+// are re-optimized Algorithm-1 style whenever the price frontier of the
+// shards in their plan crosses their next T_m window boundary.
 //
 // Plan responses are deduplicated through an LRU cache keyed on the full
-// request plus the market version, so a cache hit is byte-identical to
-// the miss that populated it and any ingestion invalidates every stale
-// entry at once (the version changed, so the keys no longer match).
+// request plus the version vector of the shards the request actually
+// touches, so a cache hit is byte-identical to the miss that populated
+// it, ingestion into a touched shard invalidates exactly the plans that
+// read it, and a tick on any other shard evicts nothing.
 package serve
 
 import (
@@ -44,6 +46,16 @@ type PlanRequest struct {
 	DisableCheckpoints bool    `json:"disable_checkpoints,omitempty"`
 	DisablePruning     bool    `json:"disable_pruning,omitempty"`
 
+	// Types and Zones restrict the candidate circle-group markets to the
+	// named instance types and/or availability zones (empty means no
+	// restriction on that axis). A restricted request reads — and is
+	// cached against — only the matching shards: ticks on every other
+	// (type, zone) market neither invalidate its cache entry nor move
+	// its training frontier. The on-demand recovery fleet still draws
+	// from the whole catalog.
+	Types []string `json:"types,omitempty"`
+	Zones []string `json:"zones,omitempty"`
+
 	// Track registers the plan as a live session: every time ingested
 	// prices cross the session's next T_m window boundary, the service
 	// replays the elapsed window against the actual prices and
@@ -52,12 +64,47 @@ type PlanRequest struct {
 	Track bool `json:"track,omitempty"`
 }
 
+// CandidateKeys reports the market keys the request's Types/Zones
+// filters select from view, in view's deterministic key order. It
+// returns nil when no filter is set: nil means "every key" both to
+// opt.Config.Candidates and to the view's MinDurationFor, so an
+// unrestricted request behaves exactly as before filters existed.
+func (pr PlanRequest) CandidateKeys(view cloud.MarketView) []cloud.MarketKey {
+	if len(pr.Types) == 0 && len(pr.Zones) == 0 {
+		return nil
+	}
+	match := func(want []string, got string) bool {
+		if len(want) == 0 {
+			return true
+		}
+		for _, w := range want {
+			if w == got {
+				return true
+			}
+		}
+		return false
+	}
+	keys := make([]cloud.MarketKey, 0)
+	for _, k := range view.Keys() {
+		if match(pr.Types, k.Type) && match(pr.Zones, k.Zone) {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
 // Config builds the optimizer configuration for the request against the
 // given training market. The mapping is total: every optimizer knob the
-// request carries lands in the config, which is what keeps served plans
-// byte-identical to library-path OptimizeContext calls.
-func (pr PlanRequest) Config(profile app.Profile, train *cloud.Market) opt.Config {
+// request carries lands in the config — including the Types/Zones
+// filters, which become opt Candidates — which is what keeps served
+// plans byte-identical to library-path OptimizeContext calls.
+func (pr PlanRequest) Config(profile app.Profile, train cloud.MarketView) opt.Config {
+	var candidates []cloud.MarketKey
+	if train != nil {
+		candidates = pr.CandidateKeys(train)
+	}
 	return opt.Config{
+		Candidates:         candidates,
 		Profile:            profile,
 		Market:             train,
 		Deadline:           pr.DeadlineHours,
@@ -175,18 +222,18 @@ func BuildPlanResponse(marketVersion uint64, res opt.Result) PlanResponse {
 // come from the same histories a fresh optimization would use. The
 // payload's instance counts and recovery hours are derived quantities
 // and are ignored on input.
-func DecodePlan(p PlanPayload, profile app.Profile, train *cloud.Market) (model.Plan, error) {
-	rec, ok := train.Catalog.ByName(p.Recovery.Type)
+func DecodePlan(p PlanPayload, profile app.Profile, train cloud.MarketView) (model.Plan, error) {
+	rec, ok := train.Catalog().ByName(p.Recovery.Type)
 	if !ok {
 		return model.Plan{}, fmt.Errorf("%w: recovery type %q not in catalog", opt.ErrNoCandidates, p.Recovery.Type)
 	}
 	out := model.Plan{Recovery: model.NewOnDemand(profile, rec)}
 	for i, g := range p.Groups {
-		it, ok := train.Catalog.ByName(g.Type)
+		it, ok := train.Catalog().ByName(g.Type)
 		if !ok {
 			return model.Plan{}, fmt.Errorf("%w: group %d type %q not in catalog", opt.ErrNoCandidates, i, g.Type)
 		}
-		tr, ok := train.Traces[cloud.MarketKey{Type: g.Type, Zone: g.Zone}]
+		tr, ok := train.TraceFor(cloud.MarketKey{Type: g.Type, Zone: g.Zone})
 		if !ok {
 			return model.Plan{}, fmt.Errorf("%w: group %d market %s/%s has no price history", opt.ErrNoCandidates, i, g.Type, g.Zone)
 		}
@@ -285,6 +332,33 @@ type SessionInfo struct {
 	PlanVersion   uint64  `json:"plan_version"`
 	Done          bool    `json:"done"`
 	Completed     bool    `json:"completed"`
+}
+
+// ShardHealth is one (type, zone) shard's entry in the health payload.
+type ShardHealth struct {
+	// Market is the shard key rendered as "type/zone".
+	Market string `json:"market"`
+	// Version is the shard's own mutation counter (1 = never appended).
+	Version uint64 `json:"version"`
+	// Ticks counts ingestion appends applied to this shard; skew between
+	// shards means some feeds are stale.
+	Ticks uint64 `json:"ticks"`
+	// Samples is the retained price-sample count; Compacted counts
+	// samples dropped by ring-buffer retention.
+	Samples   int    `json:"samples"`
+	Compacted uint64 `json:"compacted_samples"`
+	// DurationHours is the shard's absolute price frontier.
+	DurationHours float64 `json:"duration_hours"`
+}
+
+// HealthResponse is the /healthz payload: composite market state plus
+// per-shard ingestion counters so operators can see ingestion skew.
+type HealthResponse struct {
+	Status         string        `json:"status"`
+	MarketVersion  uint64        `json:"market_version"`
+	FrontierHours  float64       `json:"frontier_hours"`
+	ActiveSessions int64         `json:"active_sessions"`
+	Shards         []ShardHealth `json:"shards"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -1,0 +1,95 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sompi/internal/cloud"
+	"sompi/internal/serve"
+	"sompi/internal/trace"
+)
+
+// fuzzMarket is the smallest market the ingest handler accepts: one
+// (type, zone) shard with a short flat trace. Built per iteration so
+// version arithmetic starts from a known base.
+func fuzzMarket() *cloud.Market {
+	prices := make([]float64, 12)
+	for i := range prices {
+		prices[i] = 0.01
+	}
+	traces := map[cloud.MarketKey]*trace.Trace{
+		{Type: cloud.M1Small.Name, Zone: cloud.ZoneA}: trace.New(trace.DefaultStep, prices),
+	}
+	return cloud.NewMarket(cloud.Catalog{cloud.M1Small}, []string{cloud.ZoneA}, traces)
+}
+
+// FuzzIngestPrices drives the /v1/prices tick-stream parser with
+// arbitrary bodies. Invariants: the handler never panics; every response
+// is a JSON object; a 200 reports exactly as many ticks as the market
+// version advanced (no silent drops, no phantom applies); a non-200
+// carries a non-empty error envelope.
+func FuzzIngestPrices(f *testing.F) {
+	seeds := []string{
+		`{"type":"m1.small","zone":"us-east-1a","prices":[0.01,0.02]}`,
+		`{"type":"m1.small","zone":"us-east-1a","prices":[0.01]}` + "\n" +
+			`{"type":"m1.small","zone":"us-east-1a","prices":[0.02]}`,
+		`[{"type":"m1.small","zone":"us-east-1a","prices":[0.01]},` +
+			`{"type":"m1.small","zone":"us-east-1a","prices":[0.03]}]`,
+		`[]`,
+		`null`,
+		`[null]`,
+		`[42,"x",true]`,
+		`"tick"`,
+		`{"type":"m1.small","zone":"us-east-1a","prices":[-1]}`,
+		`{"type":"m1.small","zone":"us-east-1a","prices":[1e999]}`,
+		`{"type":"nope","zone":"us-east-1a","prices":[0.01]}`,
+		`{"type":"m1.small","zone":"us-east-1a","prices":[0.01]}garbage`,
+		`[{"type":"m1.small","zone":"us-east-1a","prices":[0.01]},null]`,
+		`{`,
+		``,
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		m := fuzzMarket()
+		s, err := serve.New(serve.Config{Market: m})
+		if err != nil {
+			t.Fatalf("serve.New: %v", err)
+		}
+		before := m.Version()
+
+		req := httptest.NewRequest(http.MethodPost, "/v1/prices", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+
+		applied := m.Version() - before
+		if rec.Code == http.StatusOK {
+			var pr serve.PricesResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+				t.Fatalf("200 body is not a PricesResponse: %v\n%s", err, rec.Body.Bytes())
+			}
+			if uint64(pr.Ticks) != applied {
+				t.Fatalf("reported %d ticks but version advanced by %d (body %q)",
+					pr.Ticks, applied, body)
+			}
+			if pr.MarketVersion != m.Version() {
+				t.Fatalf("reported version %d, market at %d", pr.MarketVersion, m.Version())
+			}
+		} else {
+			// Partial application before the error is allowed (the stream
+			// is applied tick-by-tick; an omitted "prices" key is a valid
+			// zero-sample heartbeat), but the failure must still carry an
+			// error envelope.
+			var er serve.ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+				t.Fatalf("status %d without an error envelope: %s", rec.Code, rec.Body.Bytes())
+			}
+		}
+	})
+}

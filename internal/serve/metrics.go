@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"sompi/internal/cloud"
 )
 
 // endpoint indexes the per-endpoint counters.
@@ -52,9 +54,10 @@ func (m *metrics) observe(ep endpoint, ns int64, failed bool) {
 	}
 }
 
-// render writes the exposition text. marketVersion and cacheLen are
-// sampled by the caller (they live behind the server's lock, not here).
-func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, cacheLen int) {
+// render writes the exposition text. marketVersion, cacheLen and the
+// shard stats are sampled by the caller (they live in the market and
+// cache, not here).
+func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, cacheLen int, shards []cloud.ShardStat) {
 	for ep := endpoint(0); ep < numEndpoints; ep++ {
 		name := endpointNames[ep]
 		fmt.Fprintf(w, "sompid_requests_total{endpoint=%q} %d\n", name, m.requests[ep].Load())
@@ -71,6 +74,12 @@ func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, ca
 	fmt.Fprintf(w, "sompid_ingest_samples_total %d\n", m.ingestSamples.Load())
 	fmt.Fprintf(w, "sompid_market_version %d\n", marketVersion)
 	fmt.Fprintf(w, "sompid_market_frontier_hours %.6f\n", frontier)
+	for _, st := range shards {
+		fmt.Fprintf(w, "sompid_shard_version{market=%q} %d\n", st.Key.String(), st.Version)
+		fmt.Fprintf(w, "sompid_shard_ticks_total{market=%q} %d\n", st.Key.String(), st.Ticks)
+		fmt.Fprintf(w, "sompid_shard_samples{market=%q} %d\n", st.Key.String(), st.Samples)
+		fmt.Fprintf(w, "sompid_shard_compacted_samples_total{market=%q} %d\n", st.Key.String(), st.Compacted)
+	}
 	fmt.Fprintf(w, "sompid_reoptimizations_total %d\n", m.reoptimizations.Load())
 	fmt.Fprintf(w, "sompid_active_sessions %d\n", m.activeSessions.Load())
 	fmt.Fprintf(w, "sompid_sessions_completed_total %d\n", m.completedSessions.Load())

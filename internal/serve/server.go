@@ -43,11 +43,13 @@ type Config struct {
 	RequestTimeout time.Duration
 }
 
-// Server is the sompid planner service. One RWMutex fences the live
-// market and the session registry: reads (plan, evaluate, montecarlo)
-// take cheap snapshots under RLock and do their heavy work unlocked on
-// immutable trace views, while ingestion mutates and advances sessions
-// under the write lock.
+// Server is the sompid planner service. The market synchronizes itself
+// per shard — ingestion locks only the target (type, zone) shard and
+// readers take lock-free snapshots — so the server's own RWMutex fences
+// just the session registry. Lock ordering: s.mu may be held while
+// taking shard read locks (session advancement reads the market under
+// s.mu), never the reverse — shard locks are leaf locks and no market
+// call ever touches s.mu.
 type Server struct {
 	window  float64
 	history float64
@@ -194,24 +196,31 @@ func (s *Server) historyOr(h float64) float64 {
 	return s.history
 }
 
-// trainSnapshot captures, under the read lock, everything a planning
-// request needs: the market version, the price frontier and the trailing
-// training window (an immutable view later Appends cannot disturb).
-func (s *Server) trainSnapshot(history float64) (version uint64, frontier float64, train *cloud.Market) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	version = s.market.Version()
-	frontier = s.market.MinDuration()
+// trainSnapshot captures everything a planning request needs: a
+// consistent market snapshot, the price frontier of the request's
+// candidate shards and the trailing training window (immutable views
+// later Appends cannot disturb). The frontier is computed over the
+// candidate shards only, so a restricted request's training window — and
+// therefore its cache key's inputs — move only when its own markets do.
+func (s *Server) trainSnapshot(req PlanRequest, history float64) (snap *cloud.MarketSnapshot, keys []cloud.MarketKey, frontier float64, train cloud.MarketView) {
+	snap = s.market.Capture()
+	keys = req.CandidateKeys(snap)
+	frontier = snap.MinDurationFor(keys)
 	lo := math.Max(0, frontier-history)
-	return version, frontier, s.market.Window(lo, frontier-lo)
+	return snap, keys, frontier, snap.Window(lo, frontier-lo)
 }
 
-// planKey is the cache key: every optimizer knob plus the market version.
-func planKey(req PlanRequest, version uint64) string {
-	return fmt.Sprintf("%s|%g|%g|%d|%d|%d|%d|%g|%g|%t|%t|v%d",
+// planKey is the cache key: every optimizer knob, the candidate filters,
+// and the version vector of the shards the request actually touches. A
+// tick on a shard outside the vector leaves the key — and the cached
+// entry — valid, so invalidation is O(affected plans), not O(cache).
+func planKey(req PlanRequest, vv cloud.VersionVector, keys []cloud.MarketKey) string {
+	return fmt.Sprintf("%s|%g|%g|%d|%d|%d|%d|%g|%g|%t|%t|t:%s|z:%s|vv{%s}",
 		req.App, req.DeadlineHours, req.HistoryHours, req.Workers, req.Kappa,
 		req.GridLevels, req.MaxGroups, req.Slack, req.MaxAllFail,
-		req.DisableCheckpoints, req.DisablePruning, version)
+		req.DisableCheckpoints, req.DisablePruning,
+		strings.Join(req.Types, ","), strings.Join(req.Zones, ","),
+		vv.Subset(keys).String())
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -225,9 +234,15 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown workload %q", opt.ErrInvalidConfig, req.App))
 		return
 	}
-	version, frontier, train := s.trainSnapshot(s.historyOr(req.HistoryHours))
+	snap, keys, frontier, train := s.trainSnapshot(req, s.historyOr(req.HistoryHours))
+	if len(req.Types)+len(req.Zones) > 0 && len(keys) == 0 {
+		err := fmt.Errorf("%w: types/zones filter matches no market", opt.ErrNoCandidates)
+		writeError(w, statusOf(err), err)
+		return
+	}
+	version := snap.Version()
 
-	key := planKey(req, version)
+	key := planKey(req, snap.VersionVector(), keys)
 	if !req.Track {
 		if body, ok := s.cache.get(key); ok {
 			s.met.cacheHits.Add(1)
@@ -254,7 +269,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 	resp := BuildPlanResponse(version, res)
 	if req.Track {
-		resp.SessionID = s.registerSession(profile, req, res, version, frontier)
+		resp.SessionID = s.registerSession(profile, req, res, version, frontier, keys)
 	}
 	body, merr := json.Marshal(resp)
 	if merr != nil {
@@ -268,10 +283,14 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 // registerSession creates a tracked session for a freshly served plan,
-// starting at the price frontier the plan was optimized at.
-func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.Result, version uint64, frontier float64) string {
+// starting at the price frontier the plan was optimized at. The
+// request's candidate keys are pinned into the session so every
+// re-optimization keeps the restriction and the session's boundary
+// clock follows only the shards in its universe.
+func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.Result, version uint64, frontier float64, keys []cloud.MarketKey) string {
 	base := req.Config(profile, nil)
 	base.Market = nil // refilled per re-optimization
+	base.Candidates = keys
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
@@ -281,6 +300,7 @@ func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.R
 		profile: profile,
 		history: s.historyOr(req.HistoryHours),
 		base:    base,
+		keys:    keys,
 		sess: replay.NewSession(&replay.Runner{Market: s.market, Profile: profile},
 			req.DeadlineHours, frontier),
 		plan:        res.Plan,
@@ -304,7 +324,8 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown workload %q", opt.ErrInvalidConfig, req.App))
 		return
 	}
-	version, _, train := s.trainSnapshot(s.historyOr(req.HistoryHours))
+	snap, _, _, train := s.trainSnapshot(PlanRequest{}, s.historyOr(req.HistoryHours))
+	version := snap.Version()
 	plan, err := DecodePlan(req.Plan, profile, train)
 	if err != nil {
 		writeError(w, statusOf(err), err)
@@ -334,10 +355,8 @@ func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
 
 	// Long replays work on a snapshot: ingestion appending mid-run must
 	// not race the replay's market reads (traces are immutable, so the
-	// shallow copy is a consistent view).
-	s.mu.RLock()
-	snap := s.market.Snapshot()
-	s.mu.RUnlock()
+	// per-shard capture is a consistent view).
+	snap := s.market.Capture()
 
 	strat, err := strategyFor(req, snap)
 	if err != nil {
@@ -375,7 +394,7 @@ func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
 }
 
 // strategyFor resolves the request's strategy name against the snapshot.
-func strategyFor(req MonteCarloRequest, m *cloud.Market) (replay.Strategy, error) {
+func strategyFor(req MonteCarloRequest, m cloud.MarketView) (replay.Strategy, error) {
 	switch strings.ToLower(req.Strategy) {
 	case "", "sompi":
 		if req.WindowHours > 0 {
@@ -401,71 +420,105 @@ func strategyFor(req MonteCarloRequest, m *cloud.Market) (replay.Strategy, error
 
 // handlePrices ingests spot-price ticks. The body is a stream: either a
 // single JSON array of ticks or whitespace/newline-separated tick
-// objects (NDJSON). Each tick is applied — and tracked sessions advanced
-// across any crossed window boundaries — before the next one is read, so
-// an arbitrarily long feed ingests in constant memory.
+// objects (NDJSON). Each tick is applied — locking only the target
+// (type, zone) shard — and tracked sessions advanced across any crossed
+// window boundaries — before the next one is read, so an arbitrarily
+// long feed ingests in constant memory and feeds for different markets
+// never contend on a global write lock.
 func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(r.Body)
 	var resp PricesResponse
 	apply := func(tick PriceTick) error {
-		s.mu.Lock()
-		defer s.mu.Unlock()
 		version, err := s.market.Append(cloud.MarketKey{Type: tick.Type, Zone: tick.Zone}, tick.Prices)
 		if err != nil {
 			return err
 		}
+		s.met.ingestTicks.Add(1)
+		s.met.ingestSamples.Add(int64(len(tick.Prices)))
+		s.mu.Lock()
 		reopted, completed := s.advanceSessionsLocked(r.Context())
+		s.mu.Unlock()
 		resp.MarketVersion = version
 		resp.Ticks++
 		resp.Samples += len(tick.Prices)
 		resp.Reoptimized += reopted
 		resp.Completed += completed
-		resp.FrontierHours = s.market.MinDuration()
-		s.met.ingestTicks.Add(1)
-		s.met.ingestSamples.Add(int64(len(tick.Prices)))
 		return nil
 	}
 
+	if err := forEachTick(json.NewDecoder(r.Body), func() int { return resp.Ticks }, apply); err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	if resp.Ticks == 0 { // empty feed: report current state
+		resp.MarketVersion = s.market.Version()
+	}
+	resp.FrontierHours = s.market.MinDuration()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// forEachTick decodes the tick stream — any whitespace-separated mix of
+// tick objects and arrays of tick objects — applying each tick in order.
+// applied reports how many ticks have been applied so far, for error
+// positioning. Every element must be a JSON object: the stricter check
+// exists because json.Unmarshal happily decodes null (and array
+// elements like it) into a zero PriceTick, which the fuzz harness
+// surfaced as misleading unknown-market errors for feeds that were
+// malformed, not mistargeted.
+func forEachTick(dec *json.Decoder, applied func() int, apply func(PriceTick) error) error {
+	applyOne := func(raw json.RawMessage) error {
+		tick, err := decodeTick(raw)
+		if err != nil {
+			return fmt.Errorf("%w: after %d ticks: %v", opt.ErrInvalidConfig, applied(), err)
+		}
+		if err := apply(tick); err != nil {
+			return fmt.Errorf("after %d ticks: %w", applied(), err)
+		}
+		return nil
+	}
 	for {
 		var raw json.RawMessage
 		if err := dec.Decode(&raw); err == io.EOF {
-			break
+			return nil
 		} else if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("%w: after %d ticks: %v", opt.ErrInvalidConfig, resp.Ticks, err))
-			return
+			return fmt.Errorf("%w: after %d ticks: %v", opt.ErrInvalidConfig, applied(), err)
 		}
-		trimmed := strings.TrimSpace(string(raw))
-		if strings.HasPrefix(trimmed, "[") {
-			var ticks []PriceTick
-			if err := json.Unmarshal(raw, &ticks); err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("%w: after %d ticks: %v", opt.ErrInvalidConfig, resp.Ticks, err))
-				return
+		if strings.HasPrefix(strings.TrimSpace(string(raw)), "[") {
+			var elems []json.RawMessage
+			if err := json.Unmarshal(raw, &elems); err != nil {
+				return fmt.Errorf("%w: after %d ticks: %v", opt.ErrInvalidConfig, applied(), err)
 			}
-			for _, tick := range ticks {
-				if err := apply(tick); err != nil {
-					writeError(w, statusOf(err), fmt.Errorf("after %d ticks: %w", resp.Ticks, err))
-					return
+			for _, el := range elems {
+				if err := applyOne(el); err != nil {
+					return err
 				}
 			}
 			continue
 		}
-		var tick PriceTick
-		if err := json.Unmarshal(raw, &tick); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("%w: after %d ticks: %v", opt.ErrInvalidConfig, resp.Ticks, err))
-			return
-		}
-		if err := apply(tick); err != nil {
-			writeError(w, statusOf(err), fmt.Errorf("after %d ticks: %w", resp.Ticks, err))
-			return
+		if err := applyOne(raw); err != nil {
+			return err
 		}
 	}
-	if resp.MarketVersion == 0 { // empty feed: report current state
-		s.mu.RLock()
-		resp.MarketVersion = s.market.Version()
-		resp.FrontierHours = s.market.MinDuration()
-		s.mu.RUnlock()
+}
+
+// decodeTick decodes one stream element, insisting it is a JSON object.
+func decodeTick(raw json.RawMessage) (PriceTick, error) {
+	trimmed := strings.TrimSpace(string(raw))
+	if !strings.HasPrefix(trimmed, "{") {
+		return PriceTick{}, fmt.Errorf("tick must be a JSON object, got %q", clip(trimmed, 32))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	var tick PriceTick
+	if err := json.Unmarshal(raw, &tick); err != nil {
+		return PriceTick{}, err
+	}
+	return tick, nil
+}
+
+// clip bounds an untrusted string for error messages.
+func clip(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "..."
+	}
+	return s
 }
 
 func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
@@ -479,23 +532,28 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	version := s.market.Version()
-	frontier := s.market.MinDuration()
-	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, version, frontier, s.cache.len())
+	s.met.render(w, s.market.Version(), s.market.MinDuration(), s.cache.len(), s.market.ShardStats())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	version := s.market.Version()
-	frontier := s.market.MinDuration()
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":          "ok",
-		"market_version":  version,
-		"frontier_hours":  frontier,
-		"active_sessions": s.met.activeSessions.Load(),
+	stats := s.market.ShardStats()
+	shards := make([]ShardHealth, 0, len(stats))
+	for _, st := range stats {
+		shards = append(shards, ShardHealth{
+			Market:        st.Key.String(),
+			Version:       st.Version,
+			Ticks:         st.Ticks,
+			Samples:       st.Samples,
+			Compacted:     st.Compacted,
+			DurationHours: st.DurationHours,
+		})
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:         "ok",
+		MarketVersion:  s.market.Version(),
+		FrontierHours:  s.market.MinDuration(),
+		ActiveSessions: s.met.activeSessions.Load(),
+		Shards:         shards,
 	})
 }

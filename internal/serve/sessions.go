@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"sompi/internal/app"
+	"sompi/internal/cloud"
 	"sompi/internal/model"
 	"sompi/internal/opt"
 	"sompi/internal/replay"
@@ -28,8 +29,14 @@ type trackedSession struct {
 	profile app.Profile
 	history float64
 	// base carries the request's optimizer knobs; Market, Profile and
-	// Deadline are refilled at every re-optimization.
+	// Deadline are refilled at every re-optimization. base.Candidates
+	// pins the request's Types/Zones restriction across re-plans.
 	base opt.Config
+	// keys is the session's market universe (nil = every shard): its
+	// window boundaries are measured against the frontier of these
+	// shards only, so ticks on markets outside its plan's candidate set
+	// never trigger a re-optimization.
+	keys []cloud.MarketKey
 	// sess threads progress/cost/clock between windows — the same
 	// vehicle opt.Adaptive uses.
 	sess *replay.Session
@@ -61,15 +68,17 @@ func (t *trackedSession) info() SessionInfo {
 	}
 }
 
-// advanceSessionsLocked drives every live session up to the current
-// price frontier, one T_m window at a time. Caller holds s.mu for
-// writing, so the replays and re-optimizations below see a quiescent
-// market. Returns how many window-boundary re-optimizations ran and how
-// many sessions reached a terminal state.
+// advanceSessionsLocked drives every live session up to the price
+// frontier of its own candidate shards, one T_m window at a time — a
+// session re-optimizes only when a shard in its plan's universe advanced
+// past its boundary. Caller holds s.mu for writing, so the session
+// registry is quiescent; the market itself synchronizes per shard.
+// Returns how many window-boundary re-optimizations ran and how many
+// sessions reached a terminal state.
 func (s *Server) advanceSessionsLocked(ctx context.Context) (reopted, completed int) {
-	frontier := s.market.MinDuration()
 	for _, id := range s.order {
 		t := s.sessions[id]
+		frontier := s.market.MinDurationFor(t.keys)
 		for !t.done && t.boundary <= frontier+1e-9 {
 			r, done := s.advanceWindowLocked(ctx, t)
 			reopted += r

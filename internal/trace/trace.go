@@ -18,11 +18,23 @@ import (
 const DefaultStep = 1.0 / 12
 
 // Trace is a spot-price history sampled at a fixed step.
+//
+// A trace has an absolute clock: sample i of a fresh trace covers hours
+// [i*Step, (i+1)*Step). Ring-buffer retention (Compact) may drop the
+// oldest samples without shifting that clock — Head records how many
+// were dropped, so Prices[0] is the sample for hour Head*Step and
+// Duration still reports the absolute frontier. Statistics (Max, Mean,
+// MeanBelow, FractionBelow, FirstExceed, Histogram) operate on the
+// retained samples only.
 type Trace struct {
 	// Step is the sampling interval in hours.
 	Step float64
 	// Prices holds one $/instance-hour sample per step.
 	Prices []float64
+	// Head counts samples compacted away from the front of the series.
+	// Zero for every trace except the result of Compact (and views of
+	// it), so pre-existing code that builds Trace literals is unaffected.
+	Head int
 }
 
 // New returns a trace with the given step wrapping prices. It panics on a
@@ -34,16 +46,17 @@ func New(step float64, prices []float64) *Trace {
 	return &Trace{Step: step, Prices: prices}
 }
 
-// Len reports the number of samples.
+// Len reports the number of retained samples.
 func (t *Trace) Len() int { return len(t.Prices) }
 
-// Duration reports the covered time span in hours.
-func (t *Trace) Duration() float64 { return float64(len(t.Prices)) * t.Step }
+// Duration reports the absolute time frontier in hours: the span the
+// trace has observed, including any samples Compact dropped.
+func (t *Trace) Duration() float64 { return float64(t.Head+len(t.Prices)) * t.Step }
 
-// IndexAt converts an hour offset into a sample index, clamped to the valid
-// range.
+// IndexAt converts an absolute hour offset into an index into Prices,
+// clamped to the retained range.
 func (t *Trace) IndexAt(hour float64) int {
-	i := int(hour / t.Step)
+	i := int(hour/t.Step) - t.Head
 	if i < 0 {
 		i = 0
 	}
@@ -61,12 +74,15 @@ func (t *Trace) At(hour float64) float64 {
 	return t.Prices[t.IndexAt(hour)]
 }
 
-// Window returns the sub-trace covering [startHour, startHour+durHours).
-// The window is clamped to the trace bounds; the samples are shared, not
-// copied, because windows are read-only views in this codebase.
+// Window returns the sub-trace covering [startHour, startHour+durHours)
+// in absolute hours. The window is clamped to the retained samples; the
+// samples are shared, not copied, because windows are read-only views in
+// this codebase. The result is detached from the absolute clock (Head 0):
+// a training window is its own coordinate system, exactly as before
+// compaction existed.
 func (t *Trace) Window(startHour, durHours float64) *Trace {
-	lo := int(startHour / t.Step)
-	hi := int(math.Ceil((startHour + durHours) / t.Step))
+	lo := int(startHour/t.Step) - t.Head
+	hi := int(math.Ceil((startHour+durHours)/t.Step)) - t.Head
 	if lo < 0 {
 		lo = 0
 	}
@@ -77,6 +93,20 @@ func (t *Trace) Window(startHour, durHours float64) *Trace {
 		lo = hi
 	}
 	return &Trace{Step: t.Step, Prices: t.Prices[lo:hi]}
+}
+
+// Compact drops the n oldest retained samples and returns the compacted
+// trace, advancing Head so the absolute clock (Duration, IndexAt, Window
+// coordinates) is unchanged. The receiver is not mutated. n is clamped
+// to [0, Len()].
+func (t *Trace) Compact(n int) *Trace {
+	if n <= 0 {
+		return t
+	}
+	if n > len(t.Prices) {
+		n = len(t.Prices)
+	}
+	return &Trace{Step: t.Step, Prices: t.Prices[n:], Head: t.Head + n}
 }
 
 // Max reports the highest price in the history — the paper's H_i, the upper
@@ -170,12 +200,12 @@ func (t *Trace) Append(other *Trace) *Trace {
 	combined := make([]float64, 0, len(t.Prices)+len(other.Prices))
 	combined = append(combined, t.Prices...)
 	combined = append(combined, other.Prices...)
-	return &Trace{Step: t.Step, Prices: combined}
+	return &Trace{Step: t.Step, Prices: combined, Head: t.Head}
 }
 
 // Clone returns a deep copy of the trace.
 func (t *Trace) Clone() *Trace {
 	p := make([]float64, len(t.Prices))
 	copy(p, t.Prices)
-	return &Trace{Step: t.Step, Prices: p}
+	return &Trace{Step: t.Step, Prices: p, Head: t.Head}
 }

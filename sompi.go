@@ -41,8 +41,13 @@ type (
 	Profile = app.Profile
 	// InstanceType describes one cloud instance type.
 	InstanceType = cloud.InstanceType
-	// Market holds spot-price histories for every (type, zone) pair.
+	// Market is the live sharded price store: one independently locked
+	// and versioned shard per (type, zone) pair.
 	Market = cloud.Market
+	// MarketView is the read-only interface consumers program against;
+	// *Market and immutable snapshots (Market.Snapshot, Market.Window)
+	// both implement it.
+	MarketView = cloud.MarketView
 	// MarketKey names one spot market.
 	MarketKey = cloud.MarketKey
 	// Plan is a hybrid spot/on-demand execution plan.
