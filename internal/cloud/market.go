@@ -110,6 +110,11 @@ type MarketView interface {
 	// (nil means all), so consumers restricted to a candidate subset
 	// advance with their own markets, not the globally slowest one.
 	MinDurationFor(keys []MarketKey) float64
+	// RetainedStartFor reports the absolute hour of the oldest sample
+	// still retained across the given shards (nil means all) — the
+	// earliest hour a read can reach without being clamped by
+	// ring-buffer retention. Zero until retention compacts something.
+	RetainedStartFor(keys []MarketKey) float64
 	// Window returns an immutable view restricted to
 	// [startHour, startHour+dur) in absolute market hours.
 	Window(startHour, dur float64) MarketView
@@ -307,6 +312,28 @@ func (m *Market) MinDurationFor(keys []MarketKey) float64 {
 	return dur
 }
 
+// RetainedStartFor reports the absolute hour of the oldest sample still
+// retained across the given shards (nil means all): the latest
+// compaction head, i.e. the earliest hour a read over those shards can
+// reach without being clamped to the retained range. Zero until
+// retention compacts something.
+func (m *Market) RetainedStartFor(keys []MarketKey) float64 {
+	if keys == nil {
+		keys = m.keys
+	}
+	start := 0.0
+	for _, k := range keys {
+		s, ok := m.shards[k]
+		if !ok {
+			continue
+		}
+		if h := s.currentTrace().StartHour(); h > start {
+			start = h
+		}
+	}
+	return start
+}
+
 // Window returns an immutable view restricted to [startHour,
 // startHour+dur) in absolute market hours. The adaptive optimizer trains
 // on the previous optimization window only. The view keeps the parent's
@@ -333,12 +360,19 @@ func (m *Market) Capture() *MarketSnapshot {
 		traces: make(map[MarketKey]*trace.Trace, len(m.shards)),
 		vv:     make(VersionVector, len(m.shards)),
 	}
+	// The composite version is derived from the captured vector — base
+	// plus one tick per append each shard had seen (shards start at
+	// version 1) — so the snapshot's version and vector always agree,
+	// even when concurrent ingestion advances m.ticks between the
+	// per-shard captures.
+	ticks := uint64(0)
 	for _, k := range m.keys {
 		tr, v := m.shards[k].capture()
 		snap.traces[k] = tr
 		snap.vv[k] = v
+		ticks += v - 1
 	}
-	snap.version = m.Version()
+	snap.version = m.base + ticks
 	return snap
 }
 
@@ -416,6 +450,25 @@ func (s *MarketSnapshot) MinDurationFor(keys []MarketKey) float64 {
 		return 0
 	}
 	return dur
+}
+
+// RetainedStartFor reports the retention head across the given markets
+// (nil means all) at capture time. Unknown keys are skipped.
+func (s *MarketSnapshot) RetainedStartFor(keys []MarketKey) float64 {
+	if keys == nil {
+		keys = s.keys
+	}
+	start := 0.0
+	for _, k := range keys {
+		tr, ok := s.traces[k]
+		if !ok {
+			continue
+		}
+		if h := tr.StartHour(); h > start {
+			start = h
+		}
+	}
+	return start
 }
 
 // Window returns a snapshot restricted to [startHour, startHour+dur) in

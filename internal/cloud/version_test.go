@@ -76,6 +76,48 @@ func TestWindowCarriesVersion(t *testing.T) {
 	}
 }
 
+// TestSnapshotVersionMatchesVector: a snapshot's composite version is
+// derived from its captured vector (base + one tick per append each
+// shard had seen), so the two always agree within a snapshot — the
+// invariant that lets a cached plan's market_version be reconstructed
+// from the version vector used as its cache key.
+func TestSnapshotVersionMatchesVector(t *testing.T) {
+	m := GenerateMarket(DefaultCatalog(), DefaultZones(), 24, 1)
+	for i, k := range m.Keys() {
+		for j := 0; j <= i%3; j++ {
+			if _, err := m.Append(k, []float64{0.1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap := m.Capture()
+	ticks := uint64(0)
+	for _, v := range snap.VersionVector() {
+		ticks += v - 1
+	}
+	if got, want := snap.Version(), 1+ticks; got != want {
+		t.Fatalf("snapshot version %d, vector implies %d", got, want)
+	}
+	// On a quiescent market the snapshot also matches the live version.
+	if snap.Version() != m.Version() {
+		t.Fatalf("snapshot version %d, live market %d", snap.Version(), m.Version())
+	}
+}
+
+func TestRetainedStartFor(t *testing.T) {
+	m := GenerateMarket(DefaultCatalog(), DefaultZones(), 24, 1)
+	if got := m.RetainedStartFor(nil); got != 0 {
+		t.Fatalf("uncompacted market retained start %v, want 0", got)
+	}
+	m.SetRetention(10)
+	if got := m.RetainedStartFor(nil); math.Abs(got-14) > 1 {
+		t.Fatalf("retained start %v after trimming 24h to 10h, want ~14", got)
+	}
+	if got := m.RetainedStartFor([]MarketKey{m.Keys()[0]}); got <= 0 {
+		t.Fatalf("retained start for a single compacted shard = %v, want > 0", got)
+	}
+}
+
 func TestMinDuration(t *testing.T) {
 	m := GenerateMarket(DefaultCatalog(), DefaultZones(), 24, 1)
 	if d := m.MinDuration(); math.Abs(d-24) > 1 {

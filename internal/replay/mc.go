@@ -138,9 +138,16 @@ func MonteCarloContext(ctx context.Context, st Strategy, r *Runner, cfg MCConfig
 	// overruns included) so the replay doesn't spend most of its time
 	// clamped at the trace's final sample. The shortest trace governs:
 	// sampling past it would run a strategy off the end of that market.
+	// A start point also needs History hours of retained prices behind
+	// it: on a compacted market, starts must clear the retention head by
+	// the full training window, or strategies would train on windows
+	// silently clamped (possibly to empty) by the ring buffer.
 	dur := r.Market.MinDuration()
-	lo := cfg.History
+	lo := r.Market.RetainedStartFor(nil) + cfg.History
 	hi := dur - 3*cfg.Deadline
+	if lo >= dur {
+		return MCStats{}, fmt.Errorf("%w: retained history ends at %.1fh, but a start point needs %.1fh of training prices behind it", ErrMarketTooShort, dur, cfg.History)
+	}
 	if hi <= lo {
 		hi = lo + 1
 	}

@@ -155,6 +155,31 @@ func TestMonteCarloContextEmptyMarket(t *testing.T) {
 	}
 }
 
+// TestMonteCarloContextRetainedTooShort: when ring-buffer retention
+// leaves less than History hours of prices before the frontier, no
+// start point has a fully retained training window — the harness must
+// report ErrMarketTooShort instead of replaying strategies trained on
+// silently clamped (possibly empty) windows.
+func TestMonteCarloContextRetainedTooShort(t *testing.T) {
+	m := flatMarket(0.02, 200)
+	m.SetRetention(50) // retained head at 150h; History 96 needs starts ≥ 246h > the 200h frontier
+	r := runner(m)
+	strat := FixedPlan{Label: "fixed", Provider: func(r *Runner, deadline, start float64) (model.Plan, error) {
+		return singleGroupPlan(r, 0.05), nil
+	}}
+	_, err := MonteCarloContext(context.Background(), strat, r, MCConfig{Deadline: 10, Runs: 2})
+	if !errors.Is(err, ErrMarketTooShort) {
+		t.Fatalf("over-compacted market returned %v, want ErrMarketTooShort", err)
+	}
+	// With the training window inside the retained range, replays run.
+	m2 := flatMarket(0.02, 200)
+	m2.SetRetention(150) // head at 50h; starts in [146h, ...] are coverable
+	st, err := MonteCarloContext(context.Background(), strat, &Runner{Market: m2, Profile: r.Profile}, MCConfig{Deadline: 10, Runs: 2, Seed: 1})
+	if err != nil || st.Runs != 2 {
+		t.Fatalf("retained-but-sufficient market: %v (runs %d)", err, st.Runs)
+	}
+}
+
 func TestMonteCarloContextCancellation(t *testing.T) {
 	r := runner(flatMarket(0.02, 2000))
 	strat := FixedPlan{Label: "fixed", Provider: func(r *Runner, deadline, start float64) (model.Plan, error) {

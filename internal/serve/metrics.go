@@ -43,6 +43,10 @@ type metrics struct {
 	reoptimizations   atomic.Int64
 	activeSessions    atomic.Int64
 	completedSessions atomic.Int64
+	// windowTruncations counts session windows whose replay or training
+	// range reached before the retained head and was clamped — each one
+	// is a re-optimization that saw less (or wrong) history than asked.
+	windowTruncations atomic.Int64
 }
 
 // observe records one request's latency and error outcome.
@@ -81,6 +85,7 @@ func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, ca
 		fmt.Fprintf(w, "sompid_shard_compacted_samples_total{market=%q} %d\n", st.Key.String(), st.Compacted)
 	}
 	fmt.Fprintf(w, "sompid_reoptimizations_total %d\n", m.reoptimizations.Load())
+	fmt.Fprintf(w, "sompid_session_window_truncations_total %d\n", m.windowTruncations.Load())
 	fmt.Fprintf(w, "sompid_active_sessions %d\n", m.activeSessions.Load())
 	fmt.Fprintf(w, "sompid_sessions_completed_total %d\n", m.completedSessions.Load())
 }

@@ -1,0 +1,50 @@
+package serve_test
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+
+	"sompi/internal/opt"
+	"sompi/internal/serve"
+)
+
+// TestNewRejectsRetentionShorterThanTraining: a retention bound shorter
+// than the training history plus the re-optimization window means
+// tracked sessions would train on silently clamped prices — serve.New
+// must refuse the configuration instead.
+func TestNewRejectsRetentionShorterThanTraining(t *testing.T) {
+	m := testMarket()
+	m.SetRetention(50) // < default history (96) + window (15)
+	if _, err := serve.New(serve.Config{Market: m}); !errors.Is(err, opt.ErrInvalidConfig) {
+		t.Fatalf("serve.New accepted retention 50h < history+window, err = %v", err)
+	}
+
+	ok := testMarket()
+	ok.SetRetention(120) // covers 96 + 15
+	if _, err := serve.New(serve.Config{Market: ok}); err != nil {
+		t.Fatalf("serve.New rejected a sufficient retention bound: %v", err)
+	}
+}
+
+// TestMonteCarloOnRetainedMarket: Monte Carlo draws start points from
+// History (96h) onward, so on a compacted market some training windows
+// reach before the retained head. They must clamp to the head, not
+// panic — regression for Trace.Window producing a negative slice bound
+// on ranges entirely before the compaction head.
+func TestMonteCarloOnRetainedMarket(t *testing.T) {
+	m := testMarket() // 240h of history
+	m.SetRetention(120)
+	ts := newTestServer(t, serve.Config{Market: m})
+
+	code, _, body := postJSON(t, ts.URL+"/v1/montecarlo", serve.MonteCarloRequest{
+		App:           "BT",
+		DeadlineHours: 10,
+		Runs:          32,
+		Seed:          1,
+		Strategy:      "spot-avg",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("montecarlo on a retained market: %d %s", code, body)
+	}
+}

@@ -93,6 +93,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheSize == 0 {
 		s.cache = newPlanCache(256)
 	}
+	// With ring-buffer retention, a tracked session trains on the
+	// trailing HistoryHours behind each T_m boundary; a bound shorter
+	// than history + window means reads before the retained head get
+	// silently clamped to the oldest surviving sample. Refuse the
+	// misconfiguration instead of planning on wrong prices.
+	if r := cfg.Market.Retention(); r > 0 && r < s.history+s.window {
+		return nil, fmt.Errorf("%w: retention %gh < history %gh + window %gh: tracked sessions would train on silently truncated prices (raise -retain or lower -history/-window)",
+			opt.ErrInvalidConfig, r, s.history, s.window)
+	}
 	return s, nil
 }
 

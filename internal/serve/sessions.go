@@ -95,6 +95,16 @@ func (s *Server) advanceSessionsLocked(ctx context.Context) (reopted, completed 
 // a re-optimization ran and whether the session reached a terminal
 // state.
 func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (reopted int, done bool) {
+	// Retention guard: New rejects retain < history + window for the
+	// server defaults, but a request can ask for a longer history and a
+	// lagging session can fall behind compaction. If this window's
+	// replay start or training window reaches before the retained head
+	// of the session's shards, the market clamps those reads to the
+	// oldest survivor — count it so operators see the wrong-price replay
+	// instead of it staying silent.
+	if head := s.market.RetainedStartFor(t.keys); head-1e-9 > math.Min(t.sess.Now(), math.Max(0, t.boundary-t.history)) {
+		s.met.windowTruncations.Add(1)
+	}
 	if dur := t.boundary - t.sess.Now(); dur > 0 {
 		t.sess.Advance(t.plan, dur)
 	}

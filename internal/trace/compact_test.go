@@ -85,6 +85,32 @@ func TestCompactedWindowMatchesUncompacted(t *testing.T) {
 	}
 }
 
+// TestWindowBeforeHead: windowing a range at or before the compaction
+// head must clamp, never panic. Regression: a window lying entirely
+// before the retained head left hi negative, and lo (clamped to hi)
+// drove Prices[lo:hi] out of range ("slice bounds out of range [:-6]") —
+// reachable via Monte Carlo baselines windowing [start-history, start)
+// for starts before the head when retention is shorter than the market.
+func TestWindowBeforeHead(t *testing.T) {
+	c := seqTrace(240).Compact(120) // retained range starts at hour 10
+	if got := c.StartHour(); got != 10 {
+		t.Fatalf("StartHour() = %v, want 10", got)
+	}
+	for _, win := range []struct{ start, dur float64 }{
+		{0, 5}, {0, 9.9}, {2, 3}, {9, 0.5},
+	} {
+		w := c.Window(win.start, win.dur)
+		if w.Len() != 0 {
+			t.Errorf("window [%v,+%v) before the head: %d samples, want empty", win.start, win.dur, w.Len())
+		}
+	}
+	// A window straddling the head clamps its start to the head.
+	w := c.Window(5, 10)
+	if w.Len() != 60 || w.Prices[0] != 120 {
+		t.Errorf("straddling window: len %d first %v, want 60 samples starting at 120", w.Len(), w.Prices[0])
+	}
+}
+
 func TestAppendAndCloneCarryHead(t *testing.T) {
 	c := seqTrace(120).Compact(20)
 	grown := c.Append(New(DefaultStep, []float64{1000, 1001}))

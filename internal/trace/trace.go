@@ -53,6 +53,11 @@ func (t *Trace) Len() int { return len(t.Prices) }
 // trace has observed, including any samples Compact dropped.
 func (t *Trace) Duration() float64 { return float64(t.Head+len(t.Prices)) * t.Step }
 
+// StartHour reports the absolute hour of the oldest retained sample —
+// zero until Compact drops samples. Lookups and windows before this hour
+// are clamped to the retained range.
+func (t *Trace) StartHour() float64 { return float64(t.Head) * t.Step }
+
 // IndexAt converts an absolute hour offset into an index into Prices,
 // clamped to the retained range.
 func (t *Trace) IndexAt(hour float64) int {
@@ -85,6 +90,11 @@ func (t *Trace) Window(startHour, durHours float64) *Trace {
 	hi := int(math.Ceil((startHour+durHours)/t.Step)) - t.Head
 	if lo < 0 {
 		lo = 0
+	}
+	if hi < 0 {
+		// The window lies entirely before the compaction head: clamp to
+		// an empty window instead of slicing with a negative bound.
+		hi = 0
 	}
 	if hi > len(t.Prices) {
 		hi = len(t.Prices)
