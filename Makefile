@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve-smoke bench check
+.PHONY: all build vet test race serve-smoke bench obs-bench check
 
 all: check
 
@@ -34,3 +34,9 @@ check: build vet race serve-smoke
 # worker pool, and fails if the variants disagree on the plan.
 bench:
 	$(GO) run ./cmd/bench -benchtime 5x -out BENCH_opt.json
+
+# Observability overhead gate: the κ-subset search with tracing disabled
+# (no collector in context) must stay within 2% of the serial-pruned
+# ns/op recorded in BENCH_opt.json.
+obs-bench:
+	$(GO) run ./cmd/bench -obscheck -baseline BENCH_opt.json

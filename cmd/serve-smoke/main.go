@@ -70,17 +70,19 @@ func run() error {
 	}
 	defer cmd.Process.Kill()
 
-	// The first stdout line announces the bound address.
+	// An early stdout line announces the bound address (structured logs
+	// go to stderr, but tolerate other stdout chatter before the banner).
 	sc := bufio.NewScanner(stdout)
-	if !sc.Scan() {
-		return fmt.Errorf("sompid printed nothing")
+	base := ""
+	for lines := 0; base == "" && lines < 20 && sc.Scan(); lines++ {
+		banner := sc.Text()
+		if i := strings.Index(banner, "http://"); i >= 0 {
+			base = strings.Fields(banner[i:])[0]
+		}
 	}
-	banner := sc.Text()
-	i := strings.Index(banner, "http://")
-	if i < 0 {
-		return fmt.Errorf("no listen address in banner %q", banner)
+	if base == "" {
+		return fmt.Errorf("sompid never printed a listen banner on stdout")
 	}
-	base := strings.Fields(banner[i:])[0]
 	fmt.Printf("serve-smoke: sompid at %s\n", base)
 	go io.Copy(io.Discard, stdout) // keep the pipe drained
 
@@ -114,6 +116,10 @@ func run() error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("plan request: %d %s", resp.StatusCode, served)
 	}
+	planReqID := resp.Header.Get("X-Request-Id")
+	if planReqID == "" {
+		return fmt.Errorf("plan response carries no X-Request-Id header")
+	}
 
 	// Library path: rebuild the identical market state in-process and
 	// render through the same encoding helper. Any divergence — price
@@ -139,6 +145,25 @@ func run() error {
 	}
 	fmt.Println("serve-smoke: served plan is byte-identical to the library path")
 
+	// The flight recorder must have the plan request's trace: filtering
+	// /debug/trace by the response's request ID has to surface both the
+	// HTTP root span and the optimizer spans nested under it.
+	if err := checkTrace(base, planReqID); err != nil {
+		return err
+	}
+
+	// ?explain=1 must return the same plan plus a populated decision
+	// trail, without poisoning the plan cache (the explain body differs
+	// from the cached byte-identical plan).
+	if err := checkExplain(base, payload, served); err != nil {
+		return err
+	}
+
+	// The endpoint latency histograms must be live on /metrics.
+	if err := checkMetrics(base); err != nil {
+		return err
+	}
+
 	// Graceful shutdown: SIGTERM must drain and exit cleanly.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
@@ -154,6 +179,106 @@ func run() error {
 		return fmt.Errorf("sompid did not exit within 15s of SIGTERM")
 	}
 	fmt.Println("serve-smoke: graceful shutdown ok")
+	return nil
+}
+
+// checkTrace pulls the span ring filtered to the plan request's ID and
+// verifies the HTTP root span and the optimizer stage spans are there.
+func checkTrace(base, reqID string) error {
+	resp, err := http.Get(base + "/debug/trace?request_id=" + reqID)
+	if err != nil {
+		return fmt.Errorf("fetching trace: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/trace: %d %s", resp.StatusCode, body)
+	}
+	var tr serve.TraceResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		return fmt.Errorf("/debug/trace is not valid JSON: %w (%s)", err, body)
+	}
+	if tr.Total == 0 || len(tr.Spans) == 0 {
+		return fmt.Errorf("/debug/trace has no spans for request %s: %s", reqID, body)
+	}
+	names := map[string]bool{}
+	for _, sp := range tr.Spans {
+		if sp.TraceID != reqID {
+			return fmt.Errorf("span %q has trace %q, want %q", sp.Name, sp.TraceID, reqID)
+		}
+		if sp.SpanID == 0 || sp.DurationNs < 0 {
+			return fmt.Errorf("span %q malformed: %+v", sp.Name, sp)
+		}
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"http.plan", "opt.optimize", "opt.subset_search"} {
+		if !names[want] {
+			return fmt.Errorf("trace for %s is missing span %q (got %v)", reqID, want, names)
+		}
+	}
+	fmt.Printf("serve-smoke: /debug/trace has %d spans for the plan request\n", len(tr.Spans))
+	return nil
+}
+
+// checkExplain re-requests the plan with ?explain=1 and verifies the
+// trail is populated while the plan itself is unchanged.
+func checkExplain(base string, payload, served []byte) error {
+	resp, err := http.Post(base+"/v1/plan?explain=1", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("requesting explained plan: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("explain request: %d %s", resp.StatusCode, body)
+	}
+	var pr serve.PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return fmt.Errorf("explained plan is not valid JSON: %w", err)
+	}
+	ex := pr.Explain
+	if ex == nil {
+		return fmt.Errorf("?explain=1 returned no explain payload: %s", body)
+	}
+	if len(ex.Candidates) == 0 || len(ex.Stages) == 0 || len(ex.Selected) == 0 {
+		return fmt.Errorf("explain trail incomplete: %d candidates, %d stages, %d selected",
+			len(ex.Candidates), len(ex.Stages), len(ex.Selected))
+	}
+	// Stripping the trail must give back the exact plan bytes the cached
+	// path served — explain observes the decision, never perturbs it.
+	pr.Explain = nil
+	stripped, _ := json.Marshal(pr)
+	if !bytes.Equal(stripped, served) {
+		return fmt.Errorf("explained plan differs from served plan:\nexplain %s\n served %s", stripped, served)
+	}
+	fmt.Printf("serve-smoke: ?explain=1 returned %d candidate decisions over %d stages, plan unchanged\n",
+		len(ex.Candidates), len(ex.Stages))
+	return nil
+}
+
+// checkMetrics verifies the request-latency histogram is exposed with
+// its TYPE header and has recorded the plan requests.
+func checkMetrics(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("fetching metrics: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics: %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE sompid_request_seconds histogram",
+		`sompid_request_seconds_count{endpoint="plan"}`,
+		`sompid_request_seconds_bucket{endpoint="plan",le="+Inf"}`,
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("/metrics is missing %q", want)
+		}
+	}
+	fmt.Println("serve-smoke: request latency histograms are exposed")
 	return nil
 }
 

@@ -6,12 +6,22 @@
 // Usage:
 //
 //	sompi -app BT -deadline 1.5 [-seed 42] [-hours 720] [-replay 20] [-parallel N]
+//	sompi explain -app BT -deadline 1.5 [-seed 42] [-hours 720] [-json]
+//
+// The explain subcommand runs the same optimization with the decision
+// trail enabled and renders why each candidate market was kept or
+// rejected, how long every pipeline stage took, and what the search
+// selected (-json dumps the raw trail instead).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"sompi/internal/app"
 	"sompi/internal/baselines"
@@ -23,6 +33,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sompi: ")
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		runExplain(os.Args[2:])
+		return
+	}
 	var (
 		name     = flag.String("app", "BT", "workload: BT SP LU FT IS BTIO LAMMPS-32 LAMMPS-128")
 		deadline = flag.Float64("deadline", 1.5, "deadline as a multiple of Baseline Time")
@@ -61,6 +75,70 @@ func main() {
 		fmt.Printf("\nadaptive replay: %s\n", st.String())
 		fmt.Printf("normalized cost vs baseline: %.2f\n", st.Cost.Mean()/baselineFleet.FullCost())
 	}
+}
+
+// runExplain is the `sompi explain` subcommand: the same optimization
+// with the decision trail on, rendered for a human (or as JSON).
+func runExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	var (
+		name     = fs.String("app", "BT", "workload: BT SP LU FT IS BTIO LAMMPS-32 LAMMPS-128")
+		deadline = fs.Float64("deadline", 1.5, "deadline as a multiple of Baseline Time")
+		seed     = fs.Uint64("seed", 42, "market seed")
+		hours    = fs.Float64("hours", 720, "market history length")
+		parallel = fs.Int("parallel", 0, "optimizer worker count (0 = GOMAXPROCS)")
+		asJSON   = fs.Bool("json", false, "dump the raw trail as JSON instead of rendering it")
+	)
+	fs.Parse(args)
+
+	profile, ok := app.ByName(*name)
+	if !ok {
+		log.Fatalf("unknown workload %q", *name)
+	}
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), *hours, *seed)
+	baselineFleet := opt.FastestOnDemand(nil, profile)
+	dl := baselineFleet.T * *deadline
+
+	train := m.Window(0, baselines.History)
+	res, err := opt.OptimizeContext(context.Background(),
+		opt.Config{Profile: profile, Market: train, Deadline: dl, Workers: *parallel},
+		opt.WithExplain())
+	if err != nil {
+		log.Fatalf("optimization failed: %v", err)
+	}
+	ex := res.Explain
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ex); err != nil {
+			log.Fatalf("encoding trail: %v", err)
+		}
+		return
+	}
+
+	fmt.Printf("workload %s, deadline %.1fh (%.2fx baseline)\n", profile.Name, dl, *deadline)
+	fmt.Printf("search: kappa=%d grid=%d workers=%d  baseline $%.0f on-demand\n\n",
+		ex.Kappa, ex.GridLevels, ex.Workers, ex.BaselineCost)
+	fmt.Println("stages:")
+	for _, st := range ex.Stages {
+		fmt.Printf("  %-22s %s\n", st.Name, time.Duration(st.DurationNs).Round(time.Microsecond))
+	}
+	fmt.Printf("  %-22s %s\n", "total", time.Duration(ex.TotalNs).Round(time.Microsecond))
+	fmt.Printf("\ncandidates (%d):\n", len(ex.Candidates))
+	for _, d := range ex.Candidates {
+		mark := "-"
+		switch {
+		case d.Selected:
+			mark = "*"
+		case d.Kept:
+			mark = "+"
+		}
+		fmt.Printf("  %s %-26s %s\n", mark, d.Market, d.Reason)
+	}
+	fmt.Printf("\nselected: %v\n", ex.Selected)
+	fmt.Printf("%d evaluations, %d pruned\n", ex.Evals, ex.Pruned)
+	printPlan(res)
 }
 
 func printPlan(res opt.Result) {

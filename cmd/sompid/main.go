@@ -6,7 +6,8 @@
 //
 //	sompid [-addr :8377] [-seed 42] [-hours 720] [-traces DIR]
 //	       [-window 15] [-history 96] [-cache 256] [-timeout 60s]
-//	       [-retain 0]
+//	       [-retain 0] [-log-format text|ndjson] [-log-level info]
+//	       [-trace-ring 4096]
 //
 // The market is either synthesized (-seed/-hours) or loaded from a
 // cmd/tracegen CSV directory (-traces). The v1 API:
@@ -15,10 +16,14 @@
 //	POST /v1/evaluate    cost-model an explicit plan
 //	POST /v1/montecarlo  replay a strategy over the ingested market
 //	POST /v1/prices      append spot-price ticks (array or NDJSON)
-//	GET  /v1/sessions    tracked Algorithm-1 sessions
+//	GET  /v1/sessions    tracked Algorithm-1 sessions (with audit log)
 //	GET  /metrics        Prometheus text exposition
 //	GET  /healthz        liveness + market version
+//	GET  /debug/trace    recent request spans (?request_id=..., ?limit=N)
 //	GET  /debug/pprof/   runtime profiles
+//
+// POST /v1/plan also accepts ?explain=1, returning the optimizer's
+// decision trail alongside the plan.
 //
 // SIGINT/SIGTERM drain in-flight requests before exit.
 package main
@@ -37,6 +42,7 @@ import (
 	"time"
 
 	"sompi/internal/cloud"
+	"sompi/internal/obs"
 	"sompi/internal/serve"
 )
 
@@ -52,13 +58,26 @@ func main() {
 		history = flag.Float64("history", 0, "default training history in hours (0 = default 96)")
 		cache   = flag.Int("cache", 256, "plan cache entries")
 		timeout = flag.Duration("timeout", 60*time.Second, "per-request timeout for plan/evaluate/montecarlo")
-		retain  = flag.Float64("retain", 0, "per-shard price retention in hours (0 = unbounded): a long-lived feed keeps only this much trailing history per (type, zone) shard, compacting older samples")
+		retain    = flag.Float64("retain", 0, "per-shard price retention in hours (0 = unbounded): a long-lived feed keeps only this much trailing history per (type, zone) shard, compacting older samples")
+		logFormat = flag.String("log-format", "text", "structured log encoding: text or ndjson")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		traceRing = flag.Int("trace-ring", 0, "span ring capacity for /debug/trace (0 = default 4096)")
 	)
 	flag.Parse()
 
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		log.Fatalf("bad -log-format: %v", err)
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("bad -log-level: %v", err)
+	}
+	logger := obs.NewLogger(os.Stderr, level, format)
+
 	var m *cloud.Market
-	var err error
 	if *traces != "" {
+		var err error
 		m, err = cloud.LoadMarket(*traces, cloud.DefaultCatalog(), cloud.DefaultZones())
 		if err != nil {
 			log.Fatalf("loading market: %v", err)
@@ -76,10 +95,23 @@ func main() {
 		HistoryHours:   *history,
 		CacheSize:      *cache,
 		RequestTimeout: *timeout,
+		TraceRing:      *traceRing,
+		Logger:         logger,
 	})
 	if err != nil {
 		log.Fatalf("configuring service: %v", err)
 	}
+
+	// One structured line with the effective startup configuration, so
+	// operators (and log pipelines) see what this process actually runs
+	// with — defaults resolved, not just the flags that were set.
+	logger.Info("starting",
+		"addr", *addr, "seed", *seed, "hours", *hours, "traces", *traces,
+		"window", *window, "history", *history, "cache", *cache,
+		"timeout", timeout.String(), "retain", *retain,
+		"log_format", *logFormat, "log_level", *logLevel, "trace_ring", *traceRing,
+		"market_version", m.Version(), "markets", m.NumMarkets(),
+		"frontier_hours", m.MinDuration())
 
 	// Listen before announcing so -addr :0 callers can parse a real port.
 	ln, err := net.Listen("tcp", *addr)

@@ -9,7 +9,9 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
+	"sompi/internal/obs"
 	"sompi/internal/stats"
 	"sompi/internal/trace"
 )
@@ -160,6 +162,11 @@ type Market struct {
 	// math.Float64bits (0 = unbounded), atomically so SetRetention is
 	// safe against concurrent appends.
 	retainBits atomic.Uint64
+
+	// collector, when set, records one "market.append" span per Append.
+	// An atomic pointer so SetCollector is safe against in-flight appends;
+	// nil (the default) keeps the ingest path free of clock reads.
+	collector atomic.Pointer[obs.Collector]
 }
 
 // NewMarket assembles a market over the given traces at version 1. The
@@ -237,6 +244,12 @@ func (m *Market) Retention() float64 {
 	return math.Float64frombits(m.retainBits.Load())
 }
 
+// SetCollector installs (or, with nil, removes) a span collector: every
+// subsequent Append records a "market.append" span with the shard key,
+// sample count and shard version. Safe to call concurrently with
+// ingestion; without a collector the append path performs no clock reads.
+func (m *Market) SetCollector(c *obs.Collector) { m.collector.Store(c) }
+
 // Append extends one shard's price history with new samples (prices in
 // $/instance-hour, one per trace step) and returns the market's new
 // composite version. Only the target shard is locked: concurrent appends
@@ -246,12 +259,24 @@ func (m *Market) Retention() float64 {
 // no-op that still bumps both the shard and composite versions (the
 // ingestion heartbeat advanced, even if no price changed).
 func (m *Market) Append(key MarketKey, samples []float64) (uint64, error) {
+	col := m.collector.Load()
+	var start time.Time
+	if col != nil {
+		start = time.Now()
+	}
 	s, ok := m.shards[key]
 	if !ok {
 		return m.Version(), fmt.Errorf("%w: %v", ErrUnknownMarket, key)
 	}
-	if _, err := s.append(samples, m.Retention()); err != nil {
+	sv, err := s.append(samples, m.Retention())
+	if err != nil {
 		return m.Version(), err
+	}
+	if col != nil {
+		col.RecordSpan("market.append", start,
+			obs.Attr{Key: "market", Value: key.String()},
+			obs.Attr{Key: "samples", Value: fmt.Sprint(len(samples))},
+			obs.Attr{Key: "shard_version", Value: fmt.Sprint(sv)})
 	}
 	return m.base + m.ticks.Add(1), nil
 }

@@ -1,0 +1,61 @@
+package obs
+
+import "context"
+
+type ctxKey int
+
+const (
+	collectorKey ctxKey = iota
+	spanKey
+)
+
+// WithCollector installs the collector into the context, turning span
+// recording on for everything downstream.
+func WithCollector(ctx context.Context, c *Collector) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, collectorKey, c)
+}
+
+// CollectorFrom returns the context's collector, or nil when tracing is
+// disabled. The nil answer is the disabled fast path: one allocation-free
+// context lookup.
+func CollectorFrom(ctx context.Context) *Collector {
+	c, _ := ctx.Value(collectorKey).(*Collector)
+	return c
+}
+
+// SpanFrom returns the context's active span (nil when none).
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey).(*Span)
+	return sp
+}
+
+// StartSpan starts a child of the context's active span (a fresh root
+// when there is none) and returns a context carrying it. With no
+// collector installed it returns (ctx, nil) untouched — no allocation,
+// no clock read — and the nil span's methods all no-op.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	c := CollectorFrom(ctx)
+	if c == nil {
+		return ctx, nil
+	}
+	sp := c.newSpan(name, SpanFrom(ctx))
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// StartRoot installs the collector and starts a root span whose trace ID
+// is the given request ID — the serve middleware's entry point, which is
+// what lets /debug/trace?request_id=... find a request's whole tree.
+func StartRoot(ctx context.Context, c *Collector, name, traceID string) (context.Context, *Span) {
+	if c == nil {
+		return ctx, nil
+	}
+	ctx = WithCollector(ctx, c)
+	sp := c.newSpan(name, nil)
+	if traceID != "" {
+		sp.data.TraceID = traceID
+	}
+	return context.WithValue(ctx, spanKey, sp), sp
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// DefaultLatencyBounds are the fixed histogram bucket upper bounds in
+// seconds used for request latencies: sub-millisecond cache hits through
+// the 60s request timeout, roughly 2.5x apart so neighbouring buckets
+// stay distinguishable on a log axis. An implicit +Inf bucket follows.
+var DefaultLatencyBounds = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket, lock-free latency histogram: observation
+// is two atomic adds plus a CAS loop for the sum, so the serve hot path
+// never takes a lock. Bounds are immutable after construction.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf implicit at the end
+	counts  []atomic.Uint64
+	total   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (nil means DefaultLatencyBounds).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value (seconds, for latency histograms).
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket holding the target rank. Values in the overflow
+// bucket are reported as the largest finite bound — an underestimate,
+// which is the conservative direction for a latency SLO readout. Returns
+// NaN with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c >= target && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) { // overflow bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			frac := (target - cum) / c
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// WriteProm writes the histogram as Prometheus exposition sample lines —
+// cumulative _bucket series, then _sum and _count — under the given
+// metric family name. labels is either empty or a pre-rendered
+// `key="value"` list without braces; the caller writes the family's
+// # HELP/# TYPE header (once per family, which may span label sets).
+func (h *Histogram) WriteProm(w io.Writer, name, labels string) {
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		if labels == "" {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, labels, le, cum)
+		}
+	}
+	lb, rb := "{", "}"
+	if labels == "" {
+		lb, rb = "", ""
+	}
+	fmt.Fprintf(w, "%s_sum%s%s%s %.9g\n", name, lb, labels, rb, h.Sum())
+	fmt.Fprintf(w, "%s_count%s%s%s %d\n", name, lb, labels, rb, h.Count())
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel resolves a level name (debug, info, warn, error).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// Format selects the log line encoding.
+type Format int8
+
+const (
+	// FormatText renders "ts LEVEL msg key=value ...".
+	FormatText Format = iota
+	// FormatNDJSON renders one JSON object per line.
+	FormatNDJSON
+)
+
+// ParseFormat resolves a format name (text, ndjson).
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "text":
+		return FormatText, nil
+	case "ndjson", "json":
+		return FormatNDJSON, nil
+	}
+	return FormatText, fmt.Errorf("obs: unknown log format %q", s)
+}
+
+// Logger is a leveled structured logger. Methods take a message plus
+// alternating key/value pairs; a nil *Logger discards everything, so
+// optional logging never needs a call-site branch.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	level  Level
+	format Format
+}
+
+// NewLogger builds a logger writing lines at or above level to w.
+func NewLogger(w io.Writer, level Level, format Format) *Logger {
+	return &Logger{w: w, level: level, format: format}
+}
+
+// Enabled reports whether the logger would emit at the given level.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.level
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	ts := time.Now().UTC().Format(time.RFC3339Nano)
+	var line []byte
+	switch l.format {
+	case FormatNDJSON:
+		// Keys land in a flat object after the fixed ts/level/msg fields.
+		// Marshal through a map is tempting but loses order; build the
+		// object by hand, JSON-encoding each piece.
+		var b strings.Builder
+		b.WriteString(`{"ts":`)
+		b.Write(jsonEnc(ts))
+		b.WriteString(`,"level":`)
+		b.Write(jsonEnc(level.String()))
+		b.WriteString(`,"msg":`)
+		b.Write(jsonEnc(msg))
+		for i := 0; i+1 < len(kv); i += 2 {
+			b.WriteByte(',')
+			b.Write(jsonEnc(fmt.Sprint(kv[i])))
+			b.WriteByte(':')
+			b.Write(jsonEnc(kv[i+1]))
+		}
+		if len(kv)%2 == 1 {
+			b.WriteString(`,"!BADKEY":`)
+			b.Write(jsonEnc(kv[len(kv)-1]))
+		}
+		b.WriteString("}\n")
+		line = []byte(b.String())
+	default:
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s %-5s %s", ts, strings.ToUpper(level.String()), msg)
+		for i := 0; i+1 < len(kv); i += 2 {
+			fmt.Fprintf(&b, " %v=%v", kv[i], kv[i+1])
+		}
+		if len(kv)%2 == 1 {
+			fmt.Fprintf(&b, " !BADKEY=%v", kv[len(kv)-1])
+		}
+		b.WriteByte('\n')
+		line = []byte(b.String())
+	}
+	l.mu.Lock()
+	l.w.Write(line)
+	l.mu.Unlock()
+}
+
+// jsonEnc encodes one value as JSON, falling back to its fmt rendering
+// when the value does not marshal (channels, funcs, NaN floats).
+func jsonEnc(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return b
+}

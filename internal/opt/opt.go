@@ -14,10 +14,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sompi/internal/app"
 	"sompi/internal/cloud"
 	"sompi/internal/model"
+	"sompi/internal/obs"
 )
 
 // Defaults from the paper's parameter study (Section 5.2).
@@ -82,6 +84,11 @@ type Config struct {
 	// exists for the benchmark-regression harness and the determinism
 	// tests.
 	DisablePruning bool
+	// Explain records the decision trail — per-candidate keep/reject
+	// reasons, per-stage durations, the selected subset — into
+	// Result.Explain. The plan itself is unaffected; the trail costs a
+	// few allocations and clock reads, so it is off by default.
+	Explain bool
 }
 
 func (c Config) withDefaults() Config {
@@ -234,6 +241,9 @@ type Result struct {
 	// with Workers=1.
 	Evals  int
 	Pruned int
+	// Explain is the decision trail, populated only when Config.Explain
+	// was set (nil otherwise).
+	Explain *Explain
 }
 
 // Optimize runs the full SOMPI pipeline and returns the cheapest plan
@@ -271,9 +281,49 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 		return Result{}, err
 	}
 
+	// The decision trail and the span tree share one stage clock; when
+	// neither is requested (no Explain, no collector in ctx) every
+	// instrumentation point below is a nil-receiver no-op and the search
+	// runs exactly as before — the overhead budget cmd/bench -obscheck
+	// enforces.
+	var ex *Explain
+	var t0 time.Time
+	if cfg.Explain {
+		ex = &Explain{Kappa: cfg.Kappa, GridLevels: cfg.GridLevels}
+		t0 = time.Now()
+	}
+	ctx, osp := obs.StartSpan(ctx, "opt.optimize")
+	sc := newStageClock(ctx, ex)
+	finish := func(res Result, err error) (Result, error) {
+		sc.close()
+		if ex != nil {
+			ex.Evals, ex.Pruned = res.Evals, res.Pruned
+			ex.TotalNs = time.Since(t0).Nanoseconds()
+			for _, gp := range res.Plan.Groups {
+				key := gp.Group.Key.String()
+				ex.Selected = append(ex.Selected, key)
+				for i := range ex.Candidates {
+					if ex.Candidates[i].Market == key {
+						ex.Candidates[i].Selected = true
+					}
+				}
+			}
+			res.Explain = ex
+		}
+		if osp != nil {
+			osp.AttrInt("evals", int64(res.Evals))
+			osp.AttrInt("pruned", int64(res.Pruned))
+			osp.AttrFloat("cost", res.Est.Cost)
+			osp.Fail(err)
+			osp.End()
+		}
+		return res, err
+	}
+
 	// Tight deadlines (the paper's 1.05x Baseline) leave less headroom
 	// than the default 20% slack; relax the slack before giving up, so a
 	// deadline that is feasible at all gets a plan.
+	sc.begin("select_on_demand")
 	od, err := SelectOnDemand(cfg.OnDemandTypes, cfg.Profile, cfg.Deadline, cfg.Slack)
 	for slack := cfg.Slack / 2; err != nil && slack > 0.005; slack /= 2 {
 		od, err = SelectOnDemand(cfg.OnDemandTypes, cfg.Profile, cfg.Deadline, slack)
@@ -284,22 +334,27 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 	if err != nil {
 		fallback := FastestOnDemand(cfg.OnDemandTypes, cfg.Profile)
 		plan := model.Plan{Recovery: fallback}
-		return Result{Plan: plan, Est: model.Evaluate(plan)}, err
+		return finish(Result{Plan: plan, Est: model.Evaluate(plan)}, err)
 	}
 
-	groups, err := buildGroups(cfg)
+	sc.begin("enumerate_candidates")
+	groups, err := buildGroups(cfg, ex)
 	if err != nil {
-		return Result{}, err
+		return finish(Result{}, err)
 	}
 	best := Result{Plan: model.Plan{Recovery: od}}
 	best.Est = model.Evaluate(best.Plan)
 	evals := 1
+	if ex != nil {
+		ex.BaselineCost = best.Est.Cost
+	}
 
 	// Prepare every (group, bid-grid-point) pair once, with its
 	// F = φ(P) interval; subsets below only combine prepared groups.
 	// Prewarm publishes each group's per-bid caches for the whole grid
 	// while still single-threaded, so the parallel search below only ever
 	// takes the lock-free read path.
+	sc.begin("bid_grid")
 	prepared := make([][]*model.PreparedGroup, len(groups))
 	for i, g := range groups {
 		grid := BidGrid(g, cfg.GridLevels)
@@ -317,6 +372,17 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 	// Rank groups by their best standalone expected cost and keep the
 	// strongest MaxGroups for the subset traversal.
 	if len(groups) > cfg.MaxGroups {
+		sc.begin("rank_candidates")
+		// decIdx maps group index i to its entry in ex.Candidates (the
+		// kept decisions, in enumeration order).
+		var decIdx []int
+		if ex != nil {
+			for i := range ex.Candidates {
+				if ex.Candidates[i].Kept {
+					decIdx = append(decIdx, i)
+				}
+			}
+		}
 		type scored struct {
 			idx   int
 			score float64
@@ -335,6 +401,9 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 				}
 			}
 			scores[i] = scored{i, best}
+			if ex != nil {
+				ex.Candidates[decIdx[i]].StandaloneCost = best
+			}
 		}
 		sort.Slice(scores, func(a, b int) bool { return scores[a].score < scores[b].score })
 		keptGroups := make([]*model.Group, cfg.MaxGroups)
@@ -342,6 +411,19 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 		for j := 0; j < cfg.MaxGroups; j++ {
 			keptGroups[j] = groups[scores[j].idx]
 			keptPrepared[j] = prepared[scores[j].idx]
+		}
+		if ex != nil {
+			for rank := range scores {
+				d := &ex.Candidates[decIdx[scores[rank].idx]]
+				if rank < cfg.MaxGroups {
+					d.Reason = fmt.Sprintf("standalone cost $%.2f ranked %d of %d, within the top-%d cutoff",
+						scores[rank].score, rank+1, len(scores), cfg.MaxGroups)
+				} else {
+					d.Kept = false
+					d.Reason = fmt.Sprintf("dominated: standalone cost $%.2f ranked %d of %d, below the top-%d cutoff",
+						scores[rank].score, rank+1, len(scores), cfg.MaxGroups)
+				}
+			}
 		}
 		groups, prepared = keptGroups, keptPrepared
 	}
@@ -352,7 +434,7 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 	}
 	if len(groups) == 0 {
 		best.Evals = evals
-		return best, nil
+		return finish(best, nil)
 	}
 
 	// Traverse every subset of up to κ circle groups (Section 4.4's
@@ -372,6 +454,9 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 	}
 	if workers > len(groups) {
 		workers = len(groups)
+	}
+	if ex != nil {
+		ex.Workers = workers
 	}
 
 	// minSpot[i] bounds the cheapest possible spot contribution of group
@@ -405,6 +490,7 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 		}()
 	}
 
+	sc.begin("subset_search")
 	incumbent := newSharedCost(best.Est.Cost)
 	parts := make([]partitionResult, len(groups))
 	tasks := make(chan int)
@@ -413,6 +499,8 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			_, wsp := obs.StartSpan(ctx, "opt.search.worker")
+			partitions, wevals, wpruned := 0, 0, 0
 			s := &searcher{
 				cfg:       cfg,
 				od:        od,
@@ -430,6 +518,15 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 			}
 			for first := range tasks {
 				parts[first] = s.searchPartition(first)
+				partitions++
+				wevals += parts[first].evals
+				wpruned += parts[first].pruned
+			}
+			if wsp != nil {
+				wsp.AttrInt("partitions", int64(partitions))
+				wsp.AttrInt("evals", int64(wevals))
+				wsp.AttrInt("pruned", int64(wpruned))
+				wsp.End()
 			}
 		}()
 	}
@@ -453,9 +550,9 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 		// The merge above still ran: the partial Result documents how far
 		// the search got (and may hold a usable incumbent plan), but a
 		// cancelled search makes no optimality claim.
-		return best, err
+		return finish(best, err)
 	}
-	return best, nil
+	return finish(best, nil)
 }
 
 // sharedCost is the workers' shared incumbent: the cheapest plan cost
@@ -632,8 +729,9 @@ func (s *searcher) localBound() float64 {
 // buildGroups constructs the candidate circle groups. A candidate naming
 // an instance type outside the market's catalog, or a market the trace
 // set does not cover, is a caller error (typically a stale Candidates
-// list) and is reported as such rather than panicking.
-func buildGroups(cfg Config) ([]*model.Group, error) {
+// list) and is reported as such rather than panicking. With ex non-nil
+// every candidate's keep/reject decision lands in the trail.
+func buildGroups(cfg Config, ex *Explain) ([]*model.Group, error) {
 	groups := make([]*model.Group, 0, len(cfg.Candidates))
 	for _, key := range cfg.Candidates {
 		it, ok := cfg.Market.Catalog().ByName(key.Type)
@@ -648,8 +746,23 @@ func buildGroups(cfg Config) ([]*model.Group, error) {
 		// A group that cannot finish before the deadline even alone and
 		// failure-free can still contribute checkpoints, but in practice
 		// it only burns money; prune it like the paper's implementation.
-		if float64(g.T) <= cfg.Deadline {
+		kept := float64(g.T) <= cfg.Deadline
+		if kept {
 			groups = append(groups, g)
+		}
+		if ex != nil {
+			d := CandidateDecision{
+				Market:          g.Key.String(),
+				Kept:            kept,
+				StandaloneHours: float64(g.T),
+			}
+			if kept {
+				d.Reason = "entered the κ-subset search"
+			} else {
+				d.Reason = fmt.Sprintf("standalone completion time %.1fh exceeds the %.1fh deadline even failure-free",
+					float64(g.T), cfg.Deadline)
+			}
+			ex.Candidates = append(ex.Candidates, d)
 		}
 	}
 	return groups, nil

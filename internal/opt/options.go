@@ -47,3 +47,8 @@ func WithoutCheckpoints() Option { return func(c *Config) { c.DisableCheckpoints
 // WithoutPruning disables the branch-and-bound cuts, forcing exhaustive
 // enumeration (benchmark and determinism harnesses only).
 func WithoutPruning() Option { return func(c *Config) { c.DisablePruning = true } }
+
+// WithExplain records the optimizer's decision trail into Result.Explain
+// (per-candidate keep/reject reasons, per-stage durations, the selected
+// subset). The plan itself is unaffected.
+func WithExplain() Option { return func(c *Config) { c.Explain = true } }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"sompi/internal/model"
+	"sompi/internal/obs"
 	"sompi/internal/stats"
 )
 
@@ -160,6 +161,15 @@ func MonteCarloContext(ctx context.Context, st Strategy, r *Runner, cfg MCConfig
 		workers = cfg.Runs
 	}
 
+	ctx, msp := obs.StartSpan(ctx, "replay.montecarlo")
+	if msp != nil {
+		msp.AttrStr("strategy", st.Name())
+		msp.AttrInt("runs", int64(cfg.Runs))
+		msp.AttrInt("workers", int64(workers))
+		msp.AttrInt("seed", int64(cfg.Seed))
+		defer msp.End()
+	}
+
 	// Contiguous chunks per worker, merged in chunk order, reproduce the
 	// serial insertion order of every observation.
 	chunk := func(w int) (int, int) {
@@ -179,9 +189,17 @@ func MonteCarloContext(ctx context.Context, st Strategy, r *Runner, cfg MCConfig
 			defer wg.Done()
 			local := &parts[w]
 			first, last := chunk(w)
+			// Each replication i draws from RNG stream (Seed, i); the chunk
+			// span records the stream-ID range so a trace pins down exactly
+			// which replications — and which random start points — it ran.
+			_, csp := obs.StartSpan(ctx, "replay.mc.chunk")
+			if csp != nil {
+				csp.AttrInt("stream_first", int64(first))
+				csp.AttrInt("stream_last", int64(last-1))
+			}
 			for i := first; i < last; i++ {
 				if ctx.Err() != nil {
-					return
+					break
 				}
 				rng := stats.StreamRNG(cfg.Seed, uint64(i))
 				start := lo + rng.Float64()*(hi-lo)
@@ -196,6 +214,11 @@ func MonteCarloContext(ctx context.Context, st Strategy, r *Runner, cfg MCConfig
 				if o.Hours > cfg.Deadline {
 					local.DeadlineMisses++
 				}
+			}
+			if csp != nil {
+				csp.AttrInt("runs", int64(local.Runs))
+				csp.AttrInt("failures", int64(local.Failures))
+				csp.End()
 			}
 		}(w)
 	}

@@ -21,6 +21,7 @@ import (
 	"sompi/internal/app"
 	"sompi/internal/cloud"
 	"sompi/internal/model"
+	"sompi/internal/obs"
 	"sompi/internal/opt"
 )
 
@@ -165,6 +166,10 @@ type PlanResponse struct {
 	Pruned int `json:"pruned"`
 	// SessionID names the tracked session when the request set track.
 	SessionID string `json:"session_id,omitempty"`
+	// Explain is the optimizer's decision trail, present only when the
+	// request asked for it (?explain=1). Explained responses bypass the
+	// plan cache, so cached bodies never carry a trail.
+	Explain *opt.Explain `json:"explain,omitempty"`
 }
 
 // EncodePlan renders a plan for the wire.
@@ -213,6 +218,7 @@ func BuildPlanResponse(marketVersion uint64, res opt.Result) PlanResponse {
 		Estimate:      EncodeEstimate(res.Est),
 		Evals:         res.Evals,
 		Pruned:        res.Pruned,
+		Explain:       res.Explain,
 	}
 }
 
@@ -332,6 +338,48 @@ type SessionInfo struct {
 	PlanVersion   uint64  `json:"plan_version"`
 	Done          bool    `json:"done"`
 	Completed     bool    `json:"completed"`
+	// Audit is the session's append-only decision log: one record per
+	// window-boundary decision, oldest first (bounded — the oldest records
+	// are dropped past maxAuditRecords).
+	Audit []AuditRecord `json:"audit,omitempty"`
+}
+
+// AuditRecord is one window-boundary decision in a tracked session's
+// append-only audit log: what the session was running, what it switched
+// to, at which market state, and why.
+type AuditRecord struct {
+	// Window is the session's window counter after the decision;
+	// BoundaryHours the absolute market hour of the boundary that
+	// triggered it.
+	Window        int     `json:"window"`
+	BoundaryHours float64 `json:"boundary_hours"`
+	// Trigger names the decision branch: "reoptimized", "ran_out_on_demand",
+	// "completed", "recovered_on_demand" or "opt_error".
+	Trigger string `json:"trigger"`
+	// OldPlan is the plan that just finished its window; NewPlan the plan
+	// adopted for the next one (nil when the session went terminal).
+	OldPlan PlanPayload  `json:"old_plan"`
+	NewPlan *PlanPayload `json:"new_plan,omitempty"`
+	// MarketVersions is the version vector of the session's candidate
+	// shards at decision time — the exact market state the decision saw.
+	MarketVersions map[string]uint64 `json:"market_versions"`
+	// OldPlanCost is the previous plan's estimated cost at its own
+	// optimization time; NewPlanCost the adopted plan's estimate;
+	// CostDelta their difference (new − old).
+	OldPlanCost float64 `json:"old_plan_cost"`
+	NewPlanCost float64 `json:"new_plan_cost,omitempty"`
+	CostDelta   float64 `json:"cost_delta,omitempty"`
+	// Error carries the optimizer error on the "opt_error" trigger.
+	Error string `json:"error,omitempty"`
+}
+
+// TraceResponse is the GET /debug/trace payload.
+type TraceResponse struct {
+	// Total counts spans ever recorded; the ring retains only the most
+	// recent ones.
+	Total uint64 `json:"total"`
+	// Spans are the retained (optionally filtered) spans, oldest first.
+	Spans []obs.SpanData `json:"spans"`
 }
 
 // ShardHealth is one (type, zone) shard's entry in the health payload.

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"m1.medium/us-east-1a", "m1.medium/us-east-1a"},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{"", ""},
+		{"héllo→", "héllo→"}, // UTF-8 passes through, no \uXXXX escapes
+		{"\\\"\n", `\\\"\n`},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// unescapeLabel inverts escapeLabel for the round-trip property.
+func unescapeLabel(t *testing.T, v string) string {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] != '\\' {
+			b.WriteByte(v[i])
+			continue
+		}
+		i++
+		if i >= len(v) {
+			t.Fatalf("escaped value %q ends mid-escape", v)
+		}
+		switch v[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			t.Fatalf("escaped value %q has unknown escape \\%c", v, v[i])
+		}
+	}
+	return b.String()
+}
+
+// FuzzEscapeLabel checks the three properties a Prometheus parser needs
+// from a quoted label value: no raw newline survives, every quote and
+// backslash is escaped, and unescaping recovers the input exactly.
+func FuzzEscapeLabel(f *testing.F) {
+	for _, seed := range []string{
+		"m1.medium/us-east-1a", `a\b"c` + "\nd", "", `\`, `"`, "\n", "héllo→", `trailing\`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		out := escapeLabel(in)
+		if strings.ContainsRune(out, '\n') {
+			t.Fatalf("escapeLabel(%q) = %q contains a raw newline", in, out)
+		}
+		// Every quote must be escaped: scanning left to right, a quote is
+		// only legal directly after an escaping backslash.
+		for i := 0; i < len(out); i++ {
+			switch out[i] {
+			case '\\':
+				i++ // the next byte is consumed by the escape
+				if i >= len(out) {
+					t.Fatalf("escapeLabel(%q) = %q ends mid-escape", in, out)
+				}
+			case '"':
+				t.Fatalf("escapeLabel(%q) = %q has an unescaped quote at %d", in, out, i)
+			}
+		}
+		if got := unescapeLabel(t, out); got != in {
+			t.Fatalf("round trip: escapeLabel(%q) = %q unescapes to %q", in, out, got)
+		}
+	})
+}

@@ -3,9 +3,12 @@ package serve
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 	"sync/atomic"
 
 	"sompi/internal/cloud"
+	"sompi/internal/obs"
 )
 
 // endpoint indexes the per-endpoint counters.
@@ -22,13 +25,17 @@ const (
 
 var endpointNames = [numEndpoints]string{"plan", "evaluate", "montecarlo", "prices", "sessions"}
 
-// metrics is the service's observable state, all lock-free counters so
-// the hot paths never contend. Rendering is Prometheus text exposition
-// format — gauges and counters only, no client library needed.
+// metrics is the service's observable state, all lock-free counters and
+// histograms so the hot paths never contend. Rendering is Prometheus text
+// exposition format — with # HELP/# TYPE headers and paired _sum/_count
+// series, so a conformant scraper parses it — without a client library.
 type metrics struct {
-	requests  [numEndpoints]atomic.Int64
-	errors    [numEndpoints]atomic.Int64
-	latencyNs [numEndpoints]atomic.Int64
+	requests [numEndpoints]atomic.Int64
+	errors   [numEndpoints]atomic.Int64
+	// latency replaces the old lossy per-endpoint nanosecond sums: a full
+	// fixed-bucket histogram per endpoint, rendered as
+	// sompid_request_seconds{endpoint=...}.
+	latency [numEndpoints]*obs.Histogram
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -39,6 +46,10 @@ type metrics struct {
 
 	ingestTicks   atomic.Int64
 	ingestSamples atomic.Int64
+	// ingestLatency times each tick's full append→session-advance cycle
+	// per target shard (sompid_ingest_seconds{market=...}). The key set is
+	// fixed at market construction, so the map is read-only after init.
+	ingestLatency map[string]*obs.Histogram
 
 	reoptimizations   atomic.Int64
 	activeSessions    atomic.Int64
@@ -49,43 +60,137 @@ type metrics struct {
 	windowTruncations atomic.Int64
 }
 
+// init allocates the histograms. keys is the market's fixed shard set.
+func (m *metrics) init(keys []cloud.MarketKey) {
+	for ep := range m.latency {
+		m.latency[ep] = obs.NewHistogram(nil)
+	}
+	m.ingestLatency = make(map[string]*obs.Histogram, len(keys))
+	for _, k := range keys {
+		m.ingestLatency[k.String()] = obs.NewHistogram(nil)
+	}
+}
+
 // observe records one request's latency and error outcome.
-func (m *metrics) observe(ep endpoint, ns int64, failed bool) {
+func (m *metrics) observe(ep endpoint, seconds float64, failed bool) {
 	m.requests[ep].Add(1)
-	m.latencyNs[ep].Add(ns)
+	m.latency[ep].Observe(seconds)
 	if failed {
 		m.errors[ep].Add(1)
 	}
+}
+
+// observeIngest records one tick's ingest→invalidate latency for a shard.
+func (m *metrics) observeIngest(market string, seconds float64) {
+	if h, ok := m.ingestLatency[market]; ok {
+		h.Observe(seconds)
+	}
+}
+
+// escapeLabel escapes a Prometheus label value: backslash, double quote
+// and newline get backslash escapes, everything else passes through
+// verbatim (the exposition format is UTF-8; Go's %q would emit \uXXXX
+// escapes Prometheus parsers reject).
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	// Byte-wise so arbitrary (even invalid-UTF-8) values pass through
+	// unmangled; the escaped characters are all ASCII.
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// header writes one family's # HELP/# TYPE preamble.
+func header(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 }
 
 // render writes the exposition text. marketVersion, cacheLen and the
 // shard stats are sampled by the caller (they live in the market and
 // cache, not here).
 func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, cacheLen int, shards []cloud.ShardStat) {
+	header(w, "sompid_requests_total", "counter", "Requests served, by endpoint.")
 	for ep := endpoint(0); ep < numEndpoints; ep++ {
-		name := endpointNames[ep]
-		fmt.Fprintf(w, "sompid_requests_total{endpoint=%q} %d\n", name, m.requests[ep].Load())
-		fmt.Fprintf(w, "sompid_request_errors_total{endpoint=%q} %d\n", name, m.errors[ep].Load())
-		fmt.Fprintf(w, "sompid_request_seconds_sum{endpoint=%q} %.6f\n", name, float64(m.latencyNs[ep].Load())/1e9)
+		fmt.Fprintf(w, "sompid_requests_total{endpoint=\"%s\"} %d\n", escapeLabel(endpointNames[ep]), m.requests[ep].Load())
 	}
+	header(w, "sompid_request_errors_total", "counter", "Requests answered with status >= 400, by endpoint.")
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		fmt.Fprintf(w, "sompid_request_errors_total{endpoint=\"%s\"} %d\n", escapeLabel(endpointNames[ep]), m.errors[ep].Load())
+	}
+	header(w, "sompid_request_seconds", "histogram", "Request latency in seconds, by endpoint.")
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		m.latency[ep].WriteProm(w, "sompid_request_seconds", fmt.Sprintf("endpoint=\"%s\"", escapeLabel(endpointNames[ep])))
+	}
+
+	header(w, "sompid_plan_cache_hits_total", "counter", "Plan cache hits.")
 	fmt.Fprintf(w, "sompid_plan_cache_hits_total %d\n", m.cacheHits.Load())
+	header(w, "sompid_plan_cache_misses_total", "counter", "Plan cache misses.")
 	fmt.Fprintf(w, "sompid_plan_cache_misses_total %d\n", m.cacheMisses.Load())
+	header(w, "sompid_plan_cache_entries", "gauge", "Plan cache resident entries.")
 	fmt.Fprintf(w, "sompid_plan_cache_entries %d\n", cacheLen)
+	header(w, "sompid_optimizer_evals_total", "counter", "Cost-model evaluations across all optimizations.")
 	fmt.Fprintf(w, "sompid_optimizer_evals_total %d\n", m.evals.Load())
+	header(w, "sompid_optimizer_pruned_total", "counter", "Evaluations skipped by branch-and-bound pruning.")
 	fmt.Fprintf(w, "sompid_optimizer_pruned_total %d\n", m.pruned.Load())
+	header(w, "sompid_requests_cancelled_total", "counter", "Requests abandoned by the client or timed out mid-work.")
 	fmt.Fprintf(w, "sompid_requests_cancelled_total %d\n", m.cancelled.Load())
+	header(w, "sompid_ingest_ticks_total", "counter", "Price ticks ingested.")
 	fmt.Fprintf(w, "sompid_ingest_ticks_total %d\n", m.ingestTicks.Load())
+	header(w, "sompid_ingest_samples_total", "counter", "Price samples ingested.")
 	fmt.Fprintf(w, "sompid_ingest_samples_total %d\n", m.ingestSamples.Load())
-	fmt.Fprintf(w, "sompid_market_version %d\n", marketVersion)
-	fmt.Fprintf(w, "sompid_market_frontier_hours %.6f\n", frontier)
-	for _, st := range shards {
-		fmt.Fprintf(w, "sompid_shard_version{market=%q} %d\n", st.Key.String(), st.Version)
-		fmt.Fprintf(w, "sompid_shard_ticks_total{market=%q} %d\n", st.Key.String(), st.Ticks)
-		fmt.Fprintf(w, "sompid_shard_samples{market=%q} %d\n", st.Key.String(), st.Samples)
-		fmt.Fprintf(w, "sompid_shard_compacted_samples_total{market=%q} %d\n", st.Key.String(), st.Compacted)
+
+	header(w, "sompid_ingest_seconds", "histogram", "Per-shard tick latency in seconds: append through session invalidation.")
+	// Deterministic label order: sorted market keys.
+	names := make([]string, 0, len(m.ingestLatency))
+	for name := range m.ingestLatency {
+		names = append(names, name)
 	}
+	sort.Strings(names)
+	for _, name := range names {
+		m.ingestLatency[name].WriteProm(w, "sompid_ingest_seconds", fmt.Sprintf("market=\"%s\"", escapeLabel(name)))
+	}
+
+	header(w, "sompid_market_version", "gauge", "Composite market mutation version.")
+	fmt.Fprintf(w, "sompid_market_version %d\n", marketVersion)
+	header(w, "sompid_market_frontier_hours", "gauge", "Shortest price frontier across all shards, in hours.")
+	fmt.Fprintf(w, "sompid_market_frontier_hours %.6f\n", frontier)
+
+	header(w, "sompid_shard_version", "gauge", "Per-shard mutation version.")
+	for _, st := range shards {
+		fmt.Fprintf(w, "sompid_shard_version{market=\"%s\"} %d\n", escapeLabel(st.Key.String()), st.Version)
+	}
+	header(w, "sompid_shard_ticks_total", "counter", "Per-shard ingestion appends applied.")
+	for _, st := range shards {
+		fmt.Fprintf(w, "sompid_shard_ticks_total{market=\"%s\"} %d\n", escapeLabel(st.Key.String()), st.Ticks)
+	}
+	header(w, "sompid_shard_samples", "gauge", "Per-shard retained price samples.")
+	for _, st := range shards {
+		fmt.Fprintf(w, "sompid_shard_samples{market=\"%s\"} %d\n", escapeLabel(st.Key.String()), st.Samples)
+	}
+	header(w, "sompid_shard_compacted_samples_total", "counter", "Per-shard samples dropped by ring-buffer retention.")
+	for _, st := range shards {
+		fmt.Fprintf(w, "sompid_shard_compacted_samples_total{market=\"%s\"} %d\n", escapeLabel(st.Key.String()), st.Compacted)
+	}
+
+	header(w, "sompid_reoptimizations_total", "counter", "Tracked-session window re-optimizations.")
 	fmt.Fprintf(w, "sompid_reoptimizations_total %d\n", m.reoptimizations.Load())
+	header(w, "sompid_session_window_truncations_total", "counter", "Session windows clamped by ring-buffer retention.")
 	fmt.Fprintf(w, "sompid_session_window_truncations_total %d\n", m.windowTruncations.Load())
+	header(w, "sompid_active_sessions", "gauge", "Live tracked sessions.")
 	fmt.Fprintf(w, "sompid_active_sessions %d\n", m.activeSessions.Load())
+	header(w, "sompid_sessions_completed_total", "counter", "Tracked sessions that reached a terminal state.")
 	fmt.Fprintf(w, "sompid_sessions_completed_total %d\n", m.completedSessions.Load())
 }

@@ -17,6 +17,7 @@ import (
 	"sompi/internal/baselines"
 	"sompi/internal/cloud"
 	"sompi/internal/model"
+	"sompi/internal/obs"
 	"sompi/internal/opt"
 	"sompi/internal/replay"
 )
@@ -41,6 +42,16 @@ type Config struct {
 	// RequestTimeout bounds each plan/evaluate/montecarlo request; zero
 	// means 60s. Ingestion is not bounded by it.
 	RequestTimeout time.Duration
+	// Collector receives every request's span tree (and the market's
+	// append spans); nil means a fresh collector sized by TraceRing, so
+	// /debug/trace always works.
+	Collector *obs.Collector
+	// TraceRing sizes the collector's span ring when Collector is nil;
+	// zero means obs.DefaultRing.
+	TraceRing int
+	// Logger receives the service's structured log lines; nil disables
+	// logging (every method on a nil *obs.Logger is a no-op).
+	Logger *obs.Logger
 }
 
 // Server is the sompid planner service. The market synchronizes itself
@@ -63,6 +74,8 @@ type Server struct {
 
 	cache *planCache
 	met   metrics
+	col   *obs.Collector
+	log   *obs.Logger
 }
 
 // New builds a Server over the given live market.
@@ -80,7 +93,14 @@ func New(cfg Config) (*Server, error) {
 		market:   cfg.Market,
 		sessions: make(map[string]*trackedSession),
 		cache:    newPlanCache(cfg.CacheSize),
+		col:      cfg.Collector,
+		log:      cfg.Logger,
 	}
+	if s.col == nil {
+		s.col = obs.NewCollector(cfg.TraceRing)
+	}
+	s.market.SetCollector(s.col)
+	s.met.init(cfg.Market.Keys())
 	if s.window == 0 {
 		s.window = opt.DefaultWindow
 	}
@@ -115,6 +135,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions", s.instrument(epSessions, s.handleSessions))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -134,14 +155,30 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the per-endpoint request, latency and
-// error counters.
+// instrument wraps a handler with request-ID propagation, a root span and
+// the per-endpoint request, latency and error counters. The observation
+// is deferred, so a handler that unwinds early on context cancellation
+// (the 499/504 path) — or panics — still lands in the latency histogram
+// and still gets its span ended.
 func (s *Server) instrument(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		ctx, sp := obs.StartRoot(r.Context(), s.col, "http."+endpointNames[ep], reqID)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		h(rec, r)
-		s.met.observe(ep, time.Since(start).Nanoseconds(), rec.status >= 400)
+		defer func() {
+			seconds := time.Since(start).Seconds()
+			s.met.observe(ep, seconds, rec.status >= 400)
+			sp.AttrInt("status", int64(rec.status))
+			sp.End()
+			s.log.Debug("request", "endpoint", endpointNames[ep], "request_id", reqID,
+				"status", rec.status, "seconds", seconds)
+		}()
+		h(rec, r.WithContext(ctx))
 	}
 }
 
@@ -251,8 +288,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	version := snap.Version()
 
+	// ?explain=1 rides the decision trail onto the response. Explained
+	// responses bypass the cache entirely — both lookup and fill — so the
+	// byte-identical hit/miss guarantee of the unexplained path is
+	// untouched and cached bodies never grow a trail.
+	explain := r.URL.Query().Get("explain") == "1"
 	key := planKey(req, snap.VersionVector(), keys)
-	if !req.Track {
+	if !req.Track && !explain {
 		if body, ok := s.cache.get(key); ok {
 			s.met.cacheHits.Add(1)
 			w.Header().Set("X-Sompid-Cache", "hit")
@@ -265,7 +307,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	res, err := opt.OptimizeContext(ctx, req.Config(profile, train))
+	cfg := req.Config(profile, train)
+	cfg.Explain = explain
+	res, err := opt.OptimizeContext(ctx, cfg)
 	s.met.evals.Add(int64(res.Evals))
 	s.met.pruned.Add(int64(res.Pruned))
 	if err != nil {
@@ -285,7 +329,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, merr)
 		return
 	}
-	if !req.Track {
+	if !req.Track && !explain {
 		s.cache.put(key, body)
 	}
 	writeBody(w, http.StatusOK, body)
@@ -315,6 +359,7 @@ func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.R
 		plan:        res.Plan,
 		boundary:    frontier + s.window,
 		planVersion: version,
+		planCost:    res.Est.Cost,
 	}
 	s.sessions[id] = t
 	s.order = append(s.order, id)
@@ -437,7 +482,9 @@ func strategyFor(req MonteCarloRequest, m cloud.MarketView) (replay.Strategy, er
 func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
 	var resp PricesResponse
 	apply := func(tick PriceTick) error {
-		version, err := s.market.Append(cloud.MarketKey{Type: tick.Type, Zone: tick.Zone}, tick.Prices)
+		key := cloud.MarketKey{Type: tick.Type, Zone: tick.Zone}
+		start := time.Now()
+		version, err := s.market.Append(key, tick.Prices)
 		if err != nil {
 			return err
 		}
@@ -446,6 +493,10 @@ func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		reopted, completed := s.advanceSessionsLocked(r.Context())
 		s.mu.Unlock()
+		// The ingest histogram covers the whole append→session-invalidate
+		// cycle: a shard whose ticks keep re-optimizing lagging sessions
+		// shows up as a fat tail under its own market label.
+		s.met.observeIngest(key.String(), time.Since(start).Seconds())
 		resp.MarketVersion = version
 		resp.Ticks++
 		resp.Samples += len(tick.Prices)
@@ -543,6 +594,28 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.render(w, s.market.Version(), s.market.MinDuration(), s.cache.len(), s.market.ShardStats())
+}
+
+// handleDebugTrace serves the flight recorder: the most recent completed
+// spans, optionally filtered to one request's trace (?request_id=...) and
+// bounded by ?limit=N.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &limit); err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("%w: bad limit %q", opt.ErrInvalidConfig, v))
+			return
+		}
+	}
+	spans := s.col.Spans(q.Get("request_id"), limit)
+	if spans == nil {
+		spans = []obs.SpanData{}
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{
+		Total: s.col.Total(),
+		Spans: spans,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

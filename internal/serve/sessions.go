@@ -46,13 +46,62 @@ type trackedSession struct {
 	plan        model.Plan
 	boundary    float64
 	planVersion uint64
-	reopts      int
-	done        bool
+	// planCost is the current plan's estimated cost at its optimization
+	// time — the "old" side of the next audit record's cost delta.
+	planCost float64
+	reopts   int
+	done     bool
+	// audit is the session's append-only decision log, oldest first,
+	// bounded at maxAuditRecords (oldest dropped beyond it).
+	audit []AuditRecord
 }
 
-// info renders the session's observable state. Caller holds s.mu.
+// maxAuditRecords bounds a session's audit log; a session re-optimizing
+// every window for its whole deadline stays far below it, so a full log
+// signals a runaway trigger loop rather than normal operation.
+const maxAuditRecords = 256
+
+// recordAudit appends one decision record. Caller holds s.mu; newPlan is
+// nil when the session went terminal without adopting a fresh plan.
+func (s *Server) recordAudit(t *trackedSession, trigger string, newPlan *model.Plan, newCost float64, optErr error) {
+	rec := AuditRecord{
+		Window:        t.sess.Windows,
+		BoundaryHours: t.boundary,
+		Trigger:       trigger,
+		OldPlan:       EncodePlan(t.plan),
+		OldPlanCost:   t.planCost,
+		NewPlanCost:   newCost,
+	}
+	if newPlan != nil {
+		p := EncodePlan(*newPlan)
+		rec.NewPlan = &p
+		rec.CostDelta = newCost - t.planCost
+	}
+	if optErr != nil {
+		rec.Error = optErr.Error()
+	}
+	vv := s.market.VersionVector().Subset(t.keys)
+	rec.MarketVersions = make(map[string]uint64, len(vv))
+	for k, v := range vv {
+		rec.MarketVersions[k.String()] = v
+	}
+	if len(t.audit) >= maxAuditRecords {
+		t.audit = t.audit[1:]
+	}
+	t.audit = append(t.audit, rec)
+}
+
+// info renders the session's observable state. Caller holds s.mu. The
+// audit log is copied so the caller can marshal it after releasing the
+// lock while re-optimizations keep appending.
 func (t *trackedSession) info() SessionInfo {
+	var audit []AuditRecord
+	if len(t.audit) > 0 {
+		audit = make([]AuditRecord, len(t.audit))
+		copy(audit, t.audit)
+	}
 	return SessionInfo{
+		Audit: audit,
 		ID:            t.id,
 		App:           t.profile.Name,
 		DeadlineHours: t.sess.Deadline,
@@ -109,6 +158,7 @@ func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (re
 		t.sess.Advance(t.plan, dur)
 	}
 	if t.sess.Completed {
+		s.recordAudit(t, "completed", nil, 0, nil)
 		return 0, s.finishSessionLocked(t)
 	}
 
@@ -119,6 +169,7 @@ func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (re
 		// optimize for): finish on the fastest fleet. On-demand execution
 		// is price-independent, so replaying it past the frontier peeks
 		// at nothing.
+		s.recordAudit(t, "recovered_on_demand", nil, 0, nil)
 		s.recoverOnDemandLocked(t)
 		return 0, s.finishSessionLocked(t)
 	}
@@ -141,11 +192,13 @@ func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (re
 	res, err := opt.OptimizeContext(ctx, cfg)
 	switch {
 	case err != nil:
+		s.recordAudit(t, "opt_error", nil, 0, err)
 		s.recoverOnDemandLocked(t)
 		return 0, s.finishSessionLocked(t)
 	case len(res.Plan.Groups) == 0:
 		// The optimizer's best feasible plan is pure on-demand: run it
 		// out (price-independent, so no peeking).
+		s.recordAudit(t, "ran_out_on_demand", &res.Plan, res.Est.Cost, nil)
 		t.sess.Advance(res.Plan, math.Inf(1))
 		t.reopts++
 		s.met.reoptimizations.Add(1)
@@ -153,8 +206,10 @@ func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (re
 		s.met.pruned.Add(int64(res.Pruned))
 		return 1, s.finishSessionLocked(t)
 	default:
+		s.recordAudit(t, "reoptimized", &res.Plan, res.Est.Cost, nil)
 		t.plan = res.Plan
 		t.planVersion = s.market.Version()
+		t.planCost = res.Est.Cost
 		t.boundary += s.window
 		t.reopts++
 		s.met.reoptimizations.Add(1)
