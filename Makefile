@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve-smoke bench obs-bench check
+.PHONY: all build vet test race serve-smoke fuzz bench obs-bench check
 
 all: check
 
@@ -23,9 +23,18 @@ race:
 
 # Boot a real sompid process, ingest a tick, request a plan over HTTP and
 # byte-diff it against the library-path optimizer, then SIGTERM for the
-# graceful-shutdown check.
+# graceful-shutdown check — plus the crash stage: SIGKILL a -data-dir
+# sompid mid-session and assert the restart recovers it exactly.
 serve-smoke:
 	$(GO) run ./cmd/serve-smoke
+
+# Short-budget fuzz pass over the WAL record codec: the decoders must
+# return typed errors, never panic, on arbitrary torn/corrupt input.
+# (go test -fuzz takes one target per invocation.)
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/store -run '^$$' -fuzz 'FuzzDecodeRecord' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/store -run '^$$' -fuzz 'FuzzDecodeTick' -fuzztime $(FUZZTIME)
 
 check: build vet race serve-smoke
 

@@ -2,7 +2,11 @@
 // a real sompid process on an ephemeral port, ingests a price tick,
 // requests a plan over HTTP, byte-diffs the served plan against the
 // library-path optimizer at the same market state, and checks graceful
-// shutdown on SIGTERM. `make serve-smoke` wires it into `make check`.
+// shutdown on SIGTERM. A second stage boots sompid with -data-dir,
+// ingests past a session window boundary, SIGKILLs the process and
+// restarts it from the same directory, asserting the market version
+// vector, the session listing and the served plan bytes all survive the
+// crash. `make serve-smoke` wires it into `make check`.
 package main
 
 import (
@@ -179,6 +183,232 @@ func run() error {
 		return fmt.Errorf("sompid did not exit within 15s of SIGTERM")
 	}
 	fmt.Println("serve-smoke: graceful shutdown ok")
+
+	return checkCrashRecovery(tmp, bin)
+}
+
+// startSompid boots the built binary with the given extra flags and
+// returns the process plus its announced base URL.
+func startSompid(bin string, extra ...string) (*exec.Cmd, string, error) {
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-hours", fmt.Sprint(smokeHours),
+		"-seed", fmt.Sprint(smokeSeed)}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("starting sompid: %w", err)
+	}
+	sc := bufio.NewScanner(stdout)
+	base := ""
+	for lines := 0; base == "" && lines < 20 && sc.Scan(); lines++ {
+		banner := sc.Text()
+		if i := strings.Index(banner, "http://"); i >= 0 {
+			base = strings.Fields(banner[i:])[0]
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		return nil, "", fmt.Errorf("sompid never printed a listen banner on stdout")
+	}
+	go io.Copy(io.Discard, stdout)
+	if err := waitHealthy(base); err != nil {
+		cmd.Process.Kill()
+		return nil, "", err
+	}
+	return cmd, base, nil
+}
+
+// marketState extracts the durable market identity from /metrics: the
+// composite version and the full per-shard version vector.
+func marketState(base string) (string, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return "", fmt.Errorf("fetching metrics: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("/metrics: %d", resp.StatusCode)
+	}
+	var lines []string
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "sompid_market_version ") ||
+			strings.HasPrefix(line, "sompid_shard_version{") {
+			lines = append(lines, line)
+		}
+	}
+	if len(lines) < 2 {
+		return "", fmt.Errorf("/metrics has no shard version vector")
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+// getBytes fetches a URL and returns the raw body.
+func getBytes(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %d %s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// checkCrashRecovery is the durability stage: boot with -data-dir, track
+// a session, ingest past its window boundary so it re-optimizes, capture
+// the externally observable state, SIGKILL the process mid-flight and
+// restart it from the same directory. Recovery must reproduce the
+// version vector, the session listing (plans, audit log, clocks) and
+// the served plan bytes exactly.
+func checkCrashRecovery(tmp, bin string) error {
+	dataDir := filepath.Join(tmp, "data")
+	// -window 2 so two hours of ticks cross a re-optimization boundary.
+	flags := []string{"-data-dir", dataDir, "-window", "2"}
+
+	cmd, base, err := startSompid(bin, flags...)
+	if err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+
+	track := serve.PlanRequest{
+		App: "BT", DeadlineHours: 60,
+		Workers: 1, Kappa: 2, GridLevels: 3, MaxGroups: 3,
+		Track: true,
+	}
+	var tracked serve.PlanResponse
+	if err := postJSON(base+"/v1/plan", track, &tracked); err != nil {
+		return fmt.Errorf("tracking session: %w", err)
+	}
+	if tracked.SessionID == "" {
+		return fmt.Errorf("tracked plan returned no session id")
+	}
+
+	// Two hours of flat ticks on every shard: crosses the boundary, so
+	// the session re-optimizes and its transition lands in the WAL.
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), smokeHours, smokeSeed)
+	samples := make([]float64, 24)
+	for i := range samples {
+		samples[i] = 0.05
+	}
+	var ticks []serve.PriceTick
+	for _, key := range m.Keys() {
+		ticks = append(ticks, serve.PriceTick{Type: key.Type, Zone: key.Zone, Prices: samples})
+	}
+	var pr serve.PricesResponse
+	if err := postJSON(base+"/v1/prices", ticks, &pr); err != nil {
+		return fmt.Errorf("ingesting ticks: %w", err)
+	}
+	if pr.Reoptimized < 1 {
+		return fmt.Errorf("session never re-optimized before the crash: %+v", pr)
+	}
+
+	versionsBefore, err := marketState(base)
+	if err != nil {
+		return err
+	}
+	sessionsBefore, err := getBytes(base + "/v1/sessions")
+	if err != nil {
+		return err
+	}
+	// An untracked plan at the current market: pure function of market
+	// state, so byte-equality after restart proves the recovered prices
+	// feed the optimizer identically.
+	planPayload, _ := json.Marshal(serve.PlanRequest{
+		App: "BT", DeadlineHours: 60,
+		Workers: 1, Kappa: 2, GridLevels: 3, MaxGroups: 3,
+	})
+	resp, err := http.Post(base+"/v1/plan", "application/json", bytes.NewReader(planPayload))
+	if err != nil {
+		return fmt.Errorf("pre-crash plan: %w", err)
+	}
+	planBefore, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pre-crash plan: %d %s", resp.StatusCode, planBefore)
+	}
+
+	// SIGKILL: no drain, no shutdown snapshot — the data dir holds only
+	// what the WAL fsynced.
+	if err := cmd.Process.Kill(); err != nil {
+		return err
+	}
+	cmd.Wait()
+	fmt.Println("serve-smoke: SIGKILLed sompid mid-session")
+
+	cmd2, base2, err := startSompid(bin, flags...)
+	if err != nil {
+		return fmt.Errorf("restarting from %s: %w", dataDir, err)
+	}
+	defer cmd2.Process.Kill()
+
+	versionsAfter, err := marketState(base2)
+	if err != nil {
+		return err
+	}
+	if versionsBefore != versionsAfter {
+		return fmt.Errorf("market version vector did not survive the crash:\nbefore:\n%s\nafter:\n%s", versionsBefore, versionsAfter)
+	}
+	sessionsAfter, err := getBytes(base2 + "/v1/sessions")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(sessionsBefore, sessionsAfter) {
+		return fmt.Errorf("/v1/sessions did not survive the crash:\nbefore: %s\nafter:  %s", sessionsBefore, sessionsAfter)
+	}
+	resp, err = http.Post(base2+"/v1/plan", "application/json", bytes.NewReader(planPayload))
+	if err != nil {
+		return fmt.Errorf("post-crash plan: %w", err)
+	}
+	planAfter, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("post-crash plan: %d %s", resp.StatusCode, planAfter)
+	}
+	if !bytes.Equal(planBefore, planAfter) {
+		return fmt.Errorf("served plan changed across the crash:\nbefore: %s\nafter:  %s", planBefore, planAfter)
+	}
+
+	// The recovered daemon must say so on /metrics: a nonzero recovery
+	// duration and appended WAL records carried over from the first life.
+	mx, err := getBytes(base2 + "/metrics")
+	if err != nil {
+		return err
+	}
+	recovered := false
+	for _, line := range strings.Split(string(mx), "\n") {
+		if v, ok := strings.CutPrefix(line, "sompid_recovery_seconds "); ok && v != "0.000000" {
+			recovered = true
+		}
+	}
+	if !recovered {
+		return fmt.Errorf("/metrics reports no recovery ran after the restart")
+	}
+
+	// Clean SIGTERM so the second boot also exercises the shutdown
+	// snapshot path on a recovered store.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("recovered sompid exited uncleanly after SIGTERM: %w", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("recovered sompid did not exit within 15s of SIGTERM")
+	}
+	fmt.Println("serve-smoke: crash recovery restored the version vector, sessions and plan bytes")
 	return nil
 }
 

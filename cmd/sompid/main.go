@@ -7,10 +7,15 @@
 //	sompid [-addr :8377] [-seed 42] [-hours 720] [-traces DIR]
 //	       [-window 15] [-history 96] [-cache 256] [-timeout 60s]
 //	       [-retain 0] [-log-format text|ndjson] [-log-level info]
-//	       [-trace-ring 4096]
+//	       [-trace-ring 4096] [-data-dir DIR] [-fsync] [-snapshot-every 4096]
 //
 // The market is either synthesized (-seed/-hours) or loaded from a
-// cmd/tracegen CSV directory (-traces). The v1 API:
+// cmd/tracegen CSV directory (-traces). With -data-dir, every ingested
+// tick and session transition is written to a checksummed WAL under DIR
+// before it is applied, periodic snapshots bound replay time, and a
+// restart recovers the exact pre-crash market and session state before
+// accepting traffic. Without -data-dir the service is purely in-memory,
+// exactly as before. The v1 API:
 //
 //	POST /v1/plan        optimize a workload against the latest prices
 //	POST /v1/evaluate    cost-model an explicit plan
@@ -44,6 +49,7 @@ import (
 	"sompi/internal/cloud"
 	"sompi/internal/obs"
 	"sompi/internal/serve"
+	"sompi/internal/store"
 )
 
 func main() {
@@ -62,6 +68,9 @@ func main() {
 		logFormat = flag.String("log-format", "text", "structured log encoding: text or ndjson")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		traceRing = flag.Int("trace-ring", 0, "span ring capacity for /debug/trace (0 = default 4096)")
+		dataDir   = flag.String("data-dir", "", "durability directory for the WAL + snapshots (empty = in-memory only)")
+		fsync     = flag.Bool("fsync", true, "fsync every WAL append (with -data-dir); off trades the tail since the last sync for latency")
+		snapEvery = flag.Int("snapshot-every", 0, "cut a snapshot every N WAL appends (with -data-dir; 0 = default 4096)")
 	)
 	flag.Parse()
 
@@ -89,6 +98,18 @@ func main() {
 		m.SetRetention(*retain)
 	}
 
+	// With -data-dir, open the store first: serve.New replays its WAL and
+	// snapshot into the market and session registry before the listener
+	// exists, so the first request already sees the recovered state.
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, store.Options{Fsync: *fsync})
+		if err != nil {
+			log.Fatalf("opening data dir: %v", err)
+		}
+	}
+
 	s, err := serve.New(serve.Config{
 		Market:         m,
 		WindowHours:    *window,
@@ -97,6 +118,8 @@ func main() {
 		RequestTimeout: *timeout,
 		TraceRing:      *traceRing,
 		Logger:         logger,
+		Store:          st,
+		SnapshotEvery:  *snapEvery,
 	})
 	if err != nil {
 		log.Fatalf("configuring service: %v", err)
@@ -110,6 +133,7 @@ func main() {
 		"window", *window, "history", *history, "cache", *cache,
 		"timeout", timeout.String(), "retain", *retain,
 		"log_format", *logFormat, "log_level", *logLevel, "trace_ring", *traceRing,
+		"data_dir", *dataDir, "fsync", *fsync, "snapshot_every", *snapEvery,
 		"market_version", m.Version(), "markets", m.NumMarkets(),
 		"frontier_hours", m.MinDuration())
 
@@ -134,6 +158,12 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Fatalf("shutdown: %v", err)
+		}
+		// Requests are drained: cut the shutdown snapshot, fsync and close
+		// the active WAL segment so the next boot recovers instantly from
+		// the snapshot instead of replaying the log (no-op in-memory).
+		if err := s.Close(); err != nil {
+			log.Fatalf("closing store: %v", err)
 		}
 		fmt.Println("sompid: bye")
 	case err := <-done:

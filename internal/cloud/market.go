@@ -167,6 +167,33 @@ type Market struct {
 	// An atomic pointer so SetCollector is safe against in-flight appends;
 	// nil (the default) keeps the ingest path free of clock reads.
 	collector atomic.Pointer[obs.Collector]
+
+	// persist, when set, is the durability hook: every Append invokes it
+	// under the target shard's write lock, before the in-memory apply,
+	// with the shard version the append will produce. An atomic pointer
+	// for the same reason as collector; nil (the default) keeps the
+	// market pure in-memory.
+	persist atomic.Pointer[PersistFunc]
+}
+
+// PersistFunc is the durability hook invoked by Append before a tick is
+// applied: the target market, the samples, and the shard version the
+// apply will produce. Returning an error aborts the append — the hook
+// runs WAL-first, so an unlogged tick is never applied.
+type PersistFunc func(key MarketKey, samples []float64, version uint64) error
+
+// ShardState is one shard's full durable state as captured into (and
+// restored from) a snapshot: the retained ring buffer, the absolute
+// clock, and the counters.
+type ShardState struct {
+	Type      string    `json:"type"`
+	Zone      string    `json:"zone"`
+	Step      float64   `json:"step"`
+	Head      int       `json:"head"`
+	Prices    []float64 `json:"prices"`
+	Version   uint64    `json:"version"`
+	Ticks     uint64    `json:"ticks"`
+	Compacted uint64    `json:"compacted"`
 }
 
 // NewMarket assembles a market over the given traces at version 1. The
@@ -250,6 +277,17 @@ func (m *Market) Retention() float64 {
 // ingestion; without a collector the append path performs no clock reads.
 func (m *Market) SetCollector(c *obs.Collector) { m.collector.Store(c) }
 
+// SetPersist installs (or, with nil, removes) the durability hook. Safe
+// to call concurrently with ingestion; appends in flight when the hook
+// is installed may complete without it.
+func (m *Market) SetPersist(fn PersistFunc) {
+	if fn == nil {
+		m.persist.Store(nil)
+		return
+	}
+	m.persist.Store(&fn)
+}
+
 // Append extends one shard's price history with new samples (prices in
 // $/instance-hour, one per trace step) and returns the market's new
 // composite version. Only the target shard is locked: concurrent appends
@@ -268,7 +306,11 @@ func (m *Market) Append(key MarketKey, samples []float64) (uint64, error) {
 	if !ok {
 		return m.Version(), fmt.Errorf("%w: %v", ErrUnknownMarket, key)
 	}
-	sv, err := s.append(samples, m.Retention())
+	var persist PersistFunc
+	if p := m.persist.Load(); p != nil {
+		persist = *p
+	}
+	sv, err := s.append(samples, m.Retention(), persist)
 	if err != nil {
 		return m.Version(), err
 	}
@@ -299,6 +341,80 @@ func (m *Market) TraceFor(key MarketKey) (*trace.Trace, bool) {
 		return nil, false
 	}
 	return s.currentTrace(), true
+}
+
+// ShardVersion reports one shard's current version, and whether the
+// market carries that key.
+func (m *Market) ShardVersion(key MarketKey) (uint64, bool) {
+	s, ok := m.shards[key]
+	if !ok {
+		return 0, false
+	}
+	_, v := s.capture()
+	return v, true
+}
+
+// ExportShards captures every shard's full durable state in
+// deterministic key order — the market half of a snapshot payload. Each
+// shard is captured under its own read lock; combined with the
+// WAL-first append ordering (the hook runs under the shard write lock)
+// any tick logged before the snapshot's WAL boundary is visible here,
+// and ticks logged after it re-apply idempotently on recovery.
+func (m *Market) ExportShards() []ShardState {
+	out := make([]ShardState, 0, len(m.keys))
+	for _, k := range m.keys {
+		out = append(out, m.shards[k].exportState())
+	}
+	return out
+}
+
+// RestoreShards overwrites shard state from a snapshot capture and
+// recomputes the composite tick counter. Every state must target an
+// existing shard: the key set is fixed at construction, and a snapshot
+// from a differently configured market must not half-load. Intended for
+// recovery, before the market serves traffic.
+func (m *Market) RestoreShards(states []ShardState) error {
+	for _, st := range states {
+		key := MarketKey{st.Type, st.Zone}
+		s, ok := m.shards[key]
+		if !ok {
+			return fmt.Errorf("%w: snapshot carries %v", ErrUnknownMarket, key)
+		}
+		if err := s.restoreState(st); err != nil {
+			return err
+		}
+	}
+	m.recomputeTicks()
+	return nil
+}
+
+// ApplyTick applies one WAL tick record during recovery, idempotently
+// by shard version: already-reached versions are skipped, version+1
+// applies, a gap is an error. See shard.applyReplay.
+func (m *Market) ApplyTick(key MarketKey, samples []float64, version uint64) error {
+	s, ok := m.shards[key]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownMarket, key)
+	}
+	applied, err := s.applyReplay(samples, version, m.Retention())
+	if err != nil {
+		return err
+	}
+	if applied {
+		m.ticks.Add(1)
+	}
+	return nil
+}
+
+// recomputeTicks rederives the composite tick counter from the shard
+// versions (each shard starts at 1, so its append count is version-1).
+func (m *Market) recomputeTicks() {
+	total := uint64(0)
+	for _, s := range m.shards {
+		_, v := s.capture()
+		total += v - 1
+	}
+	m.ticks.Store(total)
 }
 
 // ShardStats returns every shard's observable state in deterministic key

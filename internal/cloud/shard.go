@@ -57,7 +57,16 @@ func (s *shard) currentTrace() *trace.Trace {
 // bound (retainHours of trailing history; 0 disables). It returns the
 // shard's new version. Only this shard's lock is held — appends to
 // different shards proceed in parallel.
-func (s *shard) append(samples []float64, retainHours float64) (uint64, error) {
+//
+// persist, when non-nil, is invoked under the write lock before the
+// in-memory apply, with the version the append will produce: the
+// WAL-first ordering. A persist failure aborts the append whole, so a
+// version recorded in the log is always reached by the shard and a
+// version reached by the shard is always in the log. Holding the lock
+// across persist also gives snapshots their barrier: a snapshot cut
+// after this append's WAL write cannot capture the shard until the
+// apply lands.
+func (s *shard) append(samples []float64, retainHours float64, persist PersistFunc) (uint64, error) {
 	for i, p := range samples {
 		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
 			s.mu.RLock()
@@ -68,6 +77,18 @@ func (s *shard) append(samples []float64, retainHours float64) (uint64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if persist != nil {
+		if err := persist(s.key, samples, s.version+1); err != nil {
+			return s.version, fmt.Errorf("cloud: persisting tick for %v: %w", s.key, err)
+		}
+	}
+	s.applyLocked(samples, retainHours)
+	return s.version, nil
+}
+
+// applyLocked performs the in-memory append; the caller holds the write
+// lock.
+func (s *shard) applyLocked(samples []float64, retainHours float64) {
 	next := s.tr.Append(trace.New(s.tr.Step, samples))
 	if drop := retainDrop(next, retainHours); drop > 0 {
 		next = next.Compact(drop)
@@ -76,7 +97,60 @@ func (s *shard) append(samples []float64, retainHours float64) (uint64, error) {
 	s.tr = next
 	s.version++
 	s.ticks++
-	return s.version, nil
+}
+
+// applyReplay applies a WAL tick during recovery, idempotently: a
+// version the shard already reached is skipped (it was materialized by
+// the snapshot the replay started from), version+1 applies, and
+// anything further ahead is a gap — records are missing and the store
+// must not pretend otherwise. Reports whether the tick was applied.
+func (s *shard) applyReplay(samples []float64, version uint64, retainHours float64) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case version <= s.version:
+		return false, nil
+	case version == s.version+1:
+		s.applyLocked(samples, retainHours)
+		return true, nil
+	default:
+		return false, fmt.Errorf("cloud: replay gap for %v: shard at version %d, record claims %d", s.key, s.version, version)
+	}
+}
+
+// exportState captures the shard's full durable state under one read
+// lock.
+func (s *shard) exportState() ShardState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	prices := make([]float64, len(s.tr.Prices))
+	copy(prices, s.tr.Prices)
+	return ShardState{
+		Type:      s.key.Type,
+		Zone:      s.key.Zone,
+		Step:      s.tr.Step,
+		Head:      s.tr.Head,
+		Prices:    prices,
+		Version:   s.version,
+		Ticks:     s.ticks,
+		Compacted: s.compacted,
+	}
+}
+
+// restoreState overwrites the shard from a snapshot capture.
+func (s *shard) restoreState(st ShardState) error {
+	if st.Step <= 0 {
+		return fmt.Errorf("cloud: restoring %v: non-positive step %v", s.key, st.Step)
+	}
+	prices := make([]float64, len(st.Prices))
+	copy(prices, st.Prices)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr = &trace.Trace{Step: st.Step, Prices: prices, Head: st.Head}
+	s.version = st.Version
+	s.ticks = st.Ticks
+	s.compacted = st.Compacted
+	return nil
 }
 
 // compactTo applies a retention bound to the current trace without

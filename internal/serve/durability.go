@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"sompi/internal/app"
+	"sompi/internal/cloud"
+	"sompi/internal/obs"
+	"sompi/internal/opt"
+	"sompi/internal/replay"
+	"sompi/internal/store"
+)
+
+// This file threads the durability subsystem (internal/store) through
+// the service: price ticks and session transitions are event-sourced
+// into the WAL, snapshots capture the full market + session state at a
+// segment boundary, and New replays the store back into an exact
+// pre-crash server before traffic is accepted. Without a configured
+// Store every path here is a no-op and the service is pure in-memory,
+// exactly as before durability existed.
+
+// sessionState is one tracked session's full durable state: the
+// RecordSession WAL payload and the per-session unit of a snapshot.
+// Transitions are logged as full state, not deltas — a session mutates
+// only at window boundaries and the audit log is bounded, so the record
+// stays small, and recovery becomes "apply the highest Seq per ID"
+// with no re-optimization (replaying the optimizer would have to
+// reproduce its exact inputs; replaying its recorded outputs is exact
+// by construction).
+type sessionState struct {
+	// Seq is the session's transition counter: 1 at registration, +1 per
+	// persisted transition. Replay applies a record only when its Seq
+	// exceeds the state already held, which makes WAL records that
+	// straddle a snapshot boundary idempotent.
+	Seq uint64 `json:"seq"`
+	ID  string `json:"id"`
+	App string `json:"app"`
+	// Req is the original plan request: it rebuilds the optimizer config
+	// (base) and the candidate-key restriction on recovery.
+	Req     PlanRequest `json:"req"`
+	History float64     `json:"history_hours"`
+
+	// replay.Session carried state.
+	Deadline      float64 `json:"deadline_hours"`
+	Start         float64 `json:"start_hours"`
+	Progress      float64 `json:"progress"`
+	Elapsed       float64 `json:"elapsed_hours"`
+	Cost          float64 `json:"cost"`
+	Windows       int     `json:"windows"`
+	Completed     bool    `json:"completed"`
+	AllGroupsDead bool    `json:"all_groups_dead"`
+
+	// Current plan and the inputs that rebuild it exactly: the residual
+	// profile scale and the training window the plan was optimized
+	// against (DecodePlan derives instance counts and recovery hours
+	// from profile + market, so these three pin the rebuild).
+	Plan       PlanPayload `json:"plan"`
+	PlanScale  float64     `json:"plan_scale"`
+	TrainStart float64     `json:"train_start_hours"`
+	TrainDur   float64     `json:"train_dur_hours"`
+
+	Boundary    float64       `json:"boundary_hours"`
+	PlanVersion uint64        `json:"plan_version"`
+	PlanCost    float64       `json:"plan_cost"`
+	Reopts      int           `json:"reoptimized"`
+	Done        bool          `json:"done"`
+	Audit       []AuditRecord `json:"audit,omitempty"`
+}
+
+// snapshotPayload is the full service state materialized into one
+// snapshot: every market shard and every session, in creation order.
+type snapshotPayload struct {
+	Market   []cloud.ShardState `json:"market"`
+	Sessions []sessionState     `json:"sessions"`
+}
+
+// state renders the session's durable state. Caller holds s.mu.
+func (t *trackedSession) state() sessionState {
+	var audit []AuditRecord
+	if len(t.audit) > 0 {
+		audit = make([]AuditRecord, len(t.audit))
+		copy(audit, t.audit)
+	}
+	return sessionState{
+		Seq:           t.seq,
+		ID:            t.id,
+		App:           t.profile.Name,
+		Req:           t.req,
+		History:       t.history,
+		Deadline:      t.sess.Deadline,
+		Start:         t.sess.Start,
+		Progress:      t.sess.Progress,
+		Elapsed:       t.sess.Elapsed,
+		Cost:          t.sess.Cost,
+		Windows:       t.sess.Windows,
+		Completed:     t.sess.Completed,
+		AllGroupsDead: t.sess.AllGroupsDead,
+		Plan:          EncodePlan(t.plan),
+		PlanScale:     t.planScale,
+		TrainStart:    t.trainStart,
+		TrainDur:      t.trainDur,
+		Boundary:      t.boundary,
+		PlanVersion:   t.planVersion,
+		PlanCost:      t.planCost,
+		Reopts:        t.reopts,
+		Done:          t.done,
+		Audit:         audit,
+	}
+}
+
+// persistTick is the cloud.PersistFunc the server installs: it logs one
+// tick WAL-first. It runs under the target shard's write lock, so a
+// failure here aborts the append before any in-memory state moved.
+func (s *Server) persistTick(key cloud.MarketKey, samples []float64, version uint64) error {
+	payload, err := store.EncodeTick(store.Tick{Type: key.Type, Zone: key.Zone, Version: version, Prices: samples})
+	if err != nil {
+		return err
+	}
+	if err := s.store.Append(store.Record{Type: store.RecordTick, Payload: payload}); err != nil {
+		s.met.walAppendErrors.Add(1)
+		return err
+	}
+	return nil
+}
+
+// persistSessionLocked logs one session transition. Caller holds s.mu
+// for writing — which is the snapshot barrier: a snapshot cut after
+// this record's WAL write cannot capture the registry until the caller
+// releases the lock, so the capture always includes the transition the
+// record describes (and replaying the record over it is a Seq-skipped
+// no-op). Unlike ticks, the in-memory transition has already happened;
+// an append failure cannot unwind it, so it is logged and counted
+// rather than propagated into the ingest response.
+func (s *Server) persistSessionLocked(t *trackedSession) {
+	if s.store == nil {
+		return
+	}
+	t.seq++
+	body, err := json.Marshal(t.state())
+	if err == nil {
+		err = s.store.Append(store.Record{Type: store.RecordSession, Payload: body})
+	}
+	if err != nil {
+		s.met.walAppendErrors.Add(1)
+		s.log.Error("session transition not persisted", "session", t.id, "seq", t.seq, "error", err.Error())
+	}
+}
+
+// maybeSnapshot cuts a snapshot when enough records accumulated since
+// the last one. Called at the end of each ingest request, off the
+// per-tick hot path.
+func (s *Server) maybeSnapshot() {
+	if s.store == nil || s.snapshotEvery <= 0 {
+		return
+	}
+	if s.store.AppendsSinceSnapshot() < uint64(s.snapshotEvery) {
+		return
+	}
+	if err := s.cutSnapshot(); err != nil {
+		s.log.Error("snapshot failed", "error", err.Error())
+	}
+}
+
+// cutSnapshot materializes the full service state into a snapshot at a
+// fresh WAL segment boundary. The store rotates first and invokes the
+// capture with no store lock held; the capture's shard read locks and
+// s.mu read lock are the barrier that makes the snapshot cover every
+// record below the boundary (see store.Snapshot).
+func (s *Server) cutSnapshot() error {
+	start := time.Now()
+	err := s.store.Snapshot(func() ([]byte, error) {
+		payload := snapshotPayload{Market: s.market.ExportShards()}
+		s.mu.RLock()
+		payload.Sessions = make([]sessionState, 0, len(s.order))
+		for _, id := range s.order {
+			payload.Sessions = append(payload.Sessions, s.sessions[id].state())
+		}
+		s.mu.RUnlock()
+		return json.Marshal(payload)
+	})
+	if s.col != nil {
+		stats := s.store.Stats()
+		s.col.RecordSpan("store.snapshot", start,
+			obs.Attr{Key: "boundary_segment", Value: fmt.Sprint(stats.SnapshotSeq)},
+			obs.Attr{Key: "ok", Value: fmt.Sprint(err == nil)})
+	}
+	return err
+}
+
+// recoverFromStore replays the data directory into the server: market
+// shards and session registry land byte-identical to the pre-crash
+// state. Runs inside New, before the persist hooks are installed (the
+// replay itself must not be re-logged) and before any traffic.
+func (s *Server) recoverFromStore() error {
+	start := time.Now()
+	states := make(map[string]*sessionState)
+	var order []string
+	applySession := func(st sessionState) {
+		prev, ok := states[st.ID]
+		if ok && prev.Seq >= st.Seq {
+			return
+		}
+		if !ok {
+			order = append(order, st.ID)
+		}
+		states[st.ID] = &st
+	}
+
+	err := s.store.Recover(
+		func(payload []byte) error {
+			var snap snapshotPayload
+			if err := json.Unmarshal(payload, &snap); err != nil {
+				return fmt.Errorf("decoding snapshot: %w", err)
+			}
+			if err := s.market.RestoreShards(snap.Market); err != nil {
+				return err
+			}
+			for _, st := range snap.Sessions {
+				applySession(st)
+			}
+			return nil
+		},
+		func(rec store.Record) error {
+			switch rec.Type {
+			case store.RecordTick:
+				tick, err := store.DecodeTick(rec.Payload)
+				if err != nil {
+					return err
+				}
+				return s.market.ApplyTick(cloud.MarketKey{Type: tick.Type, Zone: tick.Zone}, tick.Prices, tick.Version)
+			case store.RecordSession:
+				var st sessionState
+				if err := json.Unmarshal(rec.Payload, &st); err != nil {
+					return fmt.Errorf("decoding session record: %w", err)
+				}
+				applySession(st)
+				return nil
+			default:
+				// Unknown record types are skipped: a newer binary may add
+				// kinds this one does not know.
+				return nil
+			}
+		})
+	if err != nil {
+		return err
+	}
+
+	for _, id := range order {
+		t, err := s.materializeSession(*states[id])
+		if err != nil {
+			return fmt.Errorf("restoring session %s: %w", id, err)
+		}
+		s.sessions[id] = t
+		s.order = append(s.order, id)
+		if !t.done {
+			s.met.activeSessions.Add(1)
+		} else {
+			s.met.completedSessions.Add(1)
+		}
+		var n int
+		if _, serr := fmt.Sscanf(id, "s%d", &n); serr == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+
+	seconds := time.Since(start).Seconds()
+	s.met.recoverySecondsBits.Store(math.Float64bits(seconds))
+	if s.col != nil {
+		s.col.RecordSpan("store.recover", start,
+			obs.Attr{Key: "sessions", Value: fmt.Sprint(len(order))},
+			obs.Attr{Key: "market_version", Value: fmt.Sprint(s.market.Version())},
+			obs.Attr{Key: "truncated_tail_bytes", Value: fmt.Sprint(s.store.Stats().TruncatedTailBytes)})
+	}
+	s.log.Info("recovered", "data_dir", s.store.Dir(), "sessions", len(order),
+		"market_version", s.market.Version(), "seconds", seconds)
+	return nil
+}
+
+// materializeSession rebuilds one tracked session from its recorded
+// state — as data, with no re-optimization. The plan of a live session
+// is rebuilt through DecodePlan against the recorded residual scale and
+// training window over the already-restored market, which reproduces
+// the exact model.Plan (instance counts, recovery fleet, failure
+// distributions) the pre-crash server held.
+func (s *Server) materializeSession(st sessionState) (*trackedSession, error) {
+	profile, ok := app.ByName(st.App)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown workload %q", opt.ErrInvalidConfig, st.App)
+	}
+	base := st.Req.Config(profile, nil)
+	base.Market = nil
+	keys := st.Req.CandidateKeys(s.market)
+	base.Candidates = keys
+
+	sess := replay.NewSession(&replay.Runner{Market: s.market, Profile: profile}, st.Deadline, st.Start)
+	sess.Progress = st.Progress
+	sess.Elapsed = st.Elapsed
+	sess.Cost = st.Cost
+	sess.Windows = st.Windows
+	sess.Completed = st.Completed
+	sess.AllGroupsDead = st.AllGroupsDead
+
+	t := &trackedSession{
+		id:          st.ID,
+		profile:     profile,
+		history:     st.History,
+		base:        base,
+		keys:        keys,
+		req:         st.Req,
+		sess:        sess,
+		boundary:    st.Boundary,
+		planVersion: st.PlanVersion,
+		planCost:    st.PlanCost,
+		planScale:   st.PlanScale,
+		trainStart:  st.TrainStart,
+		trainDur:    st.TrainDur,
+		reopts:      st.Reopts,
+		done:        st.Done,
+		seq:         st.Seq,
+		audit:       st.Audit,
+	}
+	if !st.Done {
+		prof := profile
+		if st.PlanScale > 0 && st.PlanScale < 1 {
+			prof = profile.Scale(st.PlanScale)
+		}
+		plan, err := DecodePlan(st.Plan, prof, s.market.Window(st.TrainStart, st.TrainDur))
+		if err != nil {
+			return nil, err
+		}
+		t.plan = plan
+	}
+	return t, nil
+}
+
+// Close flushes the service's durable state and closes the store: a
+// final snapshot at a clean segment boundary, then fsync-and-close of
+// the active WAL segment. Graceful shutdown must call it after the
+// HTTP server has drained; without a store it is a no-op. Idempotent.
+func (s *Server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if err := s.cutSnapshot(); err != nil {
+		// The WAL still holds everything the snapshot would have covered;
+		// recovery replays it. Closing cleanly matters more than the
+		// snapshot, so log and continue.
+		s.log.Error("shutdown snapshot failed", "error", err.Error())
+	}
+	s.market.SetPersist(nil)
+	return s.store.Close()
+}

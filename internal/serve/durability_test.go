@@ -1,0 +1,372 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"sompi/internal/cloud"
+	"sompi/internal/store"
+)
+
+// durableMarket regenerates the deterministic test market: recovery
+// replays the WAL over a fresh generation of it, exactly as a restarted
+// sompid regenerates (or reloads) its market before recovering.
+func durableMarket() *cloud.Market {
+	return cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), 240, 7)
+}
+
+// newDurable builds a durable server over dir and a test HTTP front.
+func newDurable(t *testing.T, dir string, opts store.Options, snapshotEvery int) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	s, err := New(Config{Market: durableMarket(), WindowHours: 2, Store: st, SnapshotEvery: snapshotEvery})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func durablePost(t *testing.T, url string, v any) []byte {
+	t.Helper()
+	body, _ := json.Marshal(v)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+func durableGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+func promValue(t *testing.T, metrics []byte, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` ([0-9.eE+-]+)$`)
+	m := re.FindSubmatch(metrics)
+	if m == nil {
+		t.Fatalf("metric %s not found", name)
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatalf("metric %s: %v", name, err)
+	}
+	return v
+}
+
+// trackedPlan is the deterministic tracked request the recovery tests
+// drive: serial search so every re-optimization is reproducible.
+func trackedPlan() PlanRequest {
+	return PlanRequest{
+		App: "BT", DeadlineHours: 60,
+		Workers: 1, Kappa: 2, GridLevels: 3, MaxGroups: 3,
+		Track: true,
+	}
+}
+
+// ingestHours advances every market by the given hours of flat prices —
+// below every plausible bid, so tracked sessions survive their windows.
+func ingestHours(t *testing.T, url string, hours float64) {
+	t.Helper()
+	samples := make([]float64, int(hours*12))
+	for i := range samples {
+		samples[i] = 0.05
+	}
+	var ticks []PriceTick
+	for _, key := range durableMarket().Keys() {
+		ticks = append(ticks, PriceTick{Type: key.Type, Zone: key.Zone, Prices: samples})
+	}
+	durablePost(t, url+"/v1/prices", ticks)
+}
+
+// assertRecoveredExactly is the tentpole's exactness proof: version
+// vector, retained prices, session listing bytes and every live
+// session's plan bytes identical between the pre-crash server and the
+// recovered one.
+func assertRecoveredExactly(t *testing.T, s1, s2 *Server, url1, url2 string) {
+	t.Helper()
+	if vv1, vv2 := s1.market.VersionVector(), s2.market.VersionVector(); !reflect.DeepEqual(vv1, vv2) {
+		t.Fatalf("version vector diverged:\npre:  %v\npost: %v", vv1, vv2)
+	}
+	if v1, v2 := s1.market.Version(), s2.market.Version(); v1 != v2 {
+		t.Fatalf("composite version %d != %d", v1, v2)
+	}
+	for _, k := range s1.market.Keys() {
+		tr1, tr2 := s1.market.Trace(k.Type, k.Zone), s2.market.Trace(k.Type, k.Zone)
+		if tr1.Step != tr2.Step || tr1.Head != tr2.Head || !reflect.DeepEqual(tr1.Prices, tr2.Prices) {
+			t.Fatalf("retained prices diverged for %v: %d/%d samples, head %d/%d",
+				k, tr1.Len(), tr2.Len(), tr1.Head, tr2.Head)
+		}
+	}
+
+	sessions1 := durableGet(t, url1+"/v1/sessions")
+	sessions2 := durableGet(t, url2+"/v1/sessions")
+	if !bytes.Equal(sessions1, sessions2) {
+		t.Fatalf("/v1/sessions diverged:\npre:  %s\npost: %s", sessions1, sessions2)
+	}
+	health1 := durableGet(t, url1+"/healthz")
+	health2 := durableGet(t, url2+"/healthz")
+	if !bytes.Equal(health1, health2) {
+		t.Fatalf("/healthz diverged:\npre:  %s\npost: %s", health1, health2)
+	}
+
+	s1.mu.RLock()
+	defer s1.mu.RUnlock()
+	s2.mu.RLock()
+	defer s2.mu.RUnlock()
+	if len(s1.sessions) == 0 || len(s1.sessions) != len(s2.sessions) {
+		t.Fatalf("session registry size %d vs %d", len(s1.sessions), len(s2.sessions))
+	}
+	for id, t1 := range s1.sessions {
+		t2, ok := s2.sessions[id]
+		if !ok {
+			t.Fatalf("session %s missing after recovery", id)
+		}
+		p1, _ := json.Marshal(EncodePlan(t1.plan))
+		p2, _ := json.Marshal(EncodePlan(t2.plan))
+		if !bytes.Equal(p1, p2) {
+			t.Fatalf("session %s plan diverged:\npre:  %s\npost: %s", id, p1, p2)
+		}
+		if t1.boundary != t2.boundary || t1.planVersion != t2.planVersion ||
+			t1.planCost != t2.planCost || t1.done != t2.done || t1.seq != t2.seq {
+			t.Fatalf("session %s state diverged: boundary %v/%v version %d/%d cost %v/%v done %v/%v seq %d/%d",
+				id, t1.boundary, t2.boundary, t1.planVersion, t2.planVersion,
+				t1.planCost, t2.planCost, t1.done, t2.done, t1.seq, t2.seq)
+		}
+	}
+	if s1.nextID != s2.nextID {
+		t.Fatalf("nextID %d != %d: recovered server would reuse session ids", s1.nextID, s2.nextID)
+	}
+}
+
+// TestCrashRecoveryExactness kills the server mid-stream — no Close, no
+// shutdown snapshot, exactly what SIGKILL leaves behind — and proves
+// the WAL alone restores the full state byte-identically.
+func TestCrashRecoveryExactness(t *testing.T) {
+	dir := t.TempDir()
+	// SnapshotEvery is set beyond the test's appends: recovery must work
+	// from pure WAL replay.
+	s1, ts1 := newDurable(t, dir, store.Options{}, 1<<20)
+
+	durablePost(t, ts1.URL+"/v1/plan", trackedPlan())
+	ingestHours(t, ts1.URL, 2) // crosses the first window boundary: re-optimization
+	ingestHours(t, ts1.URL, 1) // more ticks after the last session transition
+
+	var sessions []SessionInfo
+	json.Unmarshal(durableGet(t, ts1.URL+"/v1/sessions"), &sessions)
+	if len(sessions) != 1 || sessions[0].Reoptimized < 1 {
+		t.Fatalf("precondition: session did not re-optimize: %+v", sessions)
+	}
+
+	// "SIGKILL": the server and its store are simply abandoned.
+	s2, ts2 := newDurable(t, dir, store.Options{}, 1<<20)
+	assertRecoveredExactly(t, s1, s2, ts1.URL, ts2.URL)
+
+	// The recovered server is live, not read-only: further ingestion
+	// advances sessions from exactly where the crash left them.
+	ingestHours(t, ts2.URL, 2)
+	var after []SessionInfo
+	json.Unmarshal(durableGet(t, ts2.URL+"/v1/sessions"), &after)
+	if after[0].Windows <= sessions[0].Windows {
+		t.Fatalf("recovered session did not keep advancing: %+v", after[0])
+	}
+}
+
+// TestCrashRecoveryWithSnapshots is the same proof through the other
+// path: snapshots cut during operation, covered segments compacted,
+// recovery = snapshot + tail replay.
+func TestCrashRecoveryWithSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newDurable(t, dir, store.Options{}, 1) // snapshot after every ingest request
+
+	durablePost(t, ts1.URL+"/v1/plan", trackedPlan())
+	ingestHours(t, ts1.URL, 2)
+	ingestHours(t, ts1.URL, 1)
+	if s1.store.Stats().Snapshots == 0 {
+		t.Fatal("precondition: no snapshot was cut")
+	}
+	// Records appended after the last snapshot force mixed recovery.
+	ingestHours(t, ts1.URL, 0.5)
+
+	s2, ts2 := newDurable(t, dir, store.Options{}, 1)
+	if s2.store.Stats().SnapshotSeq == 0 {
+		t.Fatal("recovery did not start from a snapshot")
+	}
+	assertRecoveredExactly(t, s1, s2, ts1.URL, ts2.URL)
+}
+
+// TestDurableTwinMatchesInMemory: with no store the service must behave
+// exactly as before durability existed, and with a store the served
+// bytes must not change — the same requests against a durable server
+// and a pure in-memory twin produce identical plans and sessions.
+func TestDurableTwinMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	_, durableTS := newDurable(t, dir, store.Options{}, 1<<20)
+	mem, err := New(Config{Market: durableMarket(), WindowHours: 2})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	memTS := httptest.NewServer(mem.Handler())
+	defer memTS.Close()
+
+	p1 := durablePost(t, durableTS.URL+"/v1/plan", trackedPlan())
+	p2 := durablePost(t, memTS.URL+"/v1/plan", trackedPlan())
+	if !bytes.Equal(p1, p2) {
+		t.Fatalf("plan bytes diverged with a store:\ndurable: %s\nmemory:  %s", p1, p2)
+	}
+	ingestHours(t, durableTS.URL, 2)
+	ingestHours(t, memTS.URL, 2)
+	sd := durableGet(t, durableTS.URL+"/v1/sessions")
+	sm := durableGet(t, memTS.URL+"/v1/sessions")
+	if !bytes.Equal(sd, sm) {
+		t.Fatalf("sessions diverged with a store:\ndurable: %s\nmemory:  %s", sd, sm)
+	}
+}
+
+// TestCloseFlushesWAL is the graceful-shutdown regression: Close must
+// cut a final snapshot, fsync and close the active segment, and leave a
+// store a fresh process recovers completely — even when per-append
+// fsync is off.
+func TestCloseFlushesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newDurable(t, dir, store.Options{Fsync: false}, 1<<20)
+	durablePost(t, ts1.URL+"/v1/plan", trackedPlan())
+	ingestHours(t, ts1.URL, 2)
+
+	if err := s1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatalf("second Close must be a no-op, got %v", err)
+	}
+	// The WAL is closed: nothing can append past shutdown.
+	if err := s1.store.Append(store.Record{Type: store.RecordTick}); !errors.Is(err, store.ErrClosed) {
+		t.Fatalf("append after Close: got %v, want ErrClosed", err)
+	}
+	// Close cut a clean shutdown snapshot.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) == 0 {
+		t.Fatal("Close left no snapshot")
+	}
+
+	s2, ts2 := newDurable(t, dir, store.Options{Fsync: false}, 1<<20)
+	assertRecoveredExactly(t, s1, s2, ts1.URL, ts2.URL)
+}
+
+// TestWALMetricsAndRecoverySpan covers the observability satellite: the
+// durability families carry real values on a durable server, recovery
+// publishes its duration, and the recovery span lands in /debug/trace.
+func TestWALMetricsAndRecoverySpan(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newDurable(t, dir, store.Options{Fsync: true}, 1<<20)
+	durablePost(t, ts1.URL+"/v1/prices", []PriceTick{{Type: "m1.medium", Zone: "us-east-1a", Prices: []float64{0.05}}})
+
+	mx := durableGet(t, ts1.URL+"/metrics")
+	if v := promValue(t, mx, "sompid_wal_appended_records_total"); v < 1 {
+		t.Fatalf("sompid_wal_appended_records_total = %v, want >= 1", v)
+	}
+	if v := promValue(t, mx, "sompid_wal_fsync_seconds_count"); v < 1 {
+		t.Fatalf("sompid_wal_fsync_seconds_count = %v, want >= 1 with Fsync on", v)
+	}
+	if v := promValue(t, mx, "sompid_wal_active_segment"); v < 1 {
+		t.Fatalf("sompid_wal_active_segment = %v, want >= 1", v)
+	}
+
+	// Restart: recovery replays the tick and publishes its duration.
+	s2, ts2 := newDurable(t, dir, store.Options{Fsync: true}, 1<<20)
+	mx = durableGet(t, ts2.URL+"/metrics")
+	if v := promValue(t, mx, "sompid_recovery_seconds"); v <= 0 {
+		t.Fatalf("sompid_recovery_seconds = %v, want > 0 after a recovery", v)
+	}
+	found := false
+	for _, sp := range s2.col.Spans("", 0) {
+		if sp.Name == "store.recover" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no store.recover span in the flight recorder after recovery")
+	}
+
+	// A pure in-memory server still renders the families, as zeros.
+	mem, err := New(Config{Market: durableMarket()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memTS := httptest.NewServer(mem.Handler())
+	defer memTS.Close()
+	mx = durableGet(t, memTS.URL+"/metrics")
+	if v := promValue(t, mx, "sompid_wal_appended_records_total"); v != 0 {
+		t.Fatalf("in-memory server reports %v appended WAL records", v)
+	}
+	if v := promValue(t, mx, "sompid_recovery_seconds"); v != 0 {
+		t.Fatalf("in-memory server reports recovery_seconds %v", v)
+	}
+}
+
+// TestRecoveryRejectsCorruptMiddle: corruption that torn-tail handling
+// cannot explain must keep the server from starting at all.
+func TestRecoveryFailsClosedOnCorruptStore(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newDurable(t, dir, store.Options{}, 1)
+	durablePost(t, ts1.URL+"/v1/plan", trackedPlan())
+	ingestHours(t, ts1.URL, 2)
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) == 0 {
+		t.Fatal("no snapshot on disk")
+	}
+	corruptFile(t, snaps[len(snaps)-1])
+
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	if _, err := New(Config{Market: durableMarket(), WindowHours: 2, Store: st}); !errors.Is(err, store.ErrCorruptSnapshot) {
+		t.Fatalf("New over a corrupt snapshot: got %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,12 +3,14 @@ package serve
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync/atomic"
 
 	"sompi/internal/cloud"
 	"sompi/internal/obs"
+	"sompi/internal/store"
 )
 
 // endpoint indexes the per-endpoint counters.
@@ -54,6 +56,16 @@ type metrics struct {
 	reoptimizations   atomic.Int64
 	activeSessions    atomic.Int64
 	completedSessions atomic.Int64
+
+	// Durability: walFsync times every WAL fsync, walAppendErrors counts
+	// records that failed to land (ticks aborted, session transitions
+	// lost), recoverySecondsBits holds the startup recovery duration as
+	// math.Float64bits (0 = no recovery ran). Appended-record and
+	// snapshot counters live in the store itself (store.Stats), sampled
+	// at render time.
+	walFsync            *obs.Histogram
+	walAppendErrors     atomic.Int64
+	recoverySecondsBits atomic.Uint64
 	// windowTruncations counts session windows whose replay or training
 	// range reached before the retained head and was clamped — each one
 	// is a re-optimization that saw less (or wrong) history than asked.
@@ -69,6 +81,7 @@ func (m *metrics) init(keys []cloud.MarketKey) {
 	for _, k := range keys {
 		m.ingestLatency[k.String()] = obs.NewHistogram(nil)
 	}
+	m.walFsync = obs.NewHistogram(nil)
 }
 
 // observe records one request's latency and error outcome.
@@ -121,7 +134,7 @@ func header(w io.Writer, name, typ, help string) {
 // render writes the exposition text. marketVersion, cacheLen and the
 // shard stats are sampled by the caller (they live in the market and
 // cache, not here).
-func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, cacheLen int, shards []cloud.ShardStat) {
+func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, cacheLen int, shards []cloud.ShardStat, wal store.Stats) {
 	header(w, "sompid_requests_total", "counter", "Requests served, by endpoint.")
 	for ep := endpoint(0); ep < numEndpoints; ep++ {
 		fmt.Fprintf(w, "sompid_requests_total{endpoint=\"%s\"} %d\n", escapeLabel(endpointNames[ep]), m.requests[ep].Load())
@@ -184,6 +197,22 @@ func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, ca
 	for _, st := range shards {
 		fmt.Fprintf(w, "sompid_shard_compacted_samples_total{market=\"%s\"} %d\n", escapeLabel(st.Key.String()), st.Compacted)
 	}
+
+	// Durability families render unconditionally — zeros without a
+	// configured store — so scrapers and the conformance test see a
+	// stable family set regardless of deployment mode.
+	header(w, "sompid_wal_appended_records_total", "counter", "WAL records appended (ticks + session transitions).")
+	fmt.Fprintf(w, "sompid_wal_appended_records_total %d\n", wal.AppendedRecords)
+	header(w, "sompid_wal_append_errors_total", "counter", "WAL appends that failed (aborted ticks, lost session transitions).")
+	fmt.Fprintf(w, "sompid_wal_append_errors_total %d\n", m.walAppendErrors.Load())
+	header(w, "sompid_wal_fsync_seconds", "histogram", "WAL fsync latency in seconds.")
+	m.walFsync.WriteProm(w, "sompid_wal_fsync_seconds", "")
+	header(w, "sompid_wal_active_segment", "gauge", "Sequence number of the WAL segment appends currently go to.")
+	fmt.Fprintf(w, "sompid_wal_active_segment %d\n", wal.ActiveSegment)
+	header(w, "sompid_snapshots_total", "counter", "Durability snapshots cut since start.")
+	fmt.Fprintf(w, "sompid_snapshots_total %d\n", wal.Snapshots)
+	header(w, "sompid_recovery_seconds", "gauge", "Startup crash-recovery duration in seconds (0 = no recovery ran).")
+	fmt.Fprintf(w, "sompid_recovery_seconds %.6f\n", math.Float64frombits(m.recoverySecondsBits.Load()))
 
 	header(w, "sompid_reoptimizations_total", "counter", "Tracked-session window re-optimizations.")
 	fmt.Fprintf(w, "sompid_reoptimizations_total %d\n", m.reoptimizations.Load())

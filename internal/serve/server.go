@@ -20,6 +20,7 @@ import (
 	"sompi/internal/obs"
 	"sompi/internal/opt"
 	"sompi/internal/replay"
+	"sompi/internal/store"
 )
 
 // StatusClientClosedRequest is reported when the client abandoned the
@@ -52,6 +53,16 @@ type Config struct {
 	// Logger receives the service's structured log lines; nil disables
 	// logging (every method on a nil *obs.Logger is a no-op).
 	Logger *obs.Logger
+	// Store, when set, makes the service durable: New recovers the exact
+	// pre-crash market and session state from it before accepting
+	// traffic, every tick and session transition is WAL-logged, and
+	// Close cuts a clean snapshot. The store must be freshly opened and
+	// not yet recovered; the server owns it from here (Close closes it).
+	// Nil keeps the service pure in-memory.
+	Store *store.Store
+	// SnapshotEvery cuts a snapshot after that many WAL records since
+	// the previous one; zero means 4096. Ignored without Store.
+	SnapshotEvery int
 }
 
 // Server is the sompid planner service. The market synchronizes itself
@@ -76,6 +87,13 @@ type Server struct {
 	met   metrics
 	col   *obs.Collector
 	log   *obs.Logger
+
+	// store is the durability subsystem (nil = pure in-memory);
+	// snapshotEvery its snapshot cadence in WAL records. closed guards
+	// Close idempotency (under mu).
+	store         *store.Store
+	snapshotEvery int
+	closed        bool
 }
 
 // New builds a Server over the given live market.
@@ -121,6 +139,21 @@ func New(cfg Config) (*Server, error) {
 	if r := cfg.Market.Retention(); r > 0 && r < s.history+s.window {
 		return nil, fmt.Errorf("%w: retention %gh < history %gh + window %gh: tracked sessions would train on silently truncated prices (raise -retain or lower -history/-window)",
 			opt.ErrInvalidConfig, r, s.history, s.window)
+	}
+	if cfg.Store != nil {
+		s.store = cfg.Store
+		s.snapshotEvery = cfg.SnapshotEvery
+		if s.snapshotEvery == 0 {
+			s.snapshotEvery = 4096
+		}
+		// Recovery runs before the persist hook is installed — replaying
+		// the WAL must not re-log it — and before New returns, so no
+		// traffic ever sees a partially restored market.
+		if err := s.recoverFromStore(); err != nil {
+			return nil, fmt.Errorf("serve: recovering from %s: %w", s.store.Dir(), err)
+		}
+		s.store.SetFsyncObserver(func(seconds float64) { s.met.walFsync.Observe(seconds) })
+		s.market.SetPersist(s.persistTick)
 	}
 	return s, nil
 }
@@ -344,6 +377,8 @@ func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.R
 	base := req.Config(profile, nil)
 	base.Market = nil // refilled per re-optimization
 	base.Candidates = keys
+	history := s.historyOr(req.HistoryHours)
+	trainStart := math.Max(0, frontier-history)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
@@ -351,19 +386,26 @@ func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.R
 	t := &trackedSession{
 		id:      id,
 		profile: profile,
-		history: s.historyOr(req.HistoryHours),
+		history: history,
 		base:    base,
 		keys:    keys,
+		req:     req,
 		sess: replay.NewSession(&replay.Runner{Market: s.market, Profile: profile},
 			req.DeadlineHours, frontier),
 		plan:        res.Plan,
 		boundary:    frontier + s.window,
 		planVersion: version,
 		planCost:    res.Est.Cost,
+		// The initial plan is the full profile trained on the trailing
+		// history behind the frontier — the rebuild inputs for recovery.
+		planScale:  1,
+		trainStart: trainStart,
+		trainDur:   frontier - trainStart,
 	}
 	s.sessions[id] = t
 	s.order = append(s.order, id)
 	s.met.activeSessions.Add(1)
+	s.persistSessionLocked(t)
 	return id
 }
 
@@ -513,6 +555,7 @@ func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
 		resp.MarketVersion = s.market.Version()
 	}
 	resp.FrontierHours = s.market.MinDuration()
+	s.maybeSnapshot()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -593,7 +636,11 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, s.market.Version(), s.market.MinDuration(), s.cache.len(), s.market.ShardStats())
+	var wal store.Stats
+	if s.store != nil {
+		wal = s.store.Stats()
+	}
+	s.met.render(w, s.market.Version(), s.market.MinDuration(), s.cache.len(), s.market.ShardStats(), wal)
 }
 
 // handleDebugTrace serves the flight recorder: the most recent completed

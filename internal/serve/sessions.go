@@ -49,8 +49,19 @@ type trackedSession struct {
 	// planCost is the current plan's estimated cost at its optimization
 	// time — the "old" side of the next audit record's cost delta.
 	planCost float64
-	reopts   int
-	done     bool
+	// planScale, trainStart and trainDur record the inputs the current
+	// plan was optimized with — the residual profile fraction and the
+	// training window in absolute market hours — so recovery can rebuild
+	// the exact model.Plan through DecodePlan without re-optimizing.
+	planScale  float64
+	trainStart float64
+	trainDur   float64
+	// req is the original plan request; seq the session's durable
+	// transition counter (see sessionState).
+	req    PlanRequest
+	seq    uint64
+	reopts int
+	done   bool
 	// audit is the session's append-only decision log, oldest first,
 	// bounded at maxAuditRecords (oldest dropped beyond it).
 	audit []AuditRecord
@@ -134,6 +145,10 @@ func (s *Server) advanceSessionsLocked(ctx context.Context) (reopted, completed 
 			if done {
 				completed++
 			}
+			// Every window transition is durable: the session either
+			// advanced, re-optimized or went terminal, and a crash right
+			// after this line restores exactly that state.
+			s.persistSessionLocked(t)
 		}
 	}
 	return reopted, completed
@@ -210,6 +225,12 @@ func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (re
 		t.plan = res.Plan
 		t.planVersion = s.market.Version()
 		t.planCost = res.Est.Cost
+		// Record the rebuild inputs before the boundary moves: the plan
+		// was optimized for the residual at current progress, trained on
+		// [trainStart, boundary).
+		t.planScale = 1 - t.sess.Progress
+		t.trainStart = trainStart
+		t.trainDur = t.boundary - trainStart
 		t.boundary += s.window
 		t.reopts++
 		s.met.reoptimizations.Add(1)

@@ -1,0 +1,70 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRecord drives the WAL frame decoder with arbitrary bytes —
+// including a seed corpus of torn and bit-flipped tails, the shapes a
+// crash actually produces. The decoder must never panic and never
+// allocate past MaxRecordBytes; any failure must be one of the typed
+// errors so recovery can tell "truncate here" from "refuse to start".
+func FuzzDecodeRecord(f *testing.F) {
+	intact := EncodeRecord(Record{Type: RecordTick, Payload: []byte("price tick payload")})
+	f.Add(intact)
+	f.Add(intact[:len(intact)-1]) // torn tail: crash mid-append
+	f.Add(intact[:frameHeader])   // torn tail: header only
+	f.Add(intact[:3])             // torn tail: partial header
+	flipped := append([]byte(nil), intact...)
+	flipped[frameHeader+2] ^= 0x10 // bit rot in the payload
+	f.Add(flipped)
+	flipLen := append([]byte(nil), intact...)
+	flipLen[3] ^= 0x80 // bit rot in the length prefix
+	f.Add(flipLen)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 16)) // max length prefix
+	f.Add(append([]byte{0, 0, 0, 0, 0, 0, 0, 0}, intact...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		if n < frameHeader+1 || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		// A successful decode must re-encode to the exact frame bytes —
+		// the canonical-encoding property recovery's offset math relies on.
+		if got := EncodeRecord(Record{Type: rec.Type, Payload: rec.Payload}); !bytes.Equal(got, data[:n]) {
+			t.Fatalf("re-encode mismatch: %x != %x", got, data[:n])
+		}
+	})
+}
+
+// FuzzDecodeTick drives the tick payload codec: length-prefixed strings
+// and a price count that must account for exactly the remaining bytes.
+func FuzzDecodeTick(f *testing.F) {
+	intact, _ := EncodeTick(Tick{Type: "m1.small", Zone: "us-east-1a", Version: 42, Prices: []float64{0.1, 7.5}})
+	f.Add(intact)
+	f.Add(intact[:len(intact)-4]) // torn price
+	f.Add(intact[:1])             // torn type length
+	flipped := append([]byte(nil), intact...)
+	flipped[0] ^= 0xFF // type length points past the buffer
+	f.Add(flipped)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tk, err := DecodeTick(data)
+		if err != nil {
+			return
+		}
+		reenc, err := EncodeTick(tk)
+		if err != nil {
+			t.Fatalf("decoded tick does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatalf("re-encode mismatch: %x != %x", reenc, data)
+		}
+	})
+}

@@ -1,0 +1,587 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSegmentBytes is the rotation threshold for WAL segments. Small
+// enough that a segment loads whole during recovery, large enough that
+// rotation is rare on the ingest path.
+const DefaultSegmentBytes = 4 << 20
+
+// Segment and snapshot file headers: 8 magic bytes plus a u32 format
+// version. A header mismatch means the file is not ours (or a future
+// format) — recovery refuses rather than guessing.
+var (
+	segMagic  = []byte("SOMPIWL1")
+	snapMagic = []byte("SOMPISN1")
+)
+
+const (
+	formatVersion = 1
+	headerLen     = 12
+)
+
+var (
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrNotRecovered reports an Append before Recover: appending to a
+	// segment whose tail has not been replayed yet would interleave new
+	// records with unapplied old ones.
+	ErrNotRecovered = errors.New("store: Recover must run before Append")
+	// ErrCorruptSegment reports corruption that torn-tail truncation
+	// cannot explain: a bad record in a fully written (non-final)
+	// segment, or a foreign file header.
+	ErrCorruptSegment = errors.New("store: corrupt WAL segment")
+	// ErrCorruptSnapshot reports an unreadable newest snapshot. The
+	// segments it covered may already be compacted away, so the store
+	// refuses to start rather than silently recovering a partial state.
+	ErrCorruptSnapshot = errors.New("store: corrupt snapshot")
+)
+
+var (
+	segRe  = regexp.MustCompile(`^wal-(\d{16})\.seg$`)
+	snapRe = regexp.MustCompile(`^snap-(\d{16})\.snap$`)
+)
+
+// Options parameterizes a Store.
+type Options struct {
+	// Fsync syncs the active segment after every append. Off, appends
+	// reach the OS page cache only — they survive a process crash but
+	// not a machine crash — until Sync, rotation, or Close.
+	Fsync bool
+	// SegmentBytes is the rotation threshold; zero means
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// Stats is the store's observable state, for /metrics.
+type Stats struct {
+	// AppendedRecords counts records appended by this process.
+	AppendedRecords uint64
+	// ActiveSegment is the seq of the segment appends currently go to.
+	ActiveSegment uint64
+	// Segments counts WAL segments on disk.
+	Segments int
+	// SnapshotSeq is the newest snapshot's boundary (0 = none): every
+	// segment with a smaller seq is covered and compacted.
+	SnapshotSeq uint64
+	// Snapshots counts snapshots cut by this process.
+	Snapshots uint64
+	// TruncatedTailBytes counts bytes dropped by torn-tail truncation at
+	// Open — non-zero exactly when the previous process died mid-append.
+	TruncatedTailBytes int64
+}
+
+// Store is one data directory: the active WAL segment, the retained
+// older segments, and the newest snapshot. All methods are safe for
+// concurrent use. Lock ordering: the internal mutex is a leaf — Append
+// is designed to be called with caller locks (market shard, session
+// registry) held, and no Store method calls back into the caller while
+// holding it (Snapshot invokes its capture callback with no lock held).
+type Store struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	f         *os.File
+	active    uint64   // seq of the open segment
+	size      int64    // bytes written to the active segment
+	segs      []uint64 // on-disk segment seqs, ascending (includes active)
+	snapSeq   uint64
+	appended  uint64
+	snapshots uint64
+	truncated int64
+	appendsAt uint64 // appended count when the last snapshot was cut
+	recovered bool
+	closed    bool
+
+	// snapMu serializes snapshot cuts without blocking appends.
+	snapMu sync.Mutex
+
+	// fsyncObs, when set, observes each fsync's duration in seconds.
+	fsyncObs atomic.Pointer[func(float64)]
+}
+
+// Open opens (creating if needed) the data directory, truncates any torn
+// tail off the newest segment, and readies the newest segment for
+// appends. Call Recover before the first Append.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading data dir: %w", err)
+	}
+	var snaps []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if m := segRe.FindStringSubmatch(name); m != nil {
+			seq, _ := strconv.ParseUint(m[1], 10, 64)
+			s.segs = append(s.segs, seq)
+		} else if m := snapRe.FindStringSubmatch(name); m != nil {
+			seq, _ := strconv.ParseUint(m[1], 10, 64)
+			snaps = append(snaps, seq)
+		} else if filepath.Ext(name) == ".tmp" {
+			// A crash mid-snapshot leaves a .tmp behind; it was never
+			// renamed, so it was never the snapshot of record.
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+	sort.Slice(s.segs, func(i, j int) bool { return s.segs[i] < s.segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	if len(snaps) > 0 {
+		s.snapSeq = snaps[len(snaps)-1]
+	}
+
+	if len(s.segs) == 0 {
+		seq := s.snapSeq
+		if seq == 0 {
+			seq = 1
+		}
+		if err := s.createSegmentLocked(seq); err != nil {
+			return nil, err
+		}
+		s.segs = []uint64{seq}
+		return s, nil
+	}
+
+	last := s.segs[len(s.segs)-1]
+	if err := s.openActiveSegment(last); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) segPath(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("wal-%016d.seg", seq))
+}
+
+func (s *Store) snapPath(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("snap-%016d.snap", seq))
+}
+
+// createSegmentLocked creates and opens a fresh segment with just its
+// header, fsyncing the file and the directory so the segment itself
+// survives a crash.
+func (s *Store) createSegmentLocked(seq uint64) error {
+	f, err := os.OpenFile(s.segPath(seq), os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating segment %d: %w", seq, err)
+	}
+	if _, err := f.Write(header(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing segment %d header: %w", seq, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing segment %d: %w", seq, err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	s.f, s.active, s.size = f, seq, headerLen
+	return nil
+}
+
+// openActiveSegment opens the newest segment for appends, truncating a
+// torn tail first so new records never follow a half-written one.
+func (s *Store) openActiveSegment(seq uint64) error {
+	path := s.segPath(seq)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: reading segment %d: %w", seq, err)
+	}
+	good, err := scanSegment(data, true)
+	if err != nil {
+		return fmt.Errorf("segment %d: %w", seq, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening segment %d: %w", seq, err)
+	}
+	if int64(good) < int64(len(data)) {
+		s.truncated += int64(len(data)) - int64(good)
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return fmt.Errorf("store: truncating torn tail of segment %d: %w", seq, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: syncing truncated segment %d: %w", seq, err)
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return fmt.Errorf("store: seeking segment %d: %w", seq, err)
+	}
+	s.f, s.active, s.size = f, seq, int64(good)
+	return nil
+}
+
+func header(magic []byte) []byte {
+	h := make([]byte, headerLen)
+	copy(h, magic)
+	h[8] = formatVersion
+	return h
+}
+
+// scanSegment walks a segment's records, returning the offset of the
+// first byte past the last valid record. For the final (active) segment
+// any decode failure is a torn tail — the scan stops there and the
+// caller truncates. For fully written segments (tail=false) a decode
+// failure is ErrCorruptSegment. A missing or foreign header is always
+// ErrCorruptSegment, except an empty-or-shorter-than-header final
+// segment, which is a crash mid-creation: good=0 truncates it to be
+// rewritten. (Truncating to 0 leaves a headerless file; scanSegment
+// treats a zero-length final segment as good=headerLen rewrite case —
+// instead the caller recreates the header via good offset semantics.)
+func scanSegment(data []byte, tail bool) (good int, err error) {
+	if len(data) < headerLen {
+		if tail {
+			// Crash before the header finished: nothing recoverable in
+			// this file; the truncate-to-good path below rewrites it.
+			return 0, nil
+		}
+		return 0, fmt.Errorf("%w: file shorter than header", ErrCorruptSegment)
+	}
+	if string(data[:8]) != string(segMagic) || data[8] != formatVersion {
+		return 0, fmt.Errorf("%w: bad header", ErrCorruptSegment)
+	}
+	off := headerLen
+	for off < len(data) {
+		_, n, derr := DecodeRecord(data[off:])
+		if derr != nil {
+			if tail {
+				return off, nil
+			}
+			return off, fmt.Errorf("%w: record at offset %d: %v", ErrCorruptSegment, off, derr)
+		}
+		off += n
+	}
+	return off, nil
+}
+
+// Recover replays the durable state: the newest snapshot's payload (if
+// any) through onSnapshot, then every record in every retained segment,
+// oldest first, through onRecord. Either callback may be nil. Recover
+// must be called exactly once, before the first Append.
+func (s *Store) Recover(onSnapshot func(payload []byte) error, onRecord func(rec Record) error) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.recovered {
+		s.mu.Unlock()
+		return errors.New("store: Recover called twice")
+	}
+	snapSeq := s.snapSeq
+	segs := append([]uint64(nil), s.segs...)
+	s.mu.Unlock()
+
+	if snapSeq > 0 {
+		payload, err := readSnapshot(s.snapPath(snapSeq))
+		if err != nil {
+			return err
+		}
+		if onSnapshot != nil {
+			if err := onSnapshot(payload); err != nil {
+				return fmt.Errorf("store: applying snapshot %d: %w", snapSeq, err)
+			}
+		}
+	}
+	for i, seq := range segs {
+		if seq < snapSeq {
+			// Covered by the snapshot but not yet compacted (a crash
+			// between snapshot rename and compaction): skip, idempotent
+			// replay would skip its records anyway, and the next
+			// snapshot's compaction sweeps it.
+			continue
+		}
+		data, err := os.ReadFile(s.segPath(seq))
+		if err != nil {
+			return fmt.Errorf("store: reading segment %d: %w", seq, err)
+		}
+		good, err := scanSegment(data, i == len(segs)-1)
+		if err != nil {
+			return fmt.Errorf("segment %d: %w", seq, err)
+		}
+		off := headerLen
+		for off < good {
+			rec, n, derr := DecodeRecord(data[off:])
+			if derr != nil {
+				// scanSegment validated [headerLen, good); unreachable.
+				return fmt.Errorf("segment %d: %w: %v", seq, ErrCorruptSegment, derr)
+			}
+			if onRecord != nil {
+				if err := onRecord(rec); err != nil {
+					return fmt.Errorf("store: applying record at segment %d offset %d: %w", seq, off, err)
+				}
+			}
+			off += n
+		}
+	}
+
+	s.mu.Lock()
+	s.recovered = true
+	s.mu.Unlock()
+	return nil
+}
+
+// readSnapshot loads and verifies one snapshot file, returning its
+// payload. Any failure — unreadable file, foreign header, checksum
+// mismatch, trailing garbage — is ErrCorruptSnapshot.
+func readSnapshot(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	if len(data) < headerLen || string(data[:8]) != string(snapMagic) || data[8] != formatVersion {
+		return nil, fmt.Errorf("%w: bad header in %s", ErrCorruptSnapshot, filepath.Base(path))
+	}
+	rec, n, err := DecodeRecord(data[headerLen:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptSnapshot, filepath.Base(path), err)
+	}
+	if rec.Type != recordSnapshot || headerLen+n != len(data) {
+		return nil, fmt.Errorf("%w: %s: unexpected framing", ErrCorruptSnapshot, filepath.Base(path))
+	}
+	out := make([]byte, len(rec.Payload))
+	copy(out, rec.Payload)
+	return out, nil
+}
+
+// Append frames and appends one record to the active segment, rotating
+// first when the segment is full and fsyncing after when Options.Fsync
+// is set. Safe to call with caller locks held: the store's mutex is a
+// leaf.
+func (s *Store) Append(rec Record) error {
+	frame := EncodeRecord(rec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrClosed
+	case !s.recovered:
+		return ErrNotRecovered
+	}
+	if s.size >= s.opts.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		return fmt.Errorf("store: appending to segment %d: %w", s.active, err)
+	}
+	s.size += int64(len(frame))
+	s.appended++
+	if s.opts.Fsync {
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens the
+// next one.
+func (s *Store) rotateLocked() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing segment %d at rotation: %w", s.active, err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("store: closing segment %d: %w", s.active, err)
+	}
+	next := s.active + 1
+	if err := s.createSegmentLocked(next); err != nil {
+		return err
+	}
+	s.segs = append(s.segs, next)
+	return nil
+}
+
+func (s *Store) syncLocked() error {
+	start := time.Now()
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync segment %d: %w", s.active, err)
+	}
+	if obs := s.fsyncObs.Load(); obs != nil {
+		(*obs)(time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.syncLocked()
+}
+
+// Snapshot cuts a snapshot: it rotates the WAL (so the snapshot has a
+// clean segment boundary B), invokes capture — with no store lock held —
+// to materialize the caller's state, writes the payload to snap-B via
+// temp-file-and-rename, then compacts every segment and snapshot below
+// B.
+//
+// Correctness under concurrent appends rests on two properties the
+// caller must provide: capture must acquire each data structure's lock
+// after this call rotated (any append whose WAL write landed before the
+// boundary still holds its structure's lock until the in-memory apply
+// finishes, so capture observes it), and records must be idempotent on
+// replay (appends that landed after the boundary are both in the capture
+// and in segments >= B; recovery re-applies and skips them by version).
+func (s *Store) Snapshot(capture func() ([]byte, error)) error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		return ErrClosed
+	case !s.recovered:
+		s.mu.Unlock()
+		return ErrNotRecovered
+	}
+	if err := s.rotateLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	boundary := s.active
+	appendedAt := s.appended
+	s.mu.Unlock()
+
+	payload, err := capture()
+	if err != nil {
+		return fmt.Errorf("store: capturing snapshot state: %w", err)
+	}
+
+	tmp := s.snapPath(boundary) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot temp: %w", err)
+	}
+	_, werr := f.Write(append(header(snapMagic), EncodeRecord(Record{Type: recordSnapshot, Payload: payload})...))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing snapshot %d: %w", boundary, werr)
+	}
+	if err := os.Rename(tmp, s.snapPath(boundary)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: installing snapshot %d: %w", boundary, err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	prevSnap := s.snapSeq
+	s.snapSeq = boundary
+	s.snapshots++
+	s.appendsAt = appendedAt
+	var keep []uint64
+	for _, seq := range s.segs {
+		if seq < boundary && seq != s.active {
+			os.Remove(s.segPath(seq))
+			continue
+		}
+		keep = append(keep, seq)
+	}
+	s.segs = keep
+	s.mu.Unlock()
+	if prevSnap > 0 && prevSnap != boundary {
+		os.Remove(s.snapPath(prevSnap))
+	}
+	return nil
+}
+
+// AppendsSinceSnapshot reports how many records were appended since the
+// last snapshot cut (or Open) — the trigger input for snapshot cadence.
+func (s *Store) AppendsSinceSnapshot() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended - s.appendsAt
+}
+
+// SetFsyncObserver installs (or with nil removes) a callback observing
+// each fsync's duration in seconds — the feed for
+// sompid_wal_fsync_seconds.
+func (s *Store) SetFsyncObserver(fn func(seconds float64)) {
+	if fn == nil {
+		s.fsyncObs.Store(nil)
+		return
+	}
+	s.fsyncObs.Store(&fn)
+}
+
+// Stats reports the store's observable state.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		AppendedRecords:    s.appended,
+		ActiveSegment:      s.active,
+		Segments:           len(s.segs),
+		SnapshotSeq:        s.snapSeq,
+		Snapshots:          s.snapshots,
+		TruncatedTailBytes: s.truncated,
+	}
+}
+
+// Dir reports the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close fsyncs and closes the active segment. Close is idempotent;
+// every mutation after it fails with ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("store: syncing segment %d at close: %w", s.active, err)
+	}
+	return s.f.Close()
+}
+
+// syncDir fsyncs the directory so entry creation/rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening data dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing data dir: %w", err)
+	}
+	return nil
+}
