@@ -402,11 +402,15 @@ type ShardHealth struct {
 // HealthResponse is the /healthz payload: composite market state plus
 // per-shard ingestion counters so operators can see ingestion skew.
 type HealthResponse struct {
-	Status         string        `json:"status"`
-	MarketVersion  uint64        `json:"market_version"`
-	FrontierHours  float64       `json:"frontier_hours"`
-	ActiveSessions int64         `json:"active_sessions"`
-	Shards         []ShardHealth `json:"shards"`
+	// Status is "ok", or "degraded" when WAL appends have failed — the
+	// service is still serving but its durability guarantee is weakened
+	// (WALAppendErrors counts the records that never reached disk).
+	Status          string        `json:"status"`
+	MarketVersion   uint64        `json:"market_version"`
+	FrontierHours   float64       `json:"frontier_hours"`
+	ActiveSessions  int64         `json:"active_sessions"`
+	WALAppendErrors int64         `json:"wal_append_errors"`
+	Shards          []ShardHealth `json:"shards"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -126,17 +127,19 @@ func (s *Server) persistTick(key cloud.MarketKey, samples []float64, version uin
 	return nil
 }
 
-// persistSessionLocked logs one session transition. Caller holds s.mu
-// for writing — which is the snapshot barrier: a snapshot cut after
-// this record's WAL write cannot capture the registry until the caller
-// releases the lock, so the capture always includes the transition the
-// record describes (and replaying the record over it is a Seq-skipped
-// no-op). Unlike ticks, the in-memory transition has already happened;
-// an append failure cannot unwind it, so it is logged and counted
-// rather than propagated into the ingest response.
-func (s *Server) persistSessionLocked(t *trackedSession) {
+// persistSessionLocked logs one session transition and reports whether
+// the record reached the WAL. Caller holds s.mu for writing — which is
+// the snapshot barrier: a snapshot cut after this record's WAL write
+// cannot capture the registry until the caller releases the lock, so
+// the capture always includes the transition the record describes (and
+// replaying the record over it is a Seq-skipped no-op). Registration is
+// fail-closed on the returned error (no id leaves the server without a
+// durable record); window transitions cannot be — the in-memory
+// transition has already happened and an append failure cannot unwind
+// it — so their callers rely on the logging and error counter here.
+func (s *Server) persistSessionLocked(t *trackedSession) error {
 	if s.store == nil {
-		return
+		return nil
 	}
 	t.seq++
 	body, err := json.Marshal(t.state())
@@ -147,11 +150,15 @@ func (s *Server) persistSessionLocked(t *trackedSession) {
 		s.met.walAppendErrors.Add(1)
 		s.log.Error("session transition not persisted", "session", t.id, "seq", t.seq, "error", err.Error())
 	}
+	return err
 }
 
-// maybeSnapshot cuts a snapshot when enough records accumulated since
-// the last one. Called at the end of each ingest request, off the
-// per-tick hot path.
+// maybeSnapshot arms a snapshot cut when enough records accumulated
+// since the last one. The cut itself runs on a background goroutine —
+// one in flight at a time, re-armed when it lands — so no ingest
+// request ever pays for the WAL rotation fsyncs and the full-state
+// marshal in its response latency. Close drains snapWG before cutting
+// its own shutdown snapshot.
 func (s *Server) maybeSnapshot() {
 	if s.store == nil || s.snapshotEvery <= 0 {
 		return
@@ -159,9 +166,19 @@ func (s *Server) maybeSnapshot() {
 	if s.store.AppendsSinceSnapshot() < uint64(s.snapshotEvery) {
 		return
 	}
-	if err := s.cutSnapshot(); err != nil {
-		s.log.Error("snapshot failed", "error", err.Error())
+	if !s.snapping.CompareAndSwap(false, true) {
+		return
 	}
+	s.snapWG.Add(1)
+	go func() {
+		defer s.snapWG.Done()
+		defer s.snapping.Store(false)
+		// ErrClosed is the shutdown race — Close already cut (or is
+		// cutting) the final snapshot — not a failure worth logging.
+		if err := s.cutSnapshot(); err != nil && !errors.Is(err, store.ErrClosed) {
+			s.log.Error("snapshot failed", "error", err.Error())
+		}
+	}()
 }
 
 // cutSnapshot materializes the full service state into a snapshot at a
@@ -351,6 +368,10 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	// Wait out any background cut first: its boundary would otherwise
+	// race the shutdown snapshot's (the store serializes the cuts, but
+	// the final snapshot must be the newest one on disk).
+	s.snapWG.Wait()
 	if err := s.cutSnapshot(); err != nil {
 		// The WAL still holds everything the snapshot would have covered;
 		// recovery replays it. Closing cleanly matters more than the

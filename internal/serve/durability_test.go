@@ -212,11 +212,18 @@ func TestCrashRecoveryWithSnapshots(t *testing.T) {
 	durablePost(t, ts1.URL+"/v1/plan", trackedPlan())
 	ingestHours(t, ts1.URL, 2)
 	ingestHours(t, ts1.URL, 1)
+	// Snapshot cuts run on a background goroutine; drain before probing
+	// stats (the Add happens before the ingest response is written, so
+	// the Wait reliably covers every cut these requests armed).
+	s1.snapWG.Wait()
 	if s1.store.Stats().Snapshots == 0 {
 		t.Fatal("precondition: no snapshot was cut")
 	}
 	// Records appended after the last snapshot force mixed recovery.
 	ingestHours(t, ts1.URL, 0.5)
+	// Quiesce the abandoned server's background cut before a second
+	// store opens the same directory.
+	s1.snapWG.Wait()
 
 	s2, ts2 := newDurable(t, dir, store.Options{}, 1)
 	if s2.store.Stats().SnapshotSeq == 0 {
@@ -357,6 +364,50 @@ func TestRecoveryFailsClosedOnCorruptStore(t *testing.T) {
 	if _, err := New(Config{Market: durableMarket(), WindowHours: 2, Store: st}); !errors.Is(err, store.ErrCorruptSnapshot) {
 		t.Fatalf("New over a corrupt snapshot: got %v, want ErrCorruptSnapshot", err)
 	}
+}
+
+// TestRegistrationFailClosed: a tracked plan whose registration record
+// cannot reach the WAL must not hand out a session id — the client
+// would otherwise hold an id that a restart silently forgets. The
+// failure also surfaces as a degraded /healthz, not just a counter.
+func TestRegistrationFailClosed(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newDurable(t, dir, store.Options{}, 1<<20)
+	// Close the store out from under the server: every append now fails.
+	if err := s.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(trackedPlan())
+	resp, err := http.Post(ts.URL+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("tracked plan with a dead WAL: %d %s, want 500", resp.StatusCode, out)
+	}
+
+	var sessions []SessionInfo
+	json.Unmarshal(durableGet(t, ts.URL+"/v1/sessions"), &sessions)
+	if len(sessions) != 0 {
+		t.Fatalf("session registered despite failed persistence: %+v", sessions)
+	}
+	mx := durableGet(t, ts.URL+"/metrics")
+	if v := promValue(t, mx, "sompid_wal_append_errors_total"); v < 1 {
+		t.Fatalf("sompid_wal_append_errors_total = %v, want >= 1", v)
+	}
+	var hz HealthResponse
+	json.Unmarshal(durableGet(t, ts.URL+"/healthz"), &hz)
+	if hz.Status != "degraded" || hz.WALAppendErrors < 1 {
+		t.Fatalf("healthz after WAL failure: status %q wal_append_errors %d, want degraded/>=1", hz.Status, hz.WALAppendErrors)
+	}
+
+	// An untracked plan still serves: the WAL is not on its path.
+	untracked := trackedPlan()
+	untracked.Track = false
+	durablePost(t, ts.URL+"/v1/plan", untracked)
 }
 
 func corruptFile(t *testing.T, path string) {

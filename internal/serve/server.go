@@ -11,6 +11,7 @@ import (
 	"net/http/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sompi/internal/app"
@@ -89,10 +90,13 @@ type Server struct {
 	log   *obs.Logger
 
 	// store is the durability subsystem (nil = pure in-memory);
-	// snapshotEvery its snapshot cadence in WAL records. closed guards
-	// Close idempotency (under mu).
+	// snapshotEvery its snapshot cadence in WAL records. snapping gates
+	// one background snapshot cut in flight, snapWG tracks it so Close
+	// can drain it. closed guards Close idempotency (under mu).
 	store         *store.Store
 	snapshotEvery int
+	snapping      atomic.Bool
+	snapWG        sync.WaitGroup
 	closed        bool
 }
 
@@ -355,7 +359,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 	resp := BuildPlanResponse(version, res)
 	if req.Track {
-		resp.SessionID = s.registerSession(profile, req, res, version, frontier, keys)
+		id, rerr := s.registerSession(profile, req, res, version, frontier, keys)
+		if rerr != nil {
+			writeError(w, http.StatusInternalServerError, rerr)
+			return
+		}
+		resp.SessionID = id
 	}
 	body, merr := json.Marshal(resp)
 	if merr != nil {
@@ -372,8 +381,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 // starting at the price frontier the plan was optimized at. The
 // request's candidate keys are pinned into the session so every
 // re-optimization keeps the restriction and the session's boundary
-// clock follows only the shards in its universe.
-func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.Result, version uint64, frontier float64, keys []cloud.MarketKey) string {
+// clock follows only the shards in its universe. Registration is
+// fail-closed on a durable server: the record is persisted before the
+// session enters the registry, so no id ever reaches a client that a
+// restart would silently forget.
+func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.Result, version uint64, frontier float64, keys []cloud.MarketKey) (string, error) {
 	base := req.Config(profile, nil)
 	base.Market = nil // refilled per re-optimization
 	base.Candidates = keys
@@ -402,11 +414,14 @@ func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.R
 		trainStart: trainStart,
 		trainDur:   frontier - trainStart,
 	}
+	if err := s.persistSessionLocked(t); err != nil {
+		s.nextID--
+		return "", fmt.Errorf("persisting session registration: %w", err)
+	}
 	s.sessions[id] = t
 	s.order = append(s.order, id)
 	s.met.activeSessions.Add(1)
-	s.persistSessionLocked(t)
-	return id
+	return id, nil
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -678,11 +693,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			DurationHours: st.DurationHours,
 		})
 	}
+	// Failed WAL appends surface as a degraded status: the service is
+	// up, but some acknowledged state exists only in memory.
+	status := "ok"
+	walErrs := s.met.walAppendErrors.Load()
+	if walErrs > 0 {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:         "ok",
-		MarketVersion:  s.market.Version(),
-		FrontierHours:  s.market.MinDuration(),
-		ActiveSessions: s.met.activeSessions.Load(),
-		Shards:         shards,
+		Status:          status,
+		MarketVersion:   s.market.Version(),
+		FrontierHours:   s.market.MinDuration(),
+		ActiveSessions:  s.met.activeSessions.Load(),
+		WALAppendErrors: walErrs,
+		Shards:          shards,
 	})
 }

@@ -146,6 +146,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
 	if len(snaps) > 0 {
 		s.snapSeq = snaps[len(snaps)-1]
+		// Snapshots below the newest are orphans — a crash (or a failed
+		// directory sync) between installing a snapshot and removing its
+		// predecessor leaves them behind, and only the newest is ever
+		// read. Sweep them here, mirroring how covered segments are
+		// compacted.
+		for _, old := range snaps[:len(snaps)-1] {
+			os.Remove(s.snapPath(old))
+		}
 	}
 
 	if len(s.segs) == 0 {
@@ -215,6 +223,28 @@ func (s *Store) openActiveSegment(seq uint64) error {
 	if err != nil {
 		return fmt.Errorf("store: opening segment %d: %w", seq, err)
 	}
+	if good < headerLen {
+		// Crash before the segment header finished: nothing in the file
+		// is recoverable, but the file must become a well-formed empty
+		// segment before accepting appends — truncating alone would
+		// leave a headerless segment whose appends succeed and then the
+		// next restart refuses as corrupt.
+		s.truncated += int64(len(data))
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return fmt.Errorf("store: truncating torn header of segment %d: %w", seq, err)
+		}
+		if _, err := f.Write(header(segMagic)); err != nil {
+			f.Close()
+			return fmt.Errorf("store: rewriting segment %d header: %w", seq, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: syncing rebuilt segment %d: %w", seq, err)
+		}
+		s.f, s.active, s.size = f, seq, headerLen
+		return nil
+	}
 	if int64(good) < int64(len(data)) {
 		s.truncated += int64(len(data)) - int64(good)
 		if err := f.Truncate(int64(good)); err != nil {
@@ -246,16 +276,16 @@ func header(magic []byte) []byte {
 // any decode failure is a torn tail — the scan stops there and the
 // caller truncates. For fully written segments (tail=false) a decode
 // failure is ErrCorruptSegment. A missing or foreign header is always
-// ErrCorruptSegment, except an empty-or-shorter-than-header final
-// segment, which is a crash mid-creation: good=0 truncates it to be
-// rewritten. (Truncating to 0 leaves a headerless file; scanSegment
-// treats a zero-length final segment as good=headerLen rewrite case —
-// instead the caller recreates the header via good offset semantics.)
+// ErrCorruptSegment, except a final segment shorter than the header,
+// which is a crash mid-creation: the scan reports good=0 and
+// openActiveSegment rebuilds the file as a fresh empty segment
+// (truncate, rewrite header, fsync) — never leaving a headerless file
+// for the next restart to choke on.
 func scanSegment(data []byte, tail bool) (good int, err error) {
 	if len(data) < headerLen {
 		if tail {
 			// Crash before the header finished: nothing recoverable in
-			// this file; the truncate-to-good path below rewrites it.
+			// this file; openActiveSegment rebuilds it from scratch.
 			return 0, nil
 		}
 		return 0, fmt.Errorf("%w: file shorter than header", ErrCorruptSegment)

@@ -209,6 +209,56 @@ func TestTornTailTruncation(t *testing.T) {
 	s3.Close()
 }
 
+// TestHeaderlessActiveSegmentRebuilt: a crash during segment creation or
+// rotation can leave the newest segment shorter than its 12-byte header.
+// Open must rebuild it as a fresh empty segment — not merely truncate to
+// zero, which would leave a headerless file whose appends succeed but
+// whose NEXT restart fails the header check and refuses the whole store.
+func TestHeaderlessActiveSegmentRebuilt(t *testing.T) {
+	for _, tornLen := range []int{0, 5} {
+		t.Run(fmt.Sprintf("torn-%d-bytes", tornLen), func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{})
+			mustRecover(t, s)
+			if err := s.Append(Record{Type: RecordTick, Payload: []byte("pre-crash")}); err != nil {
+				t.Fatal(err)
+			}
+			active := s.Stats().ActiveSegment
+			s.Close()
+
+			// Simulate a crash mid-rotation: the next segment's header
+			// write was torn after tornLen bytes.
+			torn := s.segPath(active + 1)
+			if err := os.WriteFile(torn, header(segMagic)[:tornLen], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := mustOpen(t, dir, Options{Fsync: true})
+			if got := s2.Stats().TruncatedTailBytes; got != int64(tornLen) {
+				t.Fatalf("TruncatedTailBytes = %d, want %d", got, tornLen)
+			}
+			_, recs := mustRecover(t, s2)
+			if len(recs) != 1 || string(recs[0].Payload) != "pre-crash" {
+				t.Fatalf("recovered %v, want the single pre-crash record", recs)
+			}
+			if err := s2.Append(Record{Type: RecordTick, Payload: []byte("post-rebuild")}); err != nil {
+				t.Fatalf("Append into rebuilt segment: %v", err)
+			}
+			s2.Close()
+
+			// The poison scenario: the restart after the restart must
+			// still open and replay everything, including the appends
+			// accepted by the rebuilt segment.
+			s3 := mustOpen(t, dir, Options{})
+			_, recs = mustRecover(t, s3)
+			if len(recs) != 2 || string(recs[0].Payload) != "pre-crash" || string(recs[1].Payload) != "post-rebuild" {
+				t.Fatalf("second reopen recovered %v, want [pre-crash post-rebuild]", recs)
+			}
+			s3.Close()
+		})
+	}
+}
+
 // TestCorruptedTailFixture: a bit flip inside the last record of the
 // active segment is indistinguishable from a torn tail — the record is
 // dropped, everything before it survives.
@@ -406,6 +456,44 @@ func TestRecoverySkipsCoveredSegments(t *testing.T) {
 	}
 	if len(recs) != 1 || string(recs[0].Payload) != "live" {
 		t.Fatalf("recovered %v, want just the live record", recs)
+	}
+	s2.Close()
+}
+
+// TestOpenSweepsOrphanSnapshots: a crash (or failed directory sync)
+// between installing a snapshot and removing its predecessor leaves
+// stale snapshots behind, and Snapshot itself only removes its own
+// predecessor. Open must sweep everything below the newest so orphans
+// cannot accumulate forever.
+func TestOpenSweepsOrphanSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	mustRecover(t, s)
+	s.Append(Record{Type: RecordTick, Payload: []byte("x")})
+	if err := s.Snapshot(func() ([]byte, error) { return []byte("newest"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	newest := s.Stats().SnapshotSeq
+	s.Close()
+
+	// Fake two stale predecessors below the newest snapshot.
+	for _, seq := range []uint64{newest - 1, newest - 2} {
+		if err := os.WriteFile(s.snapPath(seq), []byte("stale"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0] != s.snapPath(newest) {
+		t.Fatalf("snapshots on disk after Open: %v, want just %s", snaps, s.snapPath(newest))
+	}
+	snap, _ := mustRecover(t, s2)
+	if string(snap) != "newest" {
+		t.Fatalf("recovered snapshot %q, want the newest", snap)
 	}
 	s2.Close()
 }
