@@ -1,9 +1,17 @@
 // Command bench is the benchmark-regression harness for the optimizer's
-// search. It times the three search configurations — the exhaustive
-// serial search (the pre-parallel baseline), branch-and-bound pruning on
-// one worker, and pruning on the full worker pool — on the same
-// synthesized market BenchmarkOptimize uses, checks that all three agree
-// on the plan, and writes the numbers to a JSON file so CI can diff runs.
+// search. It times the serial search configurations — the exhaustive
+// baseline and branch-and-bound pruning, with and without tracing — then
+// sweeps the parallel search across worker counts {1, 2, 4, GOMAXPROCS},
+// recording a per-worker-count scaling table. Every configuration must
+// return the byte-identical plan; on a runner with >= 4 cores the run
+// fails if parallel-pruned at 4 workers is slower than serial-pruned
+// (-minscale4 raises that floor, e.g. 1.8 for the acceptance gate).
+//
+// It then benchmarks the T_m re-optimization path: after one shard of
+// the market ticks, a warm-started (opt.WarmBound incumbent seed) and
+// delta-evaluated (opt.ReuseCache) re-optimization must return the plan
+// a cold search returns while evaluating at most -reoptmax (default
+// 0.5) of the cold candidate count.
 //
 // It then drives a mixed plan+ingest workload through the sompid HTTP
 // handler against the sharded market, recording the plan-cache hit rate
@@ -21,7 +29,7 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_opt.json] [-benchtime 5x] [-serveiters 400]
+//	bench [-out BENCH_opt.json] [-benchtime 5x] [-serveiters 400] [-minscale4 1.0] [-reoptmax 0.5]
 //	bench -obscheck [-baseline BENCH_opt.json] [-tolerance 0.02]
 package main
 
@@ -59,6 +67,36 @@ type variantResult struct {
 	Speedup float64 `json:"speedup_vs_exhaustive"`
 }
 
+// scalingRow is one worker count of the parallel scaling table. Evals
+// and Pruned are the last run's counters — boundedly nondeterministic
+// above one worker (see opt.Result) — while Cost is bit-identical at
+// every worker count.
+type scalingRow struct {
+	Workers int     `json:"workers"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Evals   int     `json:"evals"`
+	Pruned  int     `json:"pruned"`
+	Cost    float64 `json:"plan_cost"`
+	// Speedup is serial-pruned ns/op divided by this row's ns/op.
+	Speedup float64 `json:"speedup_vs_serial_pruned"`
+}
+
+// reoptResult summarizes the warm-started, delta-evaluated T_m
+// re-optimization against a cold search of the same post-tick market.
+type reoptResult struct {
+	ColdNsPerOp int64 `json:"cold_ns_per_op"`
+	WarmNsPerOp int64 `json:"warm_ns_per_op"`
+	// ColdEvals/WarmEvals are cost-model evaluations actually performed;
+	// WarmSaved the evaluations the reuse cache answered from memo.
+	ColdEvals int `json:"cold_evals"`
+	WarmEvals int `json:"warm_evals"`
+	WarmSaved int `json:"warm_saved_evals"`
+	// EvalRatio = WarmEvals / ColdEvals, the <= -reoptmax gate.
+	EvalRatio   float64 `json:"eval_ratio"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	WarmRetried bool    `json:"warm_retried"`
+}
+
 // serveResult summarizes the mixed plan+ingest workload against the
 // sharded service: how well the vector-keyed plan cache holds up while
 // ticks land on rotating shards, and how long one ingestion takes
@@ -81,7 +119,29 @@ type benchFile struct {
 	Profile     string          `json:"profile"`
 	GOMAXPROCS  int             `json:"gomaxprocs"`
 	Results     []variantResult `json:"results"`
-	Serve       *serveResult    `json:"serve,omitempty"`
+	// ParallelScaling is the per-worker-count table for the parallel
+	// pruned search; each row carries its worker count so single-core
+	// numbers can never masquerade as parallel results again.
+	ParallelScaling []scalingRow `json:"parallel_scaling"`
+	Reopt           *reoptResult `json:"reopt,omitempty"`
+	Serve           *serveResult `json:"serve,omitempty"`
+}
+
+// planFingerprint renders a result's plan and estimate byte-for-byte
+// (mirroring the opt package's test helper) so cross-configuration
+// equality is exact, never within a tolerance.
+func planFingerprint(res opt.Result) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "cost=%x time=%x spot=%x od=%x pfail=%x emin=%x\n",
+		res.Est.Cost, res.Est.Time, res.Est.CostSpot, res.Est.CostOD,
+		res.Est.PAllFail, res.Est.EMinRatio)
+	for _, gp := range res.Plan.Groups {
+		fmt.Fprintf(&b, "group=%s m=%d bid=%x interval=%x\n",
+			gp.Group.Key, gp.Group.M, gp.Bid, gp.Interval)
+	}
+	fmt.Fprintf(&b, "recovery=%s m=%d t=%x\n",
+		res.Plan.Recovery.Instance.Name, res.Plan.Recovery.M, res.Plan.Recovery.T)
+	return b.String()
 }
 
 func main() {
@@ -95,6 +155,8 @@ func main() {
 		obscheck   = flag.Bool("obscheck", false, "verify disabled-tracing overhead against the baseline file instead of benchmarking")
 		baseline   = flag.String("baseline", "BENCH_opt.json", "baseline file for -obscheck")
 		tolerance  = flag.Float64("tolerance", 0.02, "allowed fractional overhead for -obscheck")
+		minscale4  = flag.Float64("minscale4", 1.0, "minimum parallel speedup over serial-pruned at 4 workers (enforced only when GOMAXPROCS >= 4)")
+		reoptmax   = flag.Float64("reoptmax", 0.5, "maximum warm/cold evaluation ratio for the re-optimization scenario")
 	)
 	flag.Parse()
 	if *obscheck {
@@ -122,13 +184,13 @@ func main() {
 	}{
 		{"serial-exhaustive", opt.Config{Workers: 1, DisablePruning: true}, false},
 		{"serial-pruned", opt.Config{Workers: 1}, false},
-		{"parallel-pruned", opt.Config{Workers: 0}, false},
 		{"serial-pruned-traced", opt.Config{Workers: 1}, true},
 	}
 
 	file := benchFile{MarketHours: hours, Seed: seed, Profile: p.Name,
 		GOMAXPROCS: runtime.GOMAXPROCS(0)}
-	var wantCost float64
+	var wantPlan string
+	var serialPrunedNs int64
 	for i, v := range variants {
 		cfg := v.cfg
 		cfg.Profile, cfg.Market, cfg.Deadline = p, m, deadline
@@ -147,10 +209,13 @@ func main() {
 			}
 		})
 		if i == 0 {
-			wantCost = last.Est.Cost
-		} else if last.Est.Cost != wantCost {
-			log.Fatalf("%s found cost %v, baseline found %v — search configurations disagree",
-				v.name, last.Est.Cost, wantCost)
+			wantPlan = planFingerprint(last)
+		} else if planFingerprint(last) != wantPlan {
+			log.Fatalf("%s found a different plan than the exhaustive baseline — search configurations disagree:\n%s\nvs\n%s",
+				v.name, planFingerprint(last), wantPlan)
+		}
+		if v.name == "serial-pruned" {
+			serialPrunedNs = r.NsPerOp()
 		}
 		file.Results = append(file.Results, variantResult{
 			Name:    v.name,
@@ -159,15 +224,80 @@ func main() {
 			Pruned:  last.Pruned,
 			Cost:    last.Est.Cost,
 		})
-		fmt.Printf("%-18s %12d ns/op  %7d evals  %7d pruned\n",
+		fmt.Printf("%-20s %12d ns/op  %7d evals  %7d pruned\n",
 			v.name, r.NsPerOp(), last.Evals, last.Pruned)
 	}
 	base := float64(file.Results[0].NsPerOp)
 	for i := range file.Results {
 		file.Results[i].Speedup = base / float64(file.Results[i].NsPerOp)
 	}
-	fmt.Printf("speedup vs serial exhaustive: pruned %.2fx, parallel+pruned %.2fx (GOMAXPROCS=%d)\n",
-		file.Results[1].Speedup, file.Results[2].Speedup, file.GOMAXPROCS)
+	fmt.Printf("speedup vs serial exhaustive: pruned %.2fx (GOMAXPROCS=%d)\n",
+		file.Results[1].Speedup, file.GOMAXPROCS)
+
+	// Parallel scaling sweep: the pruned search at worker counts
+	// {1, 2, 4, GOMAXPROCS}, deduplicated. Each row must reproduce the
+	// baseline plan byte-for-byte — scaling that changes answers is a bug,
+	// not a speedup.
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	sort.Ints(counts)
+	seen := map[int]bool{}
+	for _, w := range counts {
+		if w < 1 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		cfg := opt.Config{Profile: p, Market: m, Deadline: deadline, Workers: w}
+		var last opt.Result
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := opt.OptimizeContext(context.Background(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+		})
+		if planFingerprint(last) != wantPlan {
+			log.Fatalf("parallel search at %d workers found a different plan:\n%s\nvs\n%s",
+				w, planFingerprint(last), wantPlan)
+		}
+		row := scalingRow{
+			Workers: w,
+			NsPerOp: r.NsPerOp(),
+			Evals:   last.Evals,
+			Pruned:  last.Pruned,
+			Cost:    last.Est.Cost,
+			Speedup: float64(serialPrunedNs) / float64(r.NsPerOp()),
+		}
+		file.ParallelScaling = append(file.ParallelScaling, row)
+		fmt.Printf("parallel %2d workers  %12d ns/op  %7d evals  %7d pruned  %.2fx vs serial-pruned\n",
+			w, row.NsPerOp, row.Evals, row.Pruned, row.Speedup)
+	}
+	if runtime.GOMAXPROCS(0) >= 4 {
+		for _, row := range file.ParallelScaling {
+			if row.Workers == 4 && row.Speedup < *minscale4 {
+				log.Fatalf("parallel search at 4 workers is %.2fx serial-pruned, below the -minscale4=%.2f floor",
+					row.Speedup, *minscale4)
+			}
+		}
+	} else {
+		fmt.Printf("scaling gate skipped: GOMAXPROCS=%d < 4\n", runtime.GOMAXPROCS(0))
+	}
+
+	ro, err := benchReopt(hours, seed, deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	file.Reopt = ro
+	fmt.Printf("reopt: cold %d ns/op %d evals, warm %d ns/op %d evals (%d memoized), eval ratio %.2f, speedup %.2fx\n",
+		ro.ColdNsPerOp, ro.ColdEvals, ro.WarmNsPerOp, ro.WarmEvals, ro.WarmSaved, ro.EvalRatio, ro.WarmSpeedup)
+	if ro.WarmRetried {
+		log.Fatal("reopt: warm search hit the cold-retry path — the WarmBound seed was inadmissible")
+	}
+	if ro.EvalRatio > *reoptmax {
+		log.Fatalf("reopt: warm search evaluated %.0f%% of cold candidates, above the -reoptmax=%.0f%% ceiling",
+			100*ro.EvalRatio, 100**reoptmax)
+	}
 
 	if *serveiters > 0 {
 		sv, err := benchServe(*serveiters, hours, seed, deadline)
@@ -242,6 +372,90 @@ func runObsCheck(baselinePath string, tolerance float64) {
 			100*overhead, 100*tolerance, baselinePath)
 	}
 	fmt.Println("obscheck: ok")
+}
+
+// benchReopt times the T_m re-optimization scenario the serve layer
+// runs at every window boundary. A session holds its previous plan and
+// the server's shared ReuseCache; one market shard ticks; the session
+// re-optimizes warm-started (opt.WarmBound incumbent seed) and
+// delta-evaluated (the cache answers unchanged shards from memo),
+// compared against a cold search of the same snapshot. An intermediate
+// tick-and-re-opt first brings the cache to the steady state the T_m
+// loop actually lives in.
+func benchReopt(hours int, seed uint64, deadline float64) (*reoptResult, error) {
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), float64(hours), seed)
+	p := app.BT()
+	ctx := context.Background()
+
+	cache := opt.NewReuseCache()
+	prime := opt.Config{Profile: p, Market: m.Snapshot(), Deadline: deadline, Workers: 1, Reuse: cache}
+	res0, err := opt.OptimizeContext(ctx, prime)
+	if err != nil {
+		return nil, err
+	}
+	keys := m.Keys()
+	if _, err := m.Append(keys[2], []float64{0.19, 0.21}); err != nil {
+		return nil, err
+	}
+	mid := opt.Config{Profile: p, Market: m.Snapshot(), Deadline: deadline, Workers: 1, Reuse: cache}
+	if hint, ok := opt.WarmBound(mid, res0.Plan); ok {
+		mid.InitialIncumbent = hint
+	}
+	res1, err := opt.OptimizeContext(ctx, mid)
+	if err != nil {
+		return nil, err
+	}
+
+	// The measured tick: one shard moves, the rest keep their versions.
+	if _, err := m.Append(keys[9], []float64{0.27}); err != nil {
+		return nil, err
+	}
+	view := m.Snapshot()
+
+	coldCfg := opt.Config{Profile: p, Market: view, Deadline: deadline, Workers: 1}
+	var cold opt.Result
+	rc := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := opt.OptimizeContext(ctx, coldCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cold = res
+		}
+	})
+
+	// The warm run is timed as a single pass: re-optimizing mutates the
+	// cache, so only the first post-tick search is the scenario under
+	// test — a b.N loop would measure an ever-warmer cache. WarmBound
+	// runs inside the timed region because re-evaluating the previous
+	// plan is part of the re-optimization's real cost.
+	warmCfg := opt.Config{Profile: p, Market: view, Deadline: deadline, Workers: 1, Reuse: cache}
+	start := time.Now()
+	if hint, ok := opt.WarmBound(warmCfg, res1.Plan); ok {
+		warmCfg.InitialIncumbent = hint
+	}
+	warm, err := opt.OptimizeContext(ctx, warmCfg)
+	warmNs := time.Since(start).Nanoseconds()
+	if err != nil {
+		return nil, err
+	}
+	if planFingerprint(warm) != planFingerprint(cold) {
+		return nil, fmt.Errorf("reopt: warm plan differs from cold:\n%s\nvs\n%s",
+			planFingerprint(warm), planFingerprint(cold))
+	}
+	ro := &reoptResult{
+		ColdNsPerOp: rc.NsPerOp(),
+		WarmNsPerOp: warmNs,
+		ColdEvals:   cold.Evals,
+		WarmEvals:   warm.Evals,
+		WarmSaved:   warm.SavedEvals,
+		WarmSpeedup: float64(rc.NsPerOp()) / float64(warmNs),
+		WarmRetried: warm.WarmRetried,
+	}
+	if cold.Evals > 0 {
+		ro.EvalRatio = float64(warm.Evals) / float64(cold.Evals)
+	}
+	return ro, nil
 }
 
 // benchServe runs the mixed workload: plan requests rotate over

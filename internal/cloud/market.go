@@ -491,15 +491,31 @@ func (m *Market) Window(startHour, dur float64) MarketView {
 // replay's market reads.
 func (m *Market) Snapshot() MarketView { return m.Capture() }
 
+// WindowBounds reports the absolute [start, start+dur) window this view
+// is restricted to, and whether those bounds are exactly known. A live
+// market is the full history: bounds (0, +Inf) and exact. Together with
+// a shard's version, exact bounds fully determine that shard's visible
+// trace content — which is what lets the optimizer's delta-reuse cache
+// (opt.ReuseCache) key prepared per-group state on (version, window)
+// and skip re-deriving failure distributions for shards that did not
+// change. Views whose bounds cannot be stated exactly (e.g. a window of
+// a window, whose clamps compose through sample rounding) report
+// exact=false and are simply not reused.
+func (m *Market) WindowBounds() (start, dur float64, exact bool) {
+	return 0, math.Inf(1), true
+}
+
 // Capture is Snapshot with a concrete return type, for callers that need
 // the snapshot-only API surface.
 func (m *Market) Capture() *MarketSnapshot {
 	snap := &MarketSnapshot{
-		cat:    m.cat,
-		zones:  m.zones,
-		keys:   m.keys,
-		traces: make(map[MarketKey]*trace.Trace, len(m.shards)),
-		vv:     make(VersionVector, len(m.shards)),
+		cat:      m.cat,
+		zones:    m.zones,
+		keys:     m.keys,
+		traces:   make(map[MarketKey]*trace.Trace, len(m.shards)),
+		vv:       make(VersionVector, len(m.shards)),
+		winDur:   math.Inf(1),
+		winExact: true,
 	}
 	// The composite version is derived from the captured vector — base
 	// plus one tick per append each shard had seen (shards start at
@@ -527,6 +543,12 @@ type MarketSnapshot struct {
 	traces  map[MarketKey]*trace.Trace
 	vv      VersionVector
 	version uint64
+	// winStart/winDur record the absolute window this snapshot is
+	// restricted to; winExact is false for views whose bounds are not
+	// exactly known (a window of a window — the clamps compose through
+	// per-sample rounding, so the effective bounds cannot be restated).
+	winStart, winDur float64
+	winExact         bool
 }
 
 // Catalog returns the instance types the snapshot's keys refer to.
@@ -622,11 +644,24 @@ func (s *MarketSnapshot) Window(startHour, dur float64) MarketView {
 		traces:  make(map[MarketKey]*trace.Trace, len(s.traces)),
 		vv:      s.vv,
 		version: s.version,
+		// A window of the full capture has exactly the requested bounds;
+		// a window of a window does not (trace.Window detaches the head,
+		// so the inner clamp composes with the outer one in sample space
+		// and the effective absolute bounds are no longer [start, dur)).
+		winStart: startHour,
+		winDur:   dur,
+		winExact: s.winExact && s.winStart == 0 && math.IsInf(s.winDur, 1),
 	}
 	for k, tr := range s.traces {
 		out.traces[k] = tr.Window(startHour, dur)
 	}
 	return out
+}
+
+// WindowBounds reports the absolute window this snapshot is restricted
+// to and whether the bounds are exactly known. See (*Market).WindowBounds.
+func (s *MarketSnapshot) WindowBounds() (start, dur float64, exact bool) {
+	return s.winStart, s.winDur, s.winExact
 }
 
 // Snapshot returns the snapshot itself: it is already immutable.

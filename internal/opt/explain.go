@@ -30,9 +30,14 @@ type Explain struct {
 	// Selected names the markets of the winning plan's circle groups
 	// (empty means pure on-demand won).
 	Selected []string `json:"selected"`
-	// Evals and Pruned mirror Result's search-effort counters.
-	Evals  int `json:"evals"`
-	Pruned int `json:"pruned"`
+	// WorkUnits is how many balanced prefix units the subset space was
+	// split into for the worker pool.
+	WorkUnits int `json:"work_units,omitempty"`
+	// Evals and Pruned mirror Result's search-effort counters;
+	// SavedEvals mirrors Result.SavedEvals (reuse-memo hits).
+	Evals      int `json:"evals"`
+	Pruned     int `json:"pruned"`
+	SavedEvals int `json:"saved_evals,omitempty"`
 	// TotalNs is the whole optimization's wall clock.
 	TotalNs int64 `json:"total_ns"`
 }

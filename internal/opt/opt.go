@@ -84,6 +84,25 @@ type Config struct {
 	// exists for the benchmark-regression harness and the determinism
 	// tests.
 	DisablePruning bool
+	// InitialIncumbent, when positive, seeds the branch-and-bound
+	// incumbent with an externally known achievable cost — typically the
+	// session's previous plan re-evaluated under the current market (see
+	// WarmBound) — so pruning starts tight instead of from the on-demand
+	// baseline. The returned plan is bit-identical to a cold search's:
+	// an admissible seed (≥ the true optimum) can never prune an optimal
+	// leaf, and an inadmissible one is detected — the search found
+	// nothing at or below the seed — and answered by re-running the
+	// subset search cold (Result.WarmRetried). Zero (or a seed above the
+	// baseline) disables warm starting.
+	InitialIncumbent float64
+	// Reuse, when non-nil, carries prepared-group state and evaluated
+	// subset costs across optimizations of the same market. Hits are
+	// exact — keyed on the shard version vector and window bounds — so
+	// the plan is unaffected; skipped work is reported in
+	// Result.SavedEvals and Result.ReusedGroups. Views that cannot state
+	// their window bounds exactly run cold. The cache is safe for
+	// concurrent optimizations.
+	Reuse *ReuseCache
 	// Explain records the decision trail — per-candidate keep/reject
 	// reasons, per-stage durations, the selected subset — into
 	// Result.Explain. The plan itself is unaffected; the trail costs a
@@ -137,6 +156,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("%w: max-all-fail %v outside [0,1]", ErrInvalidConfig, c.MaxAllFail)
 	case c.Workers < 0:
 		return fmt.Errorf("%w: negative worker count %d", ErrInvalidConfig, c.Workers)
+	case math.IsNaN(c.InitialIncumbent) || c.InitialIncumbent < 0:
+		return fmt.Errorf("%w: negative initial incumbent %v", ErrInvalidConfig, c.InitialIncumbent)
 	}
 	return nil
 }
@@ -235,12 +256,36 @@ type Result struct {
 	// Evals counts cost-model evaluations performed — the optimization-
 	// overhead metric of the κ parameter study. Pruned counts the
 	// evaluations branch-and-bound skipped because a partial plan's spot
-	// cost already exceeded the incumbent best. Plan and Est are
-	// deterministic at any worker count; Evals and Pruned depend on how
-	// quickly the shared incumbent tightens and are only reproducible
-	// with Workers=1.
+	// cost already exceeded the incumbent best.
+	//
+	// Determinism contract: Plan and Est are bit-identical at every
+	// worker count, with or without pruning, warm starting and reuse.
+	// Evals and Pruned are exactly deterministic at Workers: 1 — the
+	// single worker drains the unit queue in the fixed dispatch order,
+	// so the incumbent trajectory is a pure function of the Config (and,
+	// with Config.Reuse, of the cache contents at entry); two identical
+	// calls return identical counters, which the determinism tests
+	// assert. At Workers > 1 the counters are boundedly nondeterministic:
+	// scheduling decides how quickly the shared incumbent tightens, so
+	// Evals+Pruned still covers the same leaf space but the split
+	// between the two (and Evals itself) varies run to run.
 	Evals  int
 	Pruned int
+	// SavedEvals counts leaf evaluations answered by Config.Reuse's
+	// memo instead of the cost model (each would otherwise appear in
+	// Evals), plus ranking-stage standalone evaluations skipped for
+	// unchanged candidates.
+	SavedEvals int
+	// ReusedGroups counts candidate groups whose prepared state
+	// (failure distributions, bid grid, spot-cost floor) came from
+	// Config.Reuse instead of being re-derived.
+	ReusedGroups int
+	// WarmRetried reports that Config.InitialIncumbent turned out to be
+	// inadmissible (below the true optimum, so the warm search pruned
+	// everything at or above it) and the subset search was re-run cold
+	// to preserve the determinism contract. Evals/Pruned then include
+	// both passes.
+	WarmRetried bool
 	// Explain is the decision trail, populated only when Config.Explain
 	// was set (nil otherwise).
 	Explain *Explain
@@ -324,27 +369,29 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 	// than the default 20% slack; relax the slack before giving up, so a
 	// deadline that is feasible at all gets a plan.
 	sc.begin("select_on_demand")
-	od, err := SelectOnDemand(cfg.OnDemandTypes, cfg.Profile, cfg.Deadline, cfg.Slack)
-	for slack := cfg.Slack / 2; err != nil && slack > 0.005; slack /= 2 {
-		od, err = SelectOnDemand(cfg.OnDemandTypes, cfg.Profile, cfg.Deadline, slack)
-	}
-	if err != nil {
-		od, err = SelectOnDemand(cfg.OnDemandTypes, cfg.Profile, cfg.Deadline, 0)
-	}
+	od, err := selectRelaxed(cfg)
 	if err != nil {
 		fallback := FastestOnDemand(cfg.OnDemandTypes, cfg.Profile)
 		plan := model.Plan{Recovery: fallback}
 		return finish(Result{Plan: plan, Est: model.Evaluate(plan)}, err)
 	}
 
+	// Delta reuse: with a cache and a view whose window bounds are exact,
+	// candidates whose (shard version, window, parameters) fingerprint is
+	// unchanged skip Prewarm/Prepare below and pull their prepared state
+	// from the previous optimization.
+	rb := bindReuse(cfg)
+
 	sc.begin("enumerate_candidates")
-	groups, err := buildGroups(cfg, ex)
+	groups, entries, err := buildGroups(cfg, ex, rb)
 	if err != nil {
 		return finish(Result{}, err)
 	}
 	best := Result{Plan: model.Plan{Recovery: od}}
 	best.Est = model.Evaluate(best.Plan)
 	evals := 1
+	saved := 0
+	reusedGroups := 0
 	if ex != nil {
 		ex.BaselineCost = best.Est.Cost
 	}
@@ -353,24 +400,47 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 	// F = φ(P) interval; subsets below only combine prepared groups.
 	// Prewarm publishes each group's per-bid caches for the whole grid
 	// while still single-threaded, so the parallel search below only ever
-	// takes the lock-free read path.
+	// takes the lock-free read path. Cache hits arrive with all of that
+	// already done; fresh derivations are registered for the next
+	// optimization.
 	sc.begin("bid_grid")
 	prepared := make([][]*model.PreparedGroup, len(groups))
+	minSpot := make([]float64, len(groups))
 	for i, g := range groups {
+		if e := entries[i]; e != nil && e.prepared != nil {
+			groups[i] = e.g
+			prepared[i] = e.prepared
+			minSpot[i] = e.minSpot
+			reusedGroups++
+			continue
+		}
 		grid := BidGrid(g, cfg.GridLevels)
 		g.Prewarm(grid)
+		minSpot[i] = math.Inf(1)
 		for _, bid := range grid {
 			interval := float64(g.T)
 			if !cfg.DisableCheckpoints {
 				interval = Phi(g, bid)
 			}
 			gp := model.GroupPlan{Group: g, Bid: bid, Interval: interval}
-			prepared[i] = append(prepared[i], model.Prepare(gp))
+			pg := model.Prepare(gp)
+			prepared[i] = append(prepared[i], pg)
+			if c := pg.CostSpot(); c < minSpot[i] {
+				minSpot[i] = c
+			}
+		}
+		if e := entries[i]; e != nil {
+			e.prepared = prepared[i]
+			e.minSpot = minSpot[i]
+			entries[i] = rb.cache.storeGroup(groupSlot{key: g.Key, profile: cfg.Profile.Name}, e)
 		}
 	}
 
 	// Rank groups by their best standalone expected cost and keep the
-	// strongest MaxGroups for the subset traversal.
+	// strongest MaxGroups for the subset traversal. Standalone costs are
+	// memoized per (group state, on-demand fleet) in the reuse cache —
+	// the ranking, like everything else, is bit-identical either way.
+	odk := odKeyFor(od)
 	if len(groups) > cfg.MaxGroups {
 		sc.begin("rank_candidates")
 		// decIdx maps group index i to its entry in ex.Candidates (the
@@ -392,12 +462,25 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 		scores := make([]scored, len(groups))
 		for i := range groups {
 			best := math.Inf(1)
-			for _, pg := range prepared[i] {
-				single[0] = pg
-				est := ev.EvaluatePrepared(single, od)
-				evals++
-				if est.Cost < best {
-					best = est.Cost
+			cached := false
+			if e := entries[i]; e != nil {
+				if c, ok := rb.cache.standaloneCost(e, odk); ok {
+					best = c
+					cached = true
+					saved += len(prepared[i])
+				}
+			}
+			if !cached {
+				for _, pg := range prepared[i] {
+					single[0] = pg
+					est := ev.EvaluatePrepared(single, od)
+					evals++
+					if est.Cost < best {
+						best = est.Cost
+					}
+				}
+				if e := entries[i]; e != nil {
+					rb.cache.putStandalone(e, odk, best)
 				}
 			}
 			scores[i] = scored{i, best}
@@ -408,9 +491,13 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 		sort.Slice(scores, func(a, b int) bool { return scores[a].score < scores[b].score })
 		keptGroups := make([]*model.Group, cfg.MaxGroups)
 		keptPrepared := make([][]*model.PreparedGroup, cfg.MaxGroups)
+		keptEntries := make([]*reuseEntry, cfg.MaxGroups)
+		keptMinSpot := make([]float64, cfg.MaxGroups)
 		for j := 0; j < cfg.MaxGroups; j++ {
 			keptGroups[j] = groups[scores[j].idx]
 			keptPrepared[j] = prepared[scores[j].idx]
+			keptEntries[j] = entries[scores[j].idx]
+			keptMinSpot[j] = minSpot[scores[j].idx]
 		}
 		if ex != nil {
 			for rank := range scores {
@@ -425,7 +512,7 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 				}
 			}
 		}
-		groups, prepared = keptGroups, keptPrepared
+		groups, prepared, entries, minSpot = keptGroups, keptPrepared, keptEntries, keptMinSpot
 	}
 
 	kappa := cfg.Kappa
@@ -434,40 +521,63 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 	}
 	if len(groups) == 0 {
 		best.Evals = evals
+		best.SavedEvals = saved
+		best.ReusedGroups = reusedGroups
 		return finish(best, nil)
 	}
 
 	// Traverse every subset of up to κ circle groups (Section 4.4's
 	// "traverse all of possible cases each with a specific combination"),
-	// and within each subset every combination of grid bids. The subset
-	// space partitions cleanly by first group index — partition i holds
-	// every subset whose smallest member is i — so each partition becomes
-	// one work unit for a GOMAXPROCS-sized worker pool. Workers keep a
-	// per-partition best and share only a monotonically-tightening
-	// incumbent cost for pruning; the final merge walks partitions in
-	// index order with a strict < comparison, which reproduces the serial
-	// traversal's first-strictly-better-wins tie-breaking exactly (see
-	// searcher.searchBids for why pruning cannot disturb the winner).
+	// and within each subset every combination of grid bids. buildUnits
+	// splits the subset space into balanced prefix work units — the old
+	// one-partition-per-first-index scheme put the lion's share of the
+	// space in partition 0, serializing the search on one worker — and
+	// dispatchOrder runs cheap-spot-floor units first so the shared
+	// atomic incumbent tightens while most of the space is still queued.
+	// Workers keep a per-unit best and share only the monotonically-
+	// tightening incumbent cost for pruning; the final merge walks units
+	// in canonical (serial traversal) order with a strict < comparison,
+	// which reproduces the serial first-strictly-better-wins tie-breaking
+	// exactly (see searcher.searchBids for why pruning cannot disturb the
+	// winner). Unit boundaries depend only on the grid shape, never on
+	// the worker count, so plans are bit-identical at every Workers
+	// value.
+	gridLen := make([]int, len(groups))
+	for i := range prepared {
+		gridLen[i] = len(prepared[i])
+	}
+	units := buildUnits(gridLen, minSpot, kappa)
+	order := dispatchOrder(units)
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(groups) {
-		workers = len(groups)
+	if workers > len(units) {
+		workers = len(units)
 	}
 	if ex != nil {
 		ex.Workers = workers
+		ex.WorkUnits = len(units)
 	}
 
-	// minSpot[i] bounds the cheapest possible spot contribution of group
-	// i across its bid grid; suffix sums of it sharpen the lower bound.
-	minSpot := make([]float64, len(groups))
-	for i, pgs := range prepared {
-		minSpot[i] = math.Inf(1)
-		for _, pg := range pgs {
-			if c := pg.CostSpot(); c < minSpot[i] {
-				minSpot[i] = c
+	// Leaf memo: evaluated subset costs from previous optimizations of
+	// unchanged shards. Only leaves whose every member group carries a
+	// cache id are memoizable; grids too long to pack disable it.
+	var leafMemo map[leafKey]model.Estimate
+	var leafIDs []uint32
+	if rb != nil && cfg.GridLevels <= 1<<leafBidBits && kappa <= maxLeafSubset {
+		leafIDs = make([]uint32, len(groups))
+		usable := false
+		for i, e := range entries {
+			if e != nil && e.id > 0 && e.id < maxLeafID {
+				leafIDs[i] = e.id
+				usable = true
 			}
+		}
+		if usable {
+			leafMemo = rb.cache.leafSnapshot()
+		} else {
+			leafIDs = nil
 		}
 	}
 
@@ -476,7 +586,7 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 	// abandoned request stops burning CPU within roughly one cost-model
 	// evaluation. Polling an atomic bool costs ~1ns against the ~µs
 	// evaluation, which is why the flag is checked per grid point rather
-	// than per partition.
+	// than per unit.
 	var stop atomic.Bool
 	if done := ctx.Done(); done != nil {
 		watch := make(chan struct{})
@@ -490,62 +600,158 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 		}()
 	}
 
-	sc.begin("subset_search")
-	incumbent := newSharedCost(best.Est.Cost)
-	parts := make([]partitionResult, len(groups))
-	tasks := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			_, wsp := obs.StartSpan(ctx, "opt.search.worker")
-			partitions, wevals, wpruned := 0, 0, 0
-			s := &searcher{
+	// runSearch traverses every unit with the pruning incumbent seeded at
+	// seed and merges in canonical order. It is invoked once warm, and a
+	// second time cold if the warm seed proves inadmissible. Only the
+	// incumbent is seeded; the acceptance threshold (searcher.localBound)
+	// always starts from the on-demand baseline, so an admissible seed —
+	// including one exactly equal to the optimum — changes which leaves
+	// are pruned but never which of the surviving leaves is accepted.
+	baselineCost := best.Est.Cost
+	runSearch := func(seed float64) (bestUnit Result, found bool, evals, pruned, saved int) {
+		incumbent := newSharedCost(seed)
+		results := make([]unitResult, len(units))
+		newSearcher := func() *searcher {
+			return &searcher{
 				cfg:       cfg,
 				od:        od,
 				prepared:  prepared,
 				minSpot:   minSpot,
 				kappa:     kappa,
-				baseline:  best.Est.Cost,
+				baseline:  baselineCost,
 				incumbent: incumbent,
 				stop:      &stop,
+				leafMemo:  leafMemo,
+				leafIDs:   leafIDs,
 				subset:    make([]int, 0, kappa),
 				pgs:       make([]*model.PreparedGroup, 0, kappa),
+				bidIdx:    make([]int, kappa),
 				partial:   make([]float64, kappa+1),
 				suffixMin: make([]float64, kappa+1),
 				leaves:    make([]int, kappa+1),
 			}
-			for first := range tasks {
-				parts[first] = s.searchPartition(first)
-				partitions++
-				wevals += parts[first].evals
-				wpruned += parts[first].pruned
+		}
+		var inserts []map[leafKey]model.Estimate
+		if workers == 1 {
+			// Serial fast path: one searcher drains the dispatch order
+			// in-line, so the incumbent trajectory — and with it Evals and
+			// Pruned — is a pure function of the Config.
+			_, wsp := obs.StartSpan(ctx, "opt.search.worker")
+			s := newSearcher()
+			unitsRun, wevals, wpruned := 0, 0, 0
+			for _, ui := range order {
+				results[ui] = s.searchUnit(&units[ui])
+				unitsRun++
+				wevals += results[ui].evals
+				wpruned += results[ui].pruned
 			}
 			if wsp != nil {
-				wsp.AttrInt("partitions", int64(partitions))
+				wsp.AttrInt("units", int64(unitsRun))
 				wsp.AttrInt("evals", int64(wevals))
 				wsp.AttrInt("pruned", int64(wpruned))
 				wsp.End()
 			}
-		}()
-	}
-	for i := range groups {
-		tasks <- i
-	}
-	close(tasks)
-	wg.Wait()
-
-	pruned := 0
-	for _, pr := range parts {
-		evals += pr.evals
-		pruned += pr.pruned
-		if pr.found && pr.best.Est.Cost < best.Est.Cost {
-			best = pr.best
+			inserts = append(inserts, s.leafNew)
+		} else {
+			tasks := make(chan int)
+			var wg sync.WaitGroup
+			searchers := make([]*searcher, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				s := newSearcher()
+				searchers[w] = s
+				go func() {
+					defer wg.Done()
+					_, wsp := obs.StartSpan(ctx, "opt.search.worker")
+					unitsRun, wevals, wpruned := 0, 0, 0
+					for ui := range tasks {
+						results[ui] = s.searchUnit(&units[ui])
+						unitsRun++
+						wevals += results[ui].evals
+						wpruned += results[ui].pruned
+					}
+					if wsp != nil {
+						wsp.AttrInt("units", int64(unitsRun))
+						wsp.AttrInt("evals", int64(wevals))
+						wsp.AttrInt("pruned", int64(wpruned))
+						wsp.End()
+					}
+				}()
+			}
+			for _, ui := range order {
+				tasks <- ui
+			}
+			close(tasks)
+			wg.Wait()
+			for _, s := range searchers {
+				inserts = append(inserts, s.leafNew)
+			}
 		}
+		if rb != nil && leafIDs != nil {
+			for _, batch := range inserts {
+				rb.cache.mergeLeaves(batch)
+			}
+		}
+		for i := range results {
+			r := &results[i]
+			evals += r.evals
+			pruned += r.pruned
+			saved += r.saved
+			if r.found && (!found || r.best.Est.Cost < bestUnit.Est.Cost) {
+				bestUnit = r.best
+				found = true
+			}
+		}
+		return bestUnit, found, evals, pruned, saved
+	}
+
+	// Warm start: seed the incumbent with the caller's known-achievable
+	// cost when it beats the baseline. If the seed is admissible (≥ the
+	// true optimum) the strict-> pruning can never cut an optimal leaf,
+	// so the result is bit-identical to cold; if it is inadmissible the
+	// search provably finds nothing at or below it — every surviving
+	// cost then exceeds the seed, which is the detection below.
+	seed := best.Est.Cost
+	warm := !cfg.DisablePruning && cfg.InitialIncumbent > 0 && cfg.InitialIncumbent < seed
+	if warm {
+		seed = cfg.InitialIncumbent
+	}
+
+	sc.begin("subset_search")
+	unitBest, found, sEvals, sPruned, sSaved := runSearch(seed)
+	evals += sEvals
+	saved += sSaved
+	pruned := sPruned
+	warmRetried := false
+	if warm && ctx.Err() == nil {
+		got := best.Est.Cost
+		if found && unitBest.Est.Cost < got {
+			got = unitBest.Est.Cost
+		}
+		if got > cfg.InitialIncumbent {
+			// The hint was inadmissible: nothing achieved it, so pruning
+			// may have cut the true optimum. Re-run cold from the
+			// baseline; the retry dominates the cost of trusting a bad
+			// hint and keeps the bit-identical guarantee unconditional.
+			warmRetried = true
+			sc.begin("subset_search_cold_retry")
+			unitBest, found, sEvals, sPruned, sSaved = runSearch(best.Est.Cost)
+			evals += sEvals
+			saved += sSaved
+			pruned += sPruned
+		}
+	}
+	if found && unitBest.Est.Cost < best.Est.Cost {
+		best = unitBest
 	}
 	best.Evals = evals
 	best.Pruned = pruned
+	best.SavedEvals = saved
+	best.ReusedGroups = reusedGroups
+	best.WarmRetried = warmRetried
+	if ex != nil {
+		ex.SavedEvals = saved
+	}
 	if err := ctx.Err(); err != nil {
 		// The merge above still ran: the partial Result documents how far
 		// the search got (and may hold a usable incumbent plan), but a
@@ -553,6 +759,20 @@ func OptimizeContext(ctx context.Context, cfg Config, opts ...Option) (Result, e
 		return finish(best, err)
 	}
 	return finish(best, nil)
+}
+
+// selectRelaxed is the select_on_demand stage: Formulas 12–13 at the
+// configured slack, then a halving slack-relaxation chain down to zero
+// before giving up, so a deadline that is feasible at all gets a fleet.
+func selectRelaxed(cfg Config) (model.OnDemand, error) {
+	od, err := SelectOnDemand(cfg.OnDemandTypes, cfg.Profile, cfg.Deadline, cfg.Slack)
+	for slack := cfg.Slack / 2; err != nil && slack > 0.005; slack /= 2 {
+		od, err = SelectOnDemand(cfg.OnDemandTypes, cfg.Profile, cfg.Deadline, slack)
+	}
+	if err != nil {
+		od, err = SelectOnDemand(cfg.OnDemandTypes, cfg.Profile, cfg.Deadline, 0)
+	}
+	return od, err
 }
 
 // sharedCost is the workers' shared incumbent: the cheapest plan cost
@@ -581,16 +801,17 @@ func (s *sharedCost) lower(c float64) {
 	}
 }
 
-// partitionResult is one partition's contribution to the final merge.
-type partitionResult struct {
+// unitResult is one work unit's contribution to the final merge.
+type unitResult struct {
 	best   Result
 	found  bool
 	evals  int
 	pruned int
+	saved  int
 }
 
 // searcher is the per-worker search state: scratch buffers and an
-// allocation-free evaluator, reused across every partition the worker
+// allocation-free evaluator, reused across every work unit the worker
 // pulls. Nothing in it is shared; the only cross-worker communication is
 // the incumbent cost.
 type searcher struct {
@@ -604,8 +825,23 @@ type searcher struct {
 	stop      *atomic.Bool
 	eval      model.Evaluator
 
+	// leafMemo is the reuse cache's read-only snapshot of previously
+	// evaluated leaves; leafIDs maps group index to its cache id (nil
+	// disables the memo). leafNew buffers this worker's fresh
+	// evaluations for a single merge after the search.
+	leafMemo map[leafKey]model.Estimate
+	leafIDs  []uint32
+	leafNew  map[leafKey]model.Estimate
+	// lastKey/lastKeyOK carry the key lookupLeaf built to the storeLeaf
+	// that follows a miss.
+	lastKey   leafKey
+	lastKeyOK bool
+
 	subset []int
 	pgs    []*model.PreparedGroup
+	// bidIdx[d] is the grid index of the bid chosen at depth d — the
+	// leaf-memo key component alongside the group ids.
+	bidIdx []int
 	// partial[d] is the spot-cost sum of the groups placed at depths
 	// < d; suffixMin[d] is the cheapest possible spot cost of the groups
 	// at depths >= d; leaves[d] is the number of bid combinations below
@@ -619,17 +855,25 @@ type searcher struct {
 	found  bool
 	evals  int
 	pruned int
+	saved  int
 }
 
-// searchPartition traverses every subset whose first (smallest) group
-// index is first, in the exact order the serial recursion visits them.
-func (s *searcher) searchPartition(first int) partitionResult {
+// searchUnit traverses one work unit — the subsets starting with
+// u.prefix (just the prefix's own bid grid when !u.expand) — in the
+// exact order the serial recursion visits them.
+func (s *searcher) searchUnit(u *workUnit) unitResult {
 	s.best, s.found = Result{}, false
-	s.evals, s.pruned = 0, 0
-	s.subset = s.subset[:0]
-	s.subset = append(s.subset, first)
-	s.extend(first + 1)
-	return partitionResult{best: s.best, found: s.found, evals: s.evals, pruned: s.pruned}
+	s.evals, s.pruned, s.saved = 0, 0, 0
+	if s.stop.Load() {
+		return unitResult{}
+	}
+	s.subset = append(s.subset[:0], u.prefix...)
+	if u.expand {
+		s.extend(u.prefix[len(u.prefix)-1] + 1)
+	} else {
+		s.searchSubset()
+	}
+	return unitResult{best: s.best, found: s.found, evals: s.evals, pruned: s.pruned, saved: s.saved}
 }
 
 // extend evaluates the current subset's bid grid, then grows the subset
@@ -674,8 +918,12 @@ func (s *searcher) searchSubset() {
 
 func (s *searcher) searchBids(depth int) {
 	if depth == len(s.subset) {
-		est := s.eval.EvaluatePrepared(s.pgs, s.od)
-		s.evals++
+		est, memoized := s.lookupLeaf()
+		if !memoized {
+			est = s.eval.EvaluatePrepared(s.pgs, s.od)
+			s.evals++
+			s.storeLeaf(est)
+		}
 		if s.cfg.MaxAllFail > 0 && est.PAllFail > s.cfg.MaxAllFail {
 			return
 		}
@@ -690,10 +938,11 @@ func (s *searcher) searchBids(depth int) {
 		}
 		return
 	}
-	for _, pg := range s.prepared[s.subset[depth]] {
+	for bi, pg := range s.prepared[s.subset[depth]] {
 		if s.stop.Load() {
 			return
 		}
+		s.bidIdx[depth] = bi
 		bound := s.partial[depth] + pg.CostSpot() + s.suffixMin[depth+1]
 		// A plan's cost is its groups' spot costs plus a non-negative
 		// on-demand term, so bound is a true lower bound on every leaf
@@ -726,21 +975,74 @@ func (s *searcher) localBound() float64 {
 	return s.baseline
 }
 
+// lookupLeaf consults the reuse memo for the current leaf (subset +
+// bid choice). A hit returns the Estimate a fresh evaluation would
+// produce bit-for-bit — the key includes every input the cost model
+// reads (group state via cache id, bid via grid index, on-demand fleet)
+// — so memoization can never change the plan, only skip work. It also
+// primes lastKey for storeLeaf on a miss.
+func (s *searcher) lookupLeaf() (model.Estimate, bool) {
+	s.lastKeyOK = false
+	if s.leafIDs == nil {
+		return model.Estimate{}, false
+	}
+	n := len(s.subset)
+	if n > maxLeafSubset {
+		return model.Estimate{}, false
+	}
+	k := leafKey{od: odKeyFor(s.od), n: uint8(n)}
+	for i := 0; i < n; i++ {
+		id := s.leafIDs[s.subset[i]]
+		if id == 0 {
+			return model.Estimate{}, false
+		}
+		k.e[i] = id<<leafBidBits | uint32(s.bidIdx[i])
+	}
+	s.lastKey, s.lastKeyOK = k, true
+	if est, ok := s.leafNew[k]; ok {
+		s.saved++
+		return est, true
+	}
+	if est, ok := s.leafMemo[k]; ok {
+		s.saved++
+		return est, true
+	}
+	return model.Estimate{}, false
+}
+
+// storeLeaf buffers a freshly evaluated leaf for the post-search memo
+// merge.
+func (s *searcher) storeLeaf(est model.Estimate) {
+	if !s.lastKeyOK || len(s.leafNew) >= maxLeafEntries {
+		return
+	}
+	if s.leafNew == nil {
+		s.leafNew = make(map[leafKey]model.Estimate, 256)
+	}
+	s.leafNew[s.lastKey] = est
+}
+
 // buildGroups constructs the candidate circle groups. A candidate naming
 // an instance type outside the market's catalog, or a market the trace
 // set does not cover, is a caller error (typically a stale Candidates
 // list) and is reported as such rather than panicking. With ex non-nil
 // every candidate's keep/reject decision lands in the trail.
-func buildGroups(cfg Config, ex *Explain) ([]*model.Group, error) {
+//
+// With rb non-nil, each kept group gets a reuse entry alongside it: an
+// existing one when the candidate's state fingerprint matches the cache
+// (entry.prepared already derived), or a fresh unregistered one the
+// bid_grid stage fills and stores. entries[i] is nil iff reuse is off.
+func buildGroups(cfg Config, ex *Explain, rb *reuseBinding) ([]*model.Group, []*reuseEntry, error) {
 	groups := make([]*model.Group, 0, len(cfg.Candidates))
+	entries := make([]*reuseEntry, 0, len(cfg.Candidates))
 	for _, key := range cfg.Candidates {
 		it, ok := cfg.Market.Catalog().ByName(key.Type)
 		if !ok {
-			return nil, fmt.Errorf("%w: candidate %v not in catalog", ErrNoCandidates, key)
+			return nil, nil, fmt.Errorf("%w: candidate %v not in catalog", ErrNoCandidates, key)
 		}
 		tr, ok := cfg.Market.TraceFor(key)
 		if !ok {
-			return nil, fmt.Errorf("%w: candidate %v has no price history in the market", ErrNoCandidates, key)
+			return nil, nil, fmt.Errorf("%w: candidate %v has no price history in the market", ErrNoCandidates, key)
 		}
 		g := model.NewGroup(cfg.Profile, it, key.Zone, tr)
 		// A group that cannot finish before the deadline even alone and
@@ -749,6 +1051,16 @@ func buildGroups(cfg Config, ex *Explain) ([]*model.Group, error) {
 		kept := float64(g.T) <= cfg.Deadline
 		if kept {
 			groups = append(groups, g)
+			var entry *reuseEntry
+			if rb != nil {
+				st := rb.stateFor(cfg, key, g)
+				if e, ok := rb.cache.lookupGroup(groupSlot{key: key, profile: cfg.Profile.Name}, st); ok {
+					entry = e
+				} else {
+					entry = &reuseEntry{state: st, g: g}
+				}
+			}
+			entries = append(entries, entry)
 		}
 		if ex != nil {
 			d := CandidateDecision{
@@ -765,5 +1077,5 @@ func buildGroups(cfg Config, ex *Explain) ([]*model.Group, error) {
 			ex.Candidates = append(ex.Candidates, d)
 		}
 	}
-	return groups, nil
+	return groups, entries, nil
 }

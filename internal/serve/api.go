@@ -160,10 +160,15 @@ type PlanResponse struct {
 	MarketVersion uint64          `json:"market_version"`
 	Plan          PlanPayload     `json:"plan"`
 	Estimate      EstimatePayload `json:"estimate"`
-	// Evals and Pruned report the optimizer's search effort. They are
-	// only reproducible with workers=1 (see opt.Result).
-	Evals  int `json:"evals"`
-	Pruned int `json:"pruned"`
+	// Evals and Pruned report the optimizer's search effort; SavedEvals
+	// counts evaluations answered by the server's cross-optimization
+	// reuse cache instead. Evals is only reproducible with workers=1
+	// against a fixed cache state (see opt.Result) — identical requests
+	// can legitimately report fewer Evals (and more SavedEvals) as the
+	// cache warms. The plan itself never varies.
+	Evals      int `json:"evals"`
+	Pruned     int `json:"pruned"`
+	SavedEvals int `json:"saved_evals,omitempty"`
 	// SessionID names the tracked session when the request set track.
 	SessionID string `json:"session_id,omitempty"`
 	// Explain is the optimizer's decision trail, present only when the
@@ -218,6 +223,7 @@ func BuildPlanResponse(marketVersion uint64, res opt.Result) PlanResponse {
 		Estimate:      EncodeEstimate(res.Est),
 		Evals:         res.Evals,
 		Pruned:        res.Pruned,
+		SavedEvals:    res.SavedEvals,
 		Explain:       res.Explain,
 	}
 }

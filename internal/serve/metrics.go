@@ -57,6 +57,13 @@ type metrics struct {
 	activeSessions    atomic.Int64
 	completedSessions atomic.Int64
 
+	// warmStarts counts session re-optimizations whose previous plan
+	// re-priced into an admissible incumbent seed; evalsSaved counts
+	// cost-model evaluations the reuse cache answered from memo across
+	// all optimizations (plan requests and re-opts).
+	warmStarts atomic.Int64
+	evalsSaved atomic.Int64
+
 	// Durability: walFsync times every WAL fsync, walAppendErrors counts
 	// records that failed to land (ticks aborted, session transitions
 	// lost), recoverySecondsBits holds the startup recovery duration as
@@ -216,6 +223,10 @@ func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, ca
 
 	header(w, "sompid_reoptimizations_total", "counter", "Tracked-session window re-optimizations.")
 	fmt.Fprintf(w, "sompid_reoptimizations_total %d\n", m.reoptimizations.Load())
+	header(w, "sompid_reopt_warm_starts_total", "counter", "Re-optimizations seeded with the previous plan's re-priced cost as the branch-and-bound incumbent.")
+	fmt.Fprintf(w, "sompid_reopt_warm_starts_total %d\n", m.warmStarts.Load())
+	header(w, "sompid_reopt_evals_saved_total", "counter", "Cost-model evaluations skipped via the cross-optimization reuse cache.")
+	fmt.Fprintf(w, "sompid_reopt_evals_saved_total %d\n", m.evalsSaved.Load())
 	header(w, "sompid_session_window_truncations_total", "counter", "Session windows clamped by ring-buffer retention.")
 	fmt.Fprintf(w, "sompid_session_window_truncations_total %d\n", m.windowTruncations.Load())
 	header(w, "sompid_active_sessions", "gauge", "Live tracked sessions.")

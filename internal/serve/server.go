@@ -85,6 +85,11 @@ type Server struct {
 	nextID   int
 
 	cache *planCache
+	// reuse carries prepared-group state and evaluated subset costs
+	// across every optimization the server runs — plan requests and
+	// session re-opts alike. Hits are keyed on the shard version vector,
+	// so a tick invalidates exactly the shards it touched.
+	reuse *opt.ReuseCache
 	met   metrics
 	col   *obs.Collector
 	log   *obs.Logger
@@ -115,6 +120,7 @@ func New(cfg Config) (*Server, error) {
 		market:   cfg.Market,
 		sessions: make(map[string]*trackedSession),
 		cache:    newPlanCache(cfg.CacheSize),
+		reuse:    opt.NewReuseCache(),
 		col:      cfg.Collector,
 		log:      cfg.Logger,
 	}
@@ -346,9 +352,11 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	cfg := req.Config(profile, train)
 	cfg.Explain = explain
+	cfg.Reuse = s.reuse
 	res, err := opt.OptimizeContext(ctx, cfg)
 	s.met.evals.Add(int64(res.Evals))
 	s.met.pruned.Add(int64(res.Pruned))
+	s.met.evalsSaved.Add(int64(res.SavedEvals))
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			s.met.cancelled.Add(1)

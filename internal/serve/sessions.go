@@ -204,7 +204,22 @@ func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (re
 		cfg.MaxAllFail = 0.1
 	}
 
+	// Re-optimization is incremental: unchanged shards reuse their
+	// prepared state and memoized subset costs from the server's cache,
+	// and the session's previous plan — re-priced under the current
+	// market — seeds the branch-and-bound incumbent so pruning starts
+	// tight. Neither changes the plan (see opt.Config.InitialIncumbent
+	// and opt.ReuseCache for the bit-identity argument).
+	cfg.Reuse = s.reuse
+	if len(t.plan.Groups) > 0 {
+		if hint, ok := opt.WarmBound(cfg, t.plan); ok {
+			cfg.InitialIncumbent = hint
+			s.met.warmStarts.Add(1)
+		}
+	}
+
 	res, err := opt.OptimizeContext(ctx, cfg)
+	s.met.evalsSaved.Add(int64(res.SavedEvals))
 	switch {
 	case err != nil:
 		s.recordAudit(t, "opt_error", nil, 0, err)
