@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve-smoke fuzz bench obs-bench check
+.PHONY: all build vet test race serve-smoke tournament-smoke fuzz bench obs-bench check
 
 all: check
 
@@ -28,6 +28,12 @@ race:
 serve-smoke:
 	$(GO) run ./cmd/serve-smoke
 
+# Tiny fixed tournament grid (every strategy x every scenario, seconds
+# scale), then verify the ranking-report JSON schema and that the "sompi"
+# strategy's plan is byte-identical to the library optimizer path.
+tournament-smoke:
+	$(GO) run ./cmd/sompi tournament -smoke > /dev/null
+
 # Short-budget fuzz pass over the WAL record codec: the decoders must
 # return typed errors, never panic, on arbitrary torn/corrupt input.
 # (go test -fuzz takes one target per invocation.)
@@ -36,7 +42,7 @@ fuzz:
 	$(GO) test ./internal/store -run '^$$' -fuzz 'FuzzDecodeRecord' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store -run '^$$' -fuzz 'FuzzDecodeTick' -fuzztime $(FUZZTIME)
 
-check: build vet race serve-smoke
+check: build vet race serve-smoke tournament-smoke
 
 # Regenerate the optimizer benchmark-regression file. Compares the
 # exhaustive serial search against branch-and-bound and the parallel

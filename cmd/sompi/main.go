@@ -7,11 +7,17 @@
 //
 //	sompi -app BT -deadline 1.5 [-seed 42] [-hours 720] [-replay 20] [-parallel N]
 //	sompi explain -app BT -deadline 1.5 [-seed 42] [-hours 720] [-json]
+//	sompi tournament [-strategies a,b] [-scenarios x,y] [-apps BT,FT]
+//	                 [-deadlines 1.5,3] [-runs N] [-seed S] [-parallel N]
+//	                 [-out FILE] [-json] [-smoke]
 //
 // The explain subcommand runs the same optimization with the decision
 // trail enabled and renders why each candidate market was kept or
 // rejected, how long every pipeline stage took, and what the search
-// selected (-json dumps the raw trail instead).
+// selected (-json dumps the raw trail instead). The tournament
+// subcommand Monte Carlo-evaluates every registered planning strategy
+// against every market scenario and prints a deterministic ranking
+// report (see internal/strategy).
 package main
 
 import (
@@ -35,6 +41,10 @@ func main() {
 	log.SetPrefix("sompi: ")
 	if len(os.Args) > 1 && os.Args[1] == "explain" {
 		runExplain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "tournament" {
+		runTournament(os.Args[2:])
 		return
 	}
 	var (

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sompi/internal/app"
+	"sompi/internal/baselines"
+	"sompi/internal/cloud"
+	"sompi/internal/opt"
+	"sompi/internal/serve"
+	"sompi/internal/strategy"
+)
+
+// runTournament is the `sompi tournament` subcommand: Monte
+// Carlo-evaluate every (strategy, workload, deadline, scenario) cell of
+// the configured grid and print a deterministic ranking report.
+func runTournament(args []string) {
+	fs := flag.NewFlagSet("tournament", flag.ExitOnError)
+	var (
+		strategiesF = fs.String("strategies", "", "comma-separated strategy names (default: every registered strategy)")
+		scenariosF  = fs.String("scenarios", "", "comma-separated scenario names (default: every scenario)")
+		appsF       = fs.String("apps", "", "comma-separated workloads (default: BT,FT)")
+		deadlinesF  = fs.String("deadlines", "", "comma-separated deadline factors (default: 1.5,3)")
+		runs        = fs.Int("runs", 0, "Monte Carlo replications per cell (default 20)")
+		seed        = fs.Uint64("seed", 7, "tournament seed: fixes the markets, start points and report")
+		hours       = fs.Float64("hours", 0, "generated market length per scenario (default 480)")
+		parallel    = fs.Int("parallel", 0, "cell worker count (0 = GOMAXPROCS; the report is identical at any count)")
+		out         = fs.String("out", "", "write the report to this file instead of stdout")
+		asJSON      = fs.Bool("json", false, "emit the JSON report instead of markdown")
+		smoke       = fs.Bool("smoke", false, "CI smoke mode: tiny fixed grid, then verify the report schema and sompi-strategy plan parity (non-zero exit on drift)")
+	)
+	fs.Parse(args)
+
+	cfg := strategy.TournamentConfig{
+		Strategies: splitList(*strategiesF),
+		Scenarios:  splitList(*scenariosF),
+		Workloads:  splitList(*appsF),
+		Runs:       *runs,
+		Hours:      *hours,
+		Seed:       *seed,
+		Workers:    *parallel,
+	}
+	for _, f := range splitList(*deadlinesF) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			log.Fatalf("bad deadline factor %q: %v", f, err)
+		}
+		cfg.DeadlineFactors = append(cfg.DeadlineFactors, v)
+	}
+	if *smoke {
+		cfg = smokeConfig(*seed, *parallel)
+	}
+
+	rep, err := strategy.Tournament(context.Background(), cfg)
+	if err != nil {
+		log.Fatalf("tournament failed: %v", err)
+	}
+
+	if *smoke {
+		if err := verifySmoke(rep); err != nil {
+			log.Fatalf("smoke check failed: %v", err)
+		}
+		log.Print("tournament-smoke: schema ok, sompi plan parity ok")
+	}
+
+	var body []byte
+	if *asJSON {
+		body, err = json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding report: %v", err)
+		}
+		body = append(body, '\n')
+	} else {
+		body = []byte(rep.Markdown())
+	}
+	if *out == "" {
+		os.Stdout.Write(body)
+		return
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+// smokeConfig is the CI grid: every strategy and scenario, one small
+// workload, one deadline, few replications, reduced search knobs — the
+// whole thing runs in seconds while still exercising each (strategy,
+// scenario) pairing.
+func smokeConfig(seed uint64, workers int) strategy.TournamentConfig {
+	small := map[string]float64{"kappa": 2, "grid_levels": 3, "max_groups": 3}
+	return strategy.TournamentConfig{
+		Workloads:       []string{"BT"},
+		DeadlineFactors: []float64{2},
+		Runs:            3,
+		Hours:           200,
+		Seed:            seed,
+		Workers:         workers,
+		Params: map[string]map[string]float64{
+			"sompi":         small,
+			"adaptive-ckpt": small,
+		},
+	}
+}
+
+// reportSchema is the expected JSON shape of a tournament report: every
+// leaf key path, sorted. CI fails when the emitted report drifts from
+// it, forcing schema changes to be deliberate (bump
+// strategy.ReportSchemaVersion and this list together).
+var reportSchema = []string{
+	"cells[].cost_mean",
+	"cells[].cost_std",
+	"cells[].deadline_factor",
+	"cells[].deadline_hours",
+	"cells[].failures",
+	"cells[].hours_mean",
+	"cells[].miss_rate",
+	"cells[].norm_cost",
+	"cells[].runs",
+	"cells[].scenario",
+	"cells[].score",
+	"cells[].strategy",
+	"cells[].workload",
+	"config.deadline_factors[]",
+	"config.history",
+	"config.hours",
+	"config.params.*",
+	"config.runs",
+	"config.scenarios[]",
+	"config.seed",
+	"config.strategies[]",
+	"config.workloads[]",
+	"rankings[].cells",
+	"rankings[].mean_miss_rate",
+	"rankings[].mean_norm_cost",
+	"rankings[].mean_score",
+	"rankings[].rank",
+	"rankings[].strategy",
+	"schema_version",
+}
+
+// verifySmoke gates CI: the emitted report must match the expected
+// schema exactly, and the "sompi" strategy's plan must be byte-identical
+// to the library optimizer path on the same inputs.
+func verifySmoke(rep *strategy.Report) error {
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		return fmt.Errorf("encoding report: %w", err)
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return fmt.Errorf("decoding report: %w", err)
+	}
+	paths := map[string]bool{}
+	collectPaths(v, "", paths)
+	got := make([]string, 0, len(paths))
+	for p := range paths {
+		got = append(got, p)
+	}
+	sort.Strings(got)
+	if want := reportSchema; !equalStrings(got, want) {
+		return fmt.Errorf("report schema drift:\n  got:  %s\n  want: %s",
+			strings.Join(got, " "), strings.Join(want, " "))
+	}
+
+	// Plan parity: the registry's sompi strategy vs the raw optimizer,
+	// same market, same knobs, rendered through the service's single
+	// encoding path and compared byte for byte.
+	profile, _ := app.ByName("BT")
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), 200, 7)
+	train := m.Window(0, baselines.History)
+	deadline := opt.FastestOnDemand(nil, profile).T * 2
+
+	st, err := strategy.New("sompi", map[string]float64{"kappa": 2, "grid_levels": 3, "max_groups": 3})
+	if err != nil {
+		return err
+	}
+	sp, _, err := st.Plan(context.Background(), train, strategy.Workload{Profile: profile}, strategy.Deadline{Hours: deadline})
+	if err != nil {
+		return fmt.Errorf("strategy plan: %w", err)
+	}
+	res, err := opt.OptimizeContext(context.Background(), opt.Config{
+		Profile: profile, Market: train, Deadline: deadline,
+		Kappa: 2, GridLevels: 3, MaxGroups: 3,
+	})
+	if err != nil {
+		return fmt.Errorf("library plan: %w", err)
+	}
+	a, _ := json.Marshal(serve.EncodePlan(sp.Model))
+	b, _ := json.Marshal(serve.EncodePlan(res.Plan))
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("sompi strategy plan diverged from library path:\n  strategy: %s\n  library:  %s", a, b)
+	}
+	return nil
+}
+
+// collectPaths walks decoded JSON recording every leaf key path. Arrays
+// descend through their first element as "[]"; the free-form
+// config.params map collapses to a single "*" path.
+func collectPaths(v any, prefix string, out map[string]bool) {
+	switch t := v.(type) {
+	case map[string]any:
+		if prefix == "config.params" {
+			out[prefix+".*"] = true
+			return
+		}
+		for k, child := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			collectPaths(child, p, out)
+		}
+	case []any:
+		if len(t) == 0 {
+			out[prefix+"[]"] = true
+			return
+		}
+		collectPaths(t[0], prefix+"[]", out)
+	default:
+		out[prefix] = true
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -30,7 +30,7 @@ func cell(t *testing.T, tab interface{ String() string }, rows [][]string, r, c 
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig4", "fig5", "tab2", "fig6", "fig7", "fig8",
-		"slack", "kappa", "tm", "acc-frf", "acc-model"}
+		"slack", "kappa", "tm", "acc-frf", "acc-model", "tournament"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))

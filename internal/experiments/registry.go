@@ -32,6 +32,7 @@ func Registry() []Experiment {
 		{"tm", "Section 5.2 (T_m study)", Tm},
 		{"acc-frf", "Section 5.4.1 (failure-rate accuracy)", AccFRF},
 		{"acc-model", "Section 5.4.1 (model accuracy)", AccModel},
+		{"tournament", "Strategy tournament ranking (internal/strategy)", TournamentExp},
 	}
 }
 

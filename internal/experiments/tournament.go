@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"context"
+
+	"sompi/internal/report"
+	"sompi/internal/strategy"
+)
+
+// TournamentExp runs a reduced strategy tournament (every registered
+// strategy against every scenario, BT only, one deadline) and renders the
+// ranking table. The full grid lives behind `sompi tournament`; this entry
+// keeps a seconds-scale version inside the experiment harness so strategy
+// regressions show up next to the paper artifacts.
+func TournamentExp(p Params) *report.Table {
+	p = p.withDefaults()
+	small := map[string]float64{"kappa": 2, "grid_levels": 3, "max_groups": 3}
+	cfg := strategy.TournamentConfig{
+		Workloads:       []string{"BT"},
+		DeadlineFactors: []float64{LooseFactor},
+		Runs:            p.Runs,
+		Hours:           p.MarketHours,
+		Seed:            p.Seed,
+		Workers:         p.Workers,
+		Params: map[string]map[string]float64{
+			"sompi":         small,
+			"adaptive-ckpt": small,
+		},
+	}
+	t := &report.Table{
+		Title:  "Strategy tournament (BT, deadline 1.5x baseline)",
+		Header: []string{"rank", "strategy", "mean-score", "norm-cost", "miss-rate", "cells"},
+	}
+	rep, err := strategy.Tournament(context.Background(), cfg)
+	if err != nil {
+		t.AddNote("tournament failed: %v", err)
+		return t
+	}
+	for _, r := range rep.Rankings {
+		t.Add(r.Rank, r.Strategy, r.MeanScore, r.MeanNormCost, r.MeanMissRate, r.Cells)
+	}
+	t.AddNote("score = normalized cost + 10x deadline-miss rate, averaged over %d scenarios", len(rep.Config.Scenarios))
+	t.AddNote("expected shape: sompi leads overall; noft competitive only in calm scenarios")
+	return t
+}

@@ -1,0 +1,95 @@
+package replay
+
+import (
+	"math"
+	"testing"
+
+	"sompi/internal/cloud"
+	"sompi/internal/model"
+)
+
+// noticePlan is a single-group plan with scheduled checkpoints disabled
+// (Interval = T), so the only way progress survives an out-of-bid kill is
+// the interruption-notice emergency checkpoint.
+func noticePlan(r *Runner) model.Plan {
+	g := groupFor(r, cloud.M1Medium, cloud.ZoneA)
+	return model.Plan{
+		Groups:   []model.GroupPlan{{Group: g, Bid: 0.05, Interval: float64(g.T)}},
+		Recovery: model.NewOnDemand(r.Profile, cloud.CC28XLarge),
+	}
+}
+
+// TestNoticeSavesProgressOnOutOfBid: with an interruption notice wide
+// enough for one checkpoint, the ~5h of pre-spike work survives the kill
+// instead of being lost to a full restart.
+func TestNoticeSavesProgressOnOutOfBid(t *testing.T) {
+	base := runner(spikeMarket(0.02, 1.0, 5, 4, 400))
+	plan := noticePlan(base)
+	g := plan.Groups[0].Group
+	without := base.ExecuteWindow(plan, 0, 20, 0)
+
+	notice := runner(spikeMarket(0.02, 1.0, 5, 4, 400))
+	notice.NoticeHours = g.O + 0.05
+	with := notice.ExecuteWindow(plan, 0, 20, 0)
+
+	if !without.AllGroupsDead || !with.AllGroupsDead {
+		t.Fatalf("expected the spike to kill the group: %+v / %+v", without, with)
+	}
+	if without.Progress != 0 {
+		t.Fatalf("without notice progress = %v, want 0 (no checkpoints)", without.Progress)
+	}
+	want := 5 / float64(g.T)
+	if math.Abs(with.Progress-want) > 0.01 {
+		t.Fatalf("with notice progress = %v, want ~%v", with.Progress, want)
+	}
+}
+
+// TestNoticeNarrowerThanCheckpointIsIgnored: a notice too short to fit
+// the group's checkpoint overhead changes nothing — outcome identical to
+// the zero-notice runner.
+func TestNoticeNarrowerThanCheckpointIsIgnored(t *testing.T) {
+	base := runner(spikeMarket(0.02, 1.0, 5, 4, 400))
+	plan := noticePlan(base)
+	g := plan.Groups[0].Group
+	without := base.ExecuteWindow(plan, 0, 20, 0)
+
+	narrow := runner(spikeMarket(0.02, 1.0, 5, 4, 400))
+	narrow.NoticeHours = g.O / 2
+	with := narrow.ExecuteWindow(plan, 0, 20, 0)
+
+	if with != without {
+		t.Fatalf("narrow notice changed the outcome:\n with: %+v\n base: %+v", with, without)
+	}
+}
+
+// TestNoticeBilling: the notice window bills bid x M x notice under
+// continuous accounting and nothing under the 2014 hourly rule (the
+// interrupted hour is refunded either way).
+func TestNoticeBilling(t *testing.T) {
+	mk := func(billing SpotBilling, noticeHours float64) Outcome {
+		r := runner(spikeMarket(0.02, 1.0, 5, 4, 400))
+		r.Billing = billing
+		r.NoticeHours = noticeHours
+		return r.ExecuteWindow(noticePlan(r), 0, 20, 0)
+	}
+	probe := runner(flatMarket(0.02, 10))
+	g := groupFor(probe, cloud.M1Medium, cloud.ZoneA)
+	notice := g.O + 0.05
+
+	contWithout := mk(BillingContinuous, 0)
+	contWith := mk(BillingContinuous, notice)
+	extra := contWith.Cost - contWithout.Cost
+	want := 0.05 * float64(g.M) * notice
+	if math.Abs(extra-want) > 1e-9 {
+		t.Fatalf("continuous notice charge = %v, want %v", extra, want)
+	}
+
+	hourlyWithout := mk(BillingHourly, 0)
+	hourlyWith := mk(BillingHourly, notice)
+	if hourlyWith.Cost != hourlyWithout.Cost {
+		t.Fatalf("hourly billing charged for the notice: %v vs %v", hourlyWith.Cost, hourlyWithout.Cost)
+	}
+	if hourlyWith.Progress <= hourlyWithout.Progress {
+		t.Fatalf("hourly notice did not save progress: %v vs %v", hourlyWith.Progress, hourlyWithout.Progress)
+	}
+}

@@ -46,6 +46,13 @@ type Runner struct {
 	// Billing selects the spot accounting rule; the zero value is the
 	// paper's continuous integration.
 	Billing SpotBilling
+	// NoticeHours models an advance interruption warning (EC2's modern
+	// 2-minute notice is 1.0/30 hours): on an out-of-bid event a group
+	// whose checkpoint overhead fits inside the notice saves an emergency
+	// checkpoint before dying, paying its bid for the notice window under
+	// continuous billing. Zero (the 2014 rule) keeps terminations
+	// warningless and reproduces the old replays bit-for-bit.
+	NoticeHours float64
 }
 
 // Outcome reports one window (or full run) of execution.
@@ -163,6 +170,19 @@ func (r *Runner) ExecuteWindow(plan model.Plan, start, windowHours, startProgres
 			price := r.Market.Trace(st.gp.Group.Key.Type, st.gp.Group.Key.Zone).At(start + wall)
 			if price > st.gp.Bid {
 				st.alive = false // out-of-bid event: Amazon kills the group
+				// With an advance notice wide enough for one checkpoint,
+				// the group saves its progress on the way out instead of
+				// rolling back to the last scheduled checkpoint. The
+				// notice window bills at the bid (never above it) under
+				// continuous accounting; under the 2014 hourly rule the
+				// interrupted hour is refunded anyway.
+				if r.NoticeHours > 0 && st.gp.Group.O <= r.NoticeHours && st.productive > st.saved {
+					st.saved = st.productive
+					st.sinceCk = 0
+					if r.Billing == BillingContinuous {
+						out.Cost += st.gp.Bid * float64(st.gp.Group.M) * r.NoticeHours
+					}
+				}
 				out.Cost -= r.outOfBidRefund(st)
 				continue
 			}

@@ -23,6 +23,7 @@ import (
 	"sompi/internal/model"
 	"sompi/internal/obs"
 	"sompi/internal/opt"
+	"sompi/internal/strategy"
 )
 
 // PlanRequest asks the service for a SOMPI plan. Zero-valued knobs take
@@ -63,6 +64,18 @@ type PlanRequest struct {
 	// re-optimizes the residual work (Algorithm 1). Tracked requests
 	// bypass the plan cache — each one creates a distinct session.
 	Track bool `json:"track,omitempty"`
+
+	// Strategy selects a registered planning strategy by name (see
+	// GET /v1/strategies). Empty keeps the default sompi optimizer path,
+	// whose responses are byte-identical to the pre-strategy API; an
+	// unknown name is a 400. Each strategy caches under its own
+	// namespace, so "sompi" and "" never cross-evict even though their
+	// plans agree.
+	Strategy string `json:"strategy,omitempty"`
+	// StrategyParams are the strategy's typed parameters (schema in
+	// GET /v1/strategies); omitted keys take their defaults. For
+	// strategy "sompi" they overlay the top-level optimizer knobs.
+	StrategyParams map[string]float64 `json:"strategy_params,omitempty"`
 }
 
 // CandidateKeys reports the market keys the request's Types/Zones
@@ -175,6 +188,13 @@ type PlanResponse struct {
 	// request asked for it (?explain=1). Explained responses bypass the
 	// plan cache, so cached bodies never carry a trail.
 	Explain *opt.Explain `json:"explain,omitempty"`
+	// Strategy echoes the request's named strategy. Absent on the
+	// default path, which keeps those responses byte-identical to the
+	// pre-strategy API.
+	Strategy string `json:"strategy,omitempty"`
+	// StrategyNotes is the named strategy's decision trail (?explain=1
+	// only; like Explain, never cached).
+	StrategyNotes []string `json:"strategy_notes,omitempty"`
 }
 
 // EncodePlan renders a plan for the wire.
@@ -285,8 +305,12 @@ type MonteCarloRequest struct {
 	Workers       int     `json:"workers,omitempty"`
 	HistoryHours  float64 `json:"history_hours,omitempty"`
 	// Strategy selects the replayed policy: sompi (default), baseline,
-	// on-demand, marathe, marathe-opt, spot-inf, spot-avg.
+	// on-demand, marathe, marathe-opt, spot-inf, spot-avg, or any name
+	// from GET /v1/strategies (portfolio, noft, adaptive-ckpt, ...).
 	Strategy string `json:"strategy,omitempty"`
+	// StrategyParams parameterize a registry strategy (ignored for the
+	// classic baseline names).
+	StrategyParams map[string]float64 `json:"strategy_params,omitempty"`
 	// WindowHours overrides T_m for the sompi strategy.
 	WindowHours float64 `json:"window_hours,omitempty"`
 }
@@ -417,6 +441,30 @@ type HealthResponse struct {
 	ActiveSessions  int64         `json:"active_sessions"`
 	WALAppendErrors int64         `json:"wal_append_errors"`
 	Shards          []ShardHealth `json:"shards"`
+}
+
+// StrategyInfo is one registry entry in the GET /v1/strategies payload.
+type StrategyInfo struct {
+	Name    string               `json:"name"`
+	Summary string               `json:"summary"`
+	Params  []strategy.ParamSpec `json:"params"`
+	// Default marks the strategy an empty request field resolves to.
+	Default bool `json:"default,omitempty"`
+}
+
+// ScenarioInfo is one scenario-catalog entry in the strategies payload.
+type ScenarioInfo struct {
+	Name    string `json:"name"`
+	Summary string `json:"summary"`
+}
+
+// StrategiesResponse is the GET /v1/strategies payload: the bounded
+// strategy registry with parameter schemas, plus the scenario catalog
+// the tournament runner evaluates against.
+type StrategiesResponse struct {
+	Default    string         `json:"default"`
+	Strategies []StrategyInfo `json:"strategies"`
+	Scenarios  []ScenarioInfo `json:"scenarios"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -311,6 +311,12 @@ func (s *Server) materializeSession(st sessionState) (*trackedSession, error) {
 	base.Market = nil
 	keys := st.Req.CandidateKeys(s.market)
 	base.Candidates = keys
+	// The strategy rides the persisted request — rebuilding it here
+	// restores exactly the re-planning policy the pre-crash server ran.
+	strat, err := sessionStrategy(st.Req, &base)
+	if err != nil {
+		return nil, err
+	}
 
 	sess := replay.NewSession(&replay.Runner{Market: s.market, Profile: profile}, st.Deadline, st.Start)
 	sess.Progress = st.Progress
@@ -327,6 +333,7 @@ func (s *Server) materializeSession(st sessionState) (*trackedSession, error) {
 		base:        base,
 		keys:        keys,
 		req:         st.Req,
+		strat:       strat,
 		sess:        sess,
 		boundary:    st.Boundary,
 		planVersion: st.PlanVersion,

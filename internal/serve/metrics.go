@@ -11,6 +11,7 @@ import (
 	"sompi/internal/cloud"
 	"sompi/internal/obs"
 	"sompi/internal/store"
+	"sompi/internal/strategy"
 )
 
 // endpoint indexes the per-endpoint counters.
@@ -22,10 +23,11 @@ const (
 	epMonteCarlo
 	epPrices
 	epSessions
+	epStrategies
 	numEndpoints
 )
 
-var endpointNames = [numEndpoints]string{"plan", "evaluate", "montecarlo", "prices", "sessions"}
+var endpointNames = [numEndpoints]string{"plan", "evaluate", "montecarlo", "prices", "sessions", "strategies"}
 
 // metrics is the service's observable state, all lock-free counters and
 // histograms so the hot paths never contend. Rendering is Prometheus text
@@ -41,6 +43,13 @@ type metrics struct {
 
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// Per-strategy planning families, keyed by registry name. The label
+	// set is fixed at init from the strategy registry — never from
+	// request input — so cardinality is bounded and unknown names are
+	// simply never observed. The default ("" strategy) path records
+	// under "sompi", which is what it runs.
+	strategies map[string]*strategyMetrics
 
 	evals     atomic.Int64
 	pruned    atomic.Int64
@@ -79,6 +88,14 @@ type metrics struct {
 	windowTruncations atomic.Int64
 }
 
+// strategyMetrics is one strategy's planning counters.
+type strategyMetrics struct {
+	requests    atomic.Int64
+	latency     *obs.Histogram
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
 // init allocates the histograms. keys is the market's fixed shard set.
 func (m *metrics) init(keys []cloud.MarketKey) {
 	for ep := range m.latency {
@@ -88,7 +105,33 @@ func (m *metrics) init(keys []cloud.MarketKey) {
 	for _, k := range keys {
 		m.ingestLatency[k.String()] = obs.NewHistogram(nil)
 	}
+	m.strategies = make(map[string]*strategyMetrics, len(strategy.Names()))
+	for _, name := range strategy.Names() {
+		m.strategies[name] = &strategyMetrics{latency: obs.NewHistogram(nil)}
+	}
 	m.walFsync = obs.NewHistogram(nil)
+}
+
+// observeStrategy records one plan request's latency under its
+// (registry-validated) strategy label.
+func (m *metrics) observeStrategy(name string, seconds float64) {
+	if sm, ok := m.strategies[name]; ok {
+		sm.requests.Add(1)
+		sm.latency.Observe(seconds)
+	}
+}
+
+// strategyCache records one plan-cache lookup under its strategy label.
+func (m *metrics) strategyCache(name string, hit bool) {
+	sm, ok := m.strategies[name]
+	if !ok {
+		return
+	}
+	if hit {
+		sm.cacheHits.Add(1)
+	} else {
+		sm.cacheMisses.Add(1)
+	}
 }
 
 // observe records one request's latency and error outcome.
@@ -153,6 +196,27 @@ func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, ca
 	header(w, "sompid_request_seconds", "histogram", "Request latency in seconds, by endpoint.")
 	for ep := endpoint(0); ep < numEndpoints; ep++ {
 		m.latency[ep].WriteProm(w, "sompid_request_seconds", fmt.Sprintf("endpoint=\"%s\"", escapeLabel(endpointNames[ep])))
+	}
+
+	// Per-strategy planning families. sompid_plan_request_seconds is its
+	// own family rather than a strategy label on sompid_request_seconds:
+	// labeling one endpoint's histogram twice would double-count every
+	// plan request under sum-over-labels aggregation.
+	header(w, "sompid_plan_requests_total", "counter", "Plan requests served, by planning strategy.")
+	for _, name := range strategy.Names() {
+		fmt.Fprintf(w, "sompid_plan_requests_total{strategy=\"%s\"} %d\n", escapeLabel(name), m.strategies[name].requests.Load())
+	}
+	header(w, "sompid_plan_request_seconds", "histogram", "Plan request latency in seconds, by planning strategy.")
+	for _, name := range strategy.Names() {
+		m.strategies[name].latency.WriteProm(w, "sompid_plan_request_seconds", fmt.Sprintf("strategy=\"%s\"", escapeLabel(name)))
+	}
+	header(w, "sompid_strategy_cache_hits_total", "counter", "Plan cache hits, by planning strategy.")
+	for _, name := range strategy.Names() {
+		fmt.Fprintf(w, "sompid_strategy_cache_hits_total{strategy=\"%s\"} %d\n", escapeLabel(name), m.strategies[name].cacheHits.Load())
+	}
+	header(w, "sompid_strategy_cache_misses_total", "counter", "Plan cache misses, by planning strategy.")
+	for _, name := range strategy.Names() {
+		fmt.Fprintf(w, "sompid_strategy_cache_misses_total{strategy=\"%s\"} %d\n", escapeLabel(name), m.strategies[name].cacheMisses.Load())
 	}
 
 	header(w, "sompid_plan_cache_hits_total", "counter", "Plan cache hits.")

@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,7 @@ import (
 	"sompi/internal/opt"
 	"sompi/internal/replay"
 	"sompi/internal/store"
+	"sompi/internal/strategy"
 )
 
 // StatusClientClosedRequest is reported when the client abandoned the
@@ -176,6 +178,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/montecarlo", s.instrument(epMonteCarlo, s.handleMonteCarlo))
 	mux.HandleFunc("POST /v1/prices", s.instrument(epPrices, s.handlePrices))
 	mux.HandleFunc("GET /v1/sessions", s.instrument(epSessions, s.handleSessions))
+	mux.HandleFunc("GET /v1/strategies", s.instrument(epStrategies, s.handleStrategies))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
@@ -230,6 +233,8 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, opt.ErrInvalidConfig),
 		errors.Is(err, replay.ErrInvalidConfig),
+		errors.Is(err, strategy.ErrUnknownStrategy),
+		errors.Is(err, strategy.ErrUnknownScenario),
 		errors.Is(err, cloud.ErrBadSample):
 		return http.StatusBadRequest
 	case errors.Is(err, opt.ErrDeadlineInfeasible),
@@ -300,16 +305,41 @@ func (s *Server) trainSnapshot(req PlanRequest, history float64) (snap *cloud.Ma
 }
 
 // planKey is the cache key: every optimizer knob, the candidate filters,
-// and the version vector of the shards the request actually touches. A
-// tick on a shard outside the vector leaves the key — and the cached
-// entry — valid, so invalidation is O(affected plans), not O(cache).
+// the strategy selection, and the version vector of the shards the
+// request actually touches. A tick on a shard outside the vector leaves
+// the key — and the cached entry — valid, so invalidation is O(affected
+// plans), not O(cache). The strategy literal gives every strategy its
+// own cache namespace: "" and "sompi" plan identically but never
+// cross-evict, and parameterized requests key on their exact params.
 func planKey(req PlanRequest, vv cloud.VersionVector, keys []cloud.MarketKey) string {
-	return fmt.Sprintf("%s|%g|%g|%d|%d|%d|%d|%g|%g|%t|%t|t:%s|z:%s|vv{%s}",
+	return fmt.Sprintf("%s|%g|%g|%d|%d|%d|%d|%g|%g|%t|%t|t:%s|z:%s|s:%s|sp{%s}|vv{%s}",
 		req.App, req.DeadlineHours, req.HistoryHours, req.Workers, req.Kappa,
 		req.GridLevels, req.MaxGroups, req.Slack, req.MaxAllFail,
 		req.DisableCheckpoints, req.DisablePruning,
 		strings.Join(req.Types, ","), strings.Join(req.Zones, ","),
+		req.Strategy, canonicalParams(req.StrategyParams),
 		vv.Subset(keys).String())
+}
+
+// canonicalParams renders a parameter map in sorted-key order so equal
+// maps always produce equal cache keys.
+func canonicalParams(params map[string]float64) string {
+	if len(params) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(params))
+	for k := range params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%g", k, params[k])
+	}
+	return b.String()
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -321,6 +351,21 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	profile, ok := app.ByName(req.App)
 	if !ok {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown workload %q", opt.ErrInvalidConfig, req.App))
+		return
+	}
+	// Strategy dispatch. The name is validated before anything is
+	// recorded under it — the per-strategy metric label set stays
+	// bounded by the registry, never by user input.
+	d, ok := strategy.Lookup(req.Strategy)
+	if !ok {
+		err := fmt.Errorf("%w: %q (have %v)", strategy.ErrUnknownStrategy, req.Strategy, strategy.Names())
+		writeError(w, statusOf(err), err)
+		return
+	}
+	planStart := time.Now()
+	defer func() { s.met.observeStrategy(d.Name, time.Since(planStart).Seconds()) }()
+	if req.Strategy != "" {
+		s.servePlanStrategy(w, r, req, profile)
 		return
 	}
 	snap, keys, frontier, train := s.trainSnapshot(req, s.historyOr(req.HistoryHours))
@@ -340,11 +385,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if !req.Track && !explain {
 		if body, ok := s.cache.get(key); ok {
 			s.met.cacheHits.Add(1)
+			s.met.strategyCache(d.Name, true)
 			w.Header().Set("X-Sompid-Cache", "hit")
 			writeBody(w, http.StatusOK, body)
 			return
 		}
 		s.met.cacheMisses.Add(1)
+		s.met.strategyCache(d.Name, false)
 		w.Header().Set("X-Sompid-Cache", "miss")
 	}
 
@@ -397,6 +444,10 @@ func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.R
 	base := req.Config(profile, nil)
 	base.Market = nil // refilled per re-optimization
 	base.Candidates = keys
+	strat, serr := sessionStrategy(req, &base)
+	if serr != nil {
+		return "", serr
+	}
 	history := s.historyOr(req.HistoryHours)
 	trainStart := math.Max(0, frontier-history)
 	s.mu.Lock()
@@ -410,6 +461,7 @@ func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.R
 		base:    base,
 		keys:    keys,
 		req:     req,
+		strat:   strat,
 		sess: replay.NewSession(&replay.Runner{Market: s.market, Profile: profile},
 			req.DeadlineHours, frontier),
 		plan:        res.Plan,
@@ -533,7 +585,14 @@ func strategyFor(req MonteCarloRequest, m cloud.MarketView) (replay.Strategy, er
 	case "spot-avg":
 		return baselines.SpotAvg(m), nil
 	default:
-		return nil, fmt.Errorf("%w: unknown strategy %q", opt.ErrInvalidConfig, req.Strategy)
+		// Registry strategies (portfolio, noft, adaptive-ckpt, ...) replay
+		// through the same adapter the tournament uses. Names absent from
+		// both vocabularies report the typed unknown-strategy error.
+		st, err := strategy.New(req.Strategy, req.StrategyParams)
+		if err != nil {
+			return nil, err
+		}
+		return strategy.Replay(st, m, req.HistoryHours), nil
 	}
 }
 

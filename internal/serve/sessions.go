@@ -9,6 +9,7 @@ import (
 	"sompi/internal/model"
 	"sompi/internal/opt"
 	"sompi/internal/replay"
+	"sompi/internal/strategy"
 )
 
 // trackedSession is one live application run the service manages per
@@ -56,6 +57,12 @@ type trackedSession struct {
 	planScale  float64
 	trainStart float64
 	trainDur   float64
+	// strat, when non-nil, re-plans each window through a registry
+	// strategy instead of the default Algorithm-1 optimizer call. It is
+	// rebuilt from req on recovery (never persisted itself): sessions
+	// planned by "" or "sompi" keep strat nil so the default loop — warm
+	// starts, committed-window MaxAllFail — runs exactly as before.
+	strat strategy.Strategy
 	// req is the original plan request; seq the session's durable
 	// transition counter (see sessionState).
 	req    PlanRequest
@@ -211,14 +218,26 @@ func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (re
 	// tight. Neither changes the plan (see opt.Config.InitialIncumbent
 	// and opt.ReuseCache for the bit-identity argument).
 	cfg.Reuse = s.reuse
-	if len(t.plan.Groups) > 0 {
-		if hint, ok := opt.WarmBound(cfg, t.plan); ok {
-			cfg.InitialIncumbent = hint
-			s.met.warmStarts.Add(1)
+	var res opt.Result
+	var err error
+	if t.strat != nil {
+		// Registry strategy: re-plan the residual through the strategy's
+		// own policy. The committed-window MaxAllFail tightening above is
+		// an optimizer knob; strategies carry their own risk posture.
+		strategy.Configure(t.strat, t.keys, s.reuse)
+		var p strategy.Plan
+		p, _, err = t.strat.Plan(ctx, cfg.Market,
+			strategy.Workload{Profile: resid}, strategy.Deadline{Hours: leftover})
+		res = opt.Result{Plan: p.Model, Est: p.Est, Evals: p.Evals, Pruned: p.Pruned, SavedEvals: p.SavedEvals}
+	} else {
+		if len(t.plan.Groups) > 0 {
+			if hint, ok := opt.WarmBound(cfg, t.plan); ok {
+				cfg.InitialIncumbent = hint
+				s.met.warmStarts.Add(1)
+			}
 		}
+		res, err = opt.OptimizeContext(ctx, cfg)
 	}
-
-	res, err := opt.OptimizeContext(ctx, cfg)
 	s.met.evalsSaved.Add(int64(res.SavedEvals))
 	switch {
 	case err != nil:

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"sompi/internal/app"
+	"sompi/internal/opt"
+	"sompi/internal/strategy"
+)
+
+// handleStrategies serves the strategy registry with parameter schemas
+// and the scenario catalog. The set is fixed at init time — it doubles
+// as the bound on every strategy-labeled metric family.
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	resp := StrategiesResponse{Default: strategy.Names()[0]}
+	for _, d := range strategy.List() {
+		resp.Strategies = append(resp.Strategies, StrategyInfo{
+			Name:    d.Name,
+			Summary: d.Summary,
+			Params:  d.Params,
+			Default: d.Name == resp.Default,
+		})
+	}
+	for _, sc := range strategy.Scenarios() {
+		resp.Scenarios = append(resp.Scenarios, ScenarioInfo{Name: sc.Name, Summary: sc.Summary})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// effectiveStrategyParams merges a plan request into one strategy
+// parameter map. For "sompi" the top-level optimizer knobs seed the map
+// — the request shapes that always worked keep working — and
+// strategy_params overlay them; every other strategy reads
+// strategy_params alone.
+func effectiveStrategyParams(req PlanRequest) map[string]float64 {
+	if req.Strategy != "sompi" {
+		return req.StrategyParams
+	}
+	p := make(map[string]float64, 8+len(req.StrategyParams))
+	if req.Kappa != 0 {
+		p["kappa"] = float64(req.Kappa)
+	}
+	if req.GridLevels != 0 {
+		p["grid_levels"] = float64(req.GridLevels)
+	}
+	if req.MaxGroups != 0 {
+		p["max_groups"] = float64(req.MaxGroups)
+	}
+	if req.Workers != 0 {
+		p["workers"] = float64(req.Workers)
+	}
+	if req.Slack != 0 {
+		p["slack"] = req.Slack
+	}
+	if req.MaxAllFail != 0 {
+		p["max_all_fail"] = req.MaxAllFail
+	}
+	if req.DisableCheckpoints {
+		p["disable_checkpoints"] = 1
+	}
+	if req.DisablePruning {
+		p["disable_pruning"] = 1
+	}
+	for k, v := range req.StrategyParams {
+		p[k] = v
+	}
+	return p
+}
+
+// sessionStrategy resolves a request's strategy for session re-planning.
+// A nil strategy means the default Algorithm-1 loop; a "sompi" selection
+// folds its effective knobs into base and then uses that same loop, so
+// named-sompi sessions keep the warm-start and committed-window
+// machinery (and its bit-identity guarantees) of untagged ones.
+func sessionStrategy(req PlanRequest, base *opt.Config) (strategy.Strategy, error) {
+	if req.Strategy == "" {
+		return nil, nil
+	}
+	st, err := strategy.New(req.Strategy, effectiveStrategyParams(req))
+	if err != nil {
+		return nil, err
+	}
+	if so, ok := st.(*strategy.SOMPI); ok {
+		base.Kappa = so.Params.Kappa
+		base.GridLevels = so.Params.GridLevels
+		base.MaxGroups = so.Params.MaxGroups
+		base.Workers = so.Params.Workers
+		base.Slack = so.Params.Slack
+		base.MaxAllFail = so.Params.MaxAllFail
+		base.DisableCheckpoints = so.Params.DisableCheckpoints
+		base.DisablePruning = so.Params.DisablePruning
+		return nil, nil
+	}
+	return st, nil
+}
+
+// servePlanStrategy is handlePlan's named-strategy branch: the same
+// snapshot/cache/track pipeline, planning through the registry instead
+// of calling the optimizer directly. It never runs for an empty
+// strategy field, so the default path's bytes stay untouched.
+func (s *Server) servePlanStrategy(w http.ResponseWriter, r *http.Request, req PlanRequest, profile app.Profile) {
+	st, err := strategy.New(req.Strategy, effectiveStrategyParams(req))
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	snap, keys, frontier, train := s.trainSnapshot(req, s.historyOr(req.HistoryHours))
+	if len(req.Types)+len(req.Zones) > 0 && len(keys) == 0 {
+		err := fmt.Errorf("%w: types/zones filter matches no market", opt.ErrNoCandidates)
+		writeError(w, statusOf(err), err)
+		return
+	}
+	version := snap.Version()
+
+	explain := r.URL.Query().Get("explain") == "1"
+	key := planKey(req, snap.VersionVector(), keys)
+	if !req.Track && !explain {
+		if body, ok := s.cache.get(key); ok {
+			s.met.cacheHits.Add(1)
+			s.met.strategyCache(req.Strategy, true)
+			w.Header().Set("X-Sompid-Cache", "hit")
+			writeBody(w, http.StatusOK, body)
+			return
+		}
+		s.met.cacheMisses.Add(1)
+		s.met.strategyCache(req.Strategy, false)
+		w.Header().Set("X-Sompid-Cache", "miss")
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	strategy.Configure(st, keys, s.reuse)
+	if so, ok := st.(*strategy.SOMPI); ok {
+		so.Explain = explain
+	}
+	p, ex, err := st.Plan(ctx, train, strategy.Workload{Profile: profile}, strategy.Deadline{Hours: req.DeadlineHours})
+	s.met.evals.Add(int64(p.Evals))
+	s.met.pruned.Add(int64(p.Pruned))
+	s.met.evalsSaved.Add(int64(p.SavedEvals))
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.met.cancelled.Add(1)
+		}
+		writeError(w, statusOf(err), err)
+		return
+	}
+
+	res := opt.Result{Plan: p.Model, Est: p.Est, Evals: p.Evals, Pruned: p.Pruned, SavedEvals: p.SavedEvals}
+	if explain && ex != nil {
+		res.Explain = ex.Opt
+	}
+	resp := BuildPlanResponse(version, res)
+	resp.Strategy = req.Strategy
+	if explain && ex != nil {
+		resp.StrategyNotes = ex.Notes
+	}
+	if req.Track {
+		id, rerr := s.registerSession(profile, req, res, version, frontier, keys)
+		if rerr != nil {
+			writeError(w, http.StatusInternalServerError, rerr)
+			return
+		}
+		resp.SessionID = id
+	}
+	body, merr := json.Marshal(resp)
+	if merr != nil {
+		writeError(w, http.StatusInternalServerError, merr)
+		return
+	}
+	if !req.Track && !explain {
+		s.cache.put(key, body)
+	}
+	writeBody(w, http.StatusOK, body)
+}

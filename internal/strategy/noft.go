@@ -1,0 +1,133 @@
+package strategy
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"sompi/internal/cloud"
+	"sompi/internal/model"
+	"sompi/internal/opt"
+)
+
+// NoFTParams shape the "noft" strategy.
+type NoFTParams struct {
+	// BidMultiple scales the on-demand price into the bid: 1.0 bids
+	// exactly on-demand (interruptions possible but rare), higher values
+	// buy more availability with money.
+	BidMultiple float64
+	// Replicas runs the application on that many distinct markets at
+	// once: still no checkpoints, but one surviving replica finishes the
+	// run.
+	Replicas int
+	// Slack is the deadline fraction reserved when sizing the backstop.
+	Slack float64
+}
+
+// NoFT is ride-out provisioning in the spirit of arXiv:2003.13846: no
+// checkpoints, no φ(P) cadence — the entire fault-tolerance budget is
+// spent on a high bid instead, and an out-of-bid event loses all
+// progress and falls back to the on-demand backstop. Against calm
+// markets this wins exactly the checkpoint overhead sompi pays; against
+// spike storms it re-runs from zero.
+type NoFT struct {
+	hosted
+	Params NoFTParams
+}
+
+var noftSpecs = []ParamSpec{
+	{Name: "bid_multiple", Type: "float", Default: 1.0, Min: 0.1, Max: 10, Doc: "bid as a multiple of the instance's on-demand price"},
+	{Name: "replicas", Type: "int", Default: 1, Min: 1, Max: 4, Doc: "distinct markets run in parallel (no checkpoints either way)"},
+	{Name: "slack", Type: "float", Default: 0.2, Min: 0, Max: 0.9, Doc: "deadline fraction reserved when sizing the backstop"},
+}
+
+func init() {
+	register(Descriptor{
+		Name:    "noft",
+		Summary: "ride-out provisioning: high-bid spot, zero checkpoint overhead, on-demand fallback",
+		Params:  noftSpecs,
+		New: func(params map[string]float64) (Strategy, error) {
+			p, err := decodeParams("noft", noftSpecs, params)
+			if err != nil {
+				return nil, err
+			}
+			return &NoFT{Params: NoFTParams{
+				BidMultiple: p["bid_multiple"],
+				Replicas:    int(p["replicas"]),
+				Slack:       p["slack"],
+			}}, nil
+		},
+	})
+}
+
+// Name implements Strategy.
+func (s *NoFT) Name() string { return "noft" }
+
+// Plan implements Strategy: rank every candidate market by the expected
+// cost of running bare on it (bid = BidMultiple × on-demand, interval =
+// T, i.e. never checkpoint), take the best Replicas distinct markets,
+// back them with the cheapest deadline-feasible on-demand fleet.
+func (s *NoFT) Plan(ctx context.Context, view cloud.MarketView, w Workload, d Deadline) (Plan, *Explain, error) {
+	if err := ctx.Err(); err != nil {
+		return Plan{}, nil, err
+	}
+	backstop, err := opt.SelectOnDemand(view.Catalog(), w.Profile, d.Hours, s.Params.Slack)
+	if err != nil {
+		return Plan{}, nil, err
+	}
+
+	type ranked struct {
+		gp       model.GroupPlan
+		cost     float64
+		feasible bool
+	}
+	var cands []ranked
+	for _, key := range s.keysOf(view) {
+		it, ok := view.Catalog().ByName(key.Type)
+		if !ok {
+			continue
+		}
+		tr, ok := view.TraceFor(key)
+		if !ok || tr.Len() == 0 {
+			continue
+		}
+		g := model.NewGroup(w.Profile, it, key.Zone, tr)
+		gp := model.GroupPlan{Group: g, Bid: s.Params.BidMultiple * it.OnDemand, Interval: float64(g.T)}
+		est := model.Evaluate(model.Plan{Groups: []model.GroupPlan{gp}, Recovery: backstop})
+		cands = append(cands, ranked{gp: gp, cost: est.Cost, feasible: est.Time <= d.Hours})
+	}
+	// Feasible before infeasible, then by cost; ties broken by key so the
+	// ranking is deterministic whatever order keysOf produced.
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.feasible != b.feasible {
+			return a.feasible
+		}
+		if a.cost != b.cost {
+			return a.cost < b.cost
+		}
+		return keyLess(a.gp.Group.Key, b.gp.Group.Key)
+	})
+
+	ex := &Explain{}
+	plan := model.Plan{Recovery: backstop}
+	for _, c := range cands {
+		if len(plan.Groups) >= s.Params.Replicas {
+			break
+		}
+		plan.Groups = append(plan.Groups, c.gp)
+		ex.Notes = append(ex.Notes, fmt.Sprintf("replica on %s bid $%.3f/h (%.1f× on-demand), no checkpoints",
+			c.gp.Group.Key, c.gp.Bid, s.Params.BidMultiple))
+	}
+	if len(plan.Groups) == 0 {
+		ex.Notes = append(ex.Notes, "no usable spot market: pure backstop execution")
+	}
+	return Plan{Model: plan, Est: model.Evaluate(plan)}, ex, nil
+}
+
+func keyLess(a, b cloud.MarketKey) bool {
+	if a.Type != b.Type {
+		return a.Type < b.Type
+	}
+	return a.Zone < b.Zone
+}

@@ -1,0 +1,60 @@
+package strategy
+
+import (
+	"context"
+
+	"sompi/internal/cloud"
+	"sompi/internal/opt"
+)
+
+// PlanOption configures one PlanWith call.
+type PlanOption func(*planSettings)
+
+type planSettings struct {
+	name       string
+	params     map[string]float64
+	candidates []cloud.MarketKey
+	reuse      *opt.ReuseCache
+	explain    bool
+}
+
+// WithStrategy selects a registered strategy by name with the given
+// parameters (nil = defaults). Omitting the option — or the empty name —
+// plans with the default "sompi" strategy.
+func WithStrategy(name string, params map[string]float64) PlanOption {
+	return func(s *planSettings) { s.name, s.params = name, params }
+}
+
+// WithCandidates restricts planning to the given (type, zone) markets.
+func WithCandidates(keys ...cloud.MarketKey) PlanOption {
+	return func(s *planSettings) { s.candidates = keys }
+}
+
+// WithReuse shares an optimizer memoization cache across calls.
+func WithReuse(r *opt.ReuseCache) PlanOption {
+	return func(s *planSettings) { s.reuse = r }
+}
+
+// WithExplain asks for the strategy's decision trail.
+func WithExplain() PlanOption {
+	return func(s *planSettings) { s.explain = true }
+}
+
+// PlanWith is the one-call planning entry point the v1 facade builds on:
+// resolve a strategy, configure host plumbing, plan. With no options it
+// is exactly the default sompi plan.
+func PlanWith(ctx context.Context, view cloud.MarketView, w Workload, d Deadline, opts ...PlanOption) (Plan, *Explain, error) {
+	var s planSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	st, err := New(s.name, s.params)
+	if err != nil {
+		return Plan{}, nil, err
+	}
+	Configure(st, s.candidates, s.reuse)
+	if so, ok := st.(*SOMPI); ok {
+		so.Explain = s.explain
+	}
+	return st.Plan(ctx, view, w, d)
+}

@@ -1,0 +1,170 @@
+package strategy
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"sompi/internal/cloud"
+	"sompi/internal/model"
+	"sompi/internal/opt"
+	"sompi/internal/trace"
+)
+
+// PortfolioParams shape the "portfolio" strategy's contract ladder.
+type PortfolioParams struct {
+	// Contracts is how many (spot market, bid price) options the
+	// portfolio holds, each on a distinct market.
+	Contracts int
+	// HighQuantile and LowQuantile bound the bid ladder: contract i bids
+	// the q_i-quantile of its market's trailing price history, with q
+	// spaced evenly from HighQuantile (the reliable anchor contract) down
+	// to LowQuantile (the cheap opportunistic one).
+	HighQuantile float64
+	LowQuantile  float64
+	// Slack is the deadline fraction reserved when sizing the on-demand
+	// backstop.
+	Slack float64
+}
+
+// Portfolio bids a mix of (spot market, bid price) options with an
+// on-demand backstop — the contract-portfolio family of arXiv:1811.12901.
+// Where sompi searches bids jointly on a logarithmic grid, the portfolio
+// fixes a quantile ladder up front: the anchor contract bids near the
+// top of the observed price distribution (rarely interrupted), lower
+// rungs bid cheaper quantiles on other markets, and the backstop is the
+// cheapest deadline-feasible on-demand fleet. Groups checkpoint at φ(P).
+type Portfolio struct {
+	hosted
+	Params PortfolioParams
+}
+
+var portfolioSpecs = []ParamSpec{
+	{Name: "contracts", Type: "int", Default: 3, Min: 1, Max: 5, Doc: "(market, bid) options held, each on a distinct market"},
+	{Name: "high_quantile", Type: "float", Default: 0.97, Min: 0.5, Max: 1, Doc: "bid quantile of the anchor contract"},
+	{Name: "low_quantile", Type: "float", Default: 0.60, Min: 0.05, Max: 1, Doc: "bid quantile of the cheapest rung"},
+	{Name: "slack", Type: "float", Default: 0.2, Min: 0, Max: 0.9, Doc: "deadline fraction reserved when sizing the backstop"},
+}
+
+func init() {
+	register(Descriptor{
+		Name:    "portfolio",
+		Summary: "contract portfolio: a quantile ladder of (market, bid) options with an on-demand backstop",
+		Params:  portfolioSpecs,
+		New: func(params map[string]float64) (Strategy, error) {
+			p, err := decodeParams("portfolio", portfolioSpecs, params)
+			if err != nil {
+				return nil, err
+			}
+			if p["low_quantile"] > p["high_quantile"] {
+				return nil, fmt.Errorf("%w: portfolio low_quantile %g > high_quantile %g",
+					opt.ErrInvalidConfig, p["low_quantile"], p["high_quantile"])
+			}
+			return &Portfolio{Params: PortfolioParams{
+				Contracts:    int(p["contracts"]),
+				HighQuantile: p["high_quantile"],
+				LowQuantile:  p["low_quantile"],
+				Slack:        p["slack"],
+			}}, nil
+		},
+	})
+}
+
+// Name implements Strategy.
+func (s *Portfolio) Name() string { return "portfolio" }
+
+// Plan implements Strategy.
+func (s *Portfolio) Plan(ctx context.Context, view cloud.MarketView, w Workload, d Deadline) (Plan, *Explain, error) {
+	if err := ctx.Err(); err != nil {
+		return Plan{}, nil, err
+	}
+	backstop, err := opt.SelectOnDemand(view.Catalog(), w.Profile, d.Hours, s.Params.Slack)
+	if err != nil {
+		return Plan{}, nil, err
+	}
+	ex := &Explain{}
+
+	// The bid ladder, most reliable rung first.
+	quantiles := make([]float64, s.Params.Contracts)
+	for i := range quantiles {
+		q := s.Params.HighQuantile
+		if s.Params.Contracts > 1 {
+			q -= (s.Params.HighQuantile - s.Params.LowQuantile) * float64(i) / float64(s.Params.Contracts-1)
+		}
+		quantiles[i] = q
+	}
+
+	plan := model.Plan{Recovery: backstop}
+	used := make(map[cloud.MarketKey]bool)
+	for _, q := range quantiles {
+		gp, pick := s.pickContract(view, w, d, backstop, q, used)
+		if !pick {
+			break // fewer live markets than rungs: hold a shorter portfolio
+		}
+		used[gp.Group.Key] = true
+		plan.Groups = append(plan.Groups, gp)
+		ex.Notes = append(ex.Notes, fmt.Sprintf("rung q=%.2f: %s bid $%.3f/h interval %.2fh",
+			q, gp.Group.Key, gp.Bid, gp.Interval))
+	}
+	if len(plan.Groups) == 0 {
+		ex.Notes = append(ex.Notes, "no usable spot market: pure backstop execution")
+	}
+	return Plan{Model: plan, Est: model.Evaluate(plan)}, ex, nil
+}
+
+// pickContract chooses the best market for one ladder rung: among unused
+// markets, the single-group-plus-backstop plan with the lowest expected
+// cost, preferring deadline-feasible choices. Bids below the rung's
+// quantile are what make the lower rungs cheap — and interruptible.
+func (s *Portfolio) pickContract(view cloud.MarketView, w Workload, d Deadline, backstop model.OnDemand, q float64, used map[cloud.MarketKey]bool) (model.GroupPlan, bool) {
+	var best model.GroupPlan
+	bestCost := math.Inf(1)
+	bestFeasible := false
+	found := false
+	for _, key := range s.keysOf(view) {
+		if used[key] {
+			continue
+		}
+		it, ok := view.Catalog().ByName(key.Type)
+		if !ok {
+			continue
+		}
+		tr, ok := view.TraceFor(key)
+		if !ok || tr.Len() == 0 {
+			continue
+		}
+		bid := quantilePrice(tr, q)
+		if bid <= 0 {
+			continue
+		}
+		g := model.NewGroup(w.Profile, it, key.Zone, tr)
+		gp := model.GroupPlan{Group: g, Bid: bid, Interval: opt.Phi(g, bid)}
+		est := model.Evaluate(model.Plan{Groups: []model.GroupPlan{gp}, Recovery: backstop})
+		feasible := est.Time <= d.Hours
+		switch {
+		case feasible && !bestFeasible,
+			feasible == bestFeasible && est.Cost < bestCost:
+			best, bestCost, bestFeasible, found = gp, est.Cost, feasible, true
+		}
+	}
+	return best, found
+}
+
+// quantilePrice reports the q-quantile of the trace's retained samples
+// (nearest-rank on the sorted copy).
+func quantilePrice(tr *trace.Trace, q float64) float64 {
+	if tr.Len() == 0 {
+		return 0
+	}
+	ps := append([]float64(nil), tr.Prices...)
+	sort.Float64s(ps)
+	idx := int(math.Ceil(q*float64(len(ps)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ps) {
+		idx = len(ps) - 1
+	}
+	return ps[idx]
+}

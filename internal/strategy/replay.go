@@ -1,0 +1,45 @@
+package strategy
+
+import (
+	"context"
+	"math"
+
+	"sompi/internal/cloud"
+	"sompi/internal/model"
+	"sompi/internal/opt"
+	"sompi/internal/replay"
+)
+
+// Replay adapts a planning strategy to the replay engine so baselines,
+// Monte Carlo evaluation and the tournament can execute it against price
+// history. m must be the full market; history is the trailing window each
+// (re)plan trains on (0 = DefaultHistory).
+//
+// The sompi strategy becomes the paper's Algorithm 1 adaptive loop — the
+// same opt.Adaptive used everywhere else, so replays of the default
+// strategy are bit-identical to the existing SOMPI baseline. Every other
+// strategy plans once from history at the start point and runs that plan
+// to completion, which is faithful to what those policies are: contract
+// portfolios and ride-out provisioning commit up front.
+func Replay(s Strategy, m cloud.MarketView, history float64) replay.Strategy {
+	if history <= 0 {
+		history = DefaultHistory
+	}
+	if so, ok := s.(*SOMPI); ok {
+		cfg := so.config(m, Workload{}, Deadline{})
+		cfg.Explain = false // per-window explain trails would be discarded
+		return &opt.Adaptive{Base: cfg, History: history, Label: so.Name()}
+	}
+	return replay.FixedPlan{
+		Label: s.Name(),
+		Provider: func(r *replay.Runner, deadline, start float64) (model.Plan, error) {
+			lo := math.Max(0, start-history)
+			view := m.Window(lo, start-lo)
+			p, _, err := s.Plan(context.Background(), view, Workload{Profile: r.Profile}, Deadline{Hours: deadline})
+			if err != nil {
+				return model.Plan{}, err
+			}
+			return p.Model, nil
+		},
+	}
+}

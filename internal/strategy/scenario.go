@@ -1,0 +1,146 @@
+package strategy
+
+import (
+	"errors"
+	"fmt"
+
+	"sompi/internal/cloud"
+	"sompi/internal/replay"
+	"sompi/internal/stats"
+	"sompi/internal/trace"
+)
+
+// ErrUnknownScenario reports a scenario name absent from the catalog.
+var ErrUnknownScenario = errors.New("strategy: unknown scenario")
+
+// Scenario is a named market-and-billing regime to evaluate strategies
+// under. Each scenario owns a deterministic market generator (a variation
+// of cloud.GenerateMarket's regime-switching model) plus the billing and
+// interruption-notice rules the replayer should apply. The catalog is
+// fixed at init time, like the strategy registry: tournaments, metric
+// labels and reports all enumerate it.
+type Scenario struct {
+	// Name is the catalog key ("realistic", "spike-storm", ...).
+	Name string `json:"name"`
+	// Summary is a one-line description of the regime.
+	Summary string `json:"summary"`
+	// Billing is the spot accounting rule replays use.
+	Billing replay.SpotBilling `json:"billing"`
+	// NoticeHours is the advance interruption warning (0 = none; 1.0/30
+	// models EC2's 2-minute notice).
+	NoticeHours float64 `json:"notice_hours,omitempty"`
+
+	// Market-shape knobs, applied on top of cloud.ModelFor:
+
+	// RateScale multiplies every market's volatile-episode rate
+	// (0 is treated as 1 = unchanged).
+	RateScale float64 `json:"rate_scale,omitempty"`
+	// SpikeShift is added to every market's log-normal spike location
+	// parameter (μ): positive = taller repricing spikes.
+	SpikeShift float64 `json:"spike_shift,omitempty"`
+	// QuietZone, if non-empty, silences that zone's volatile regime
+	// entirely and halves its calm jitter.
+	QuietZone string `json:"quiet_zone,omitempty"`
+}
+
+// scenarios is the built-in catalog in registration order. "realistic"
+// generates traces identical to cloud.GenerateMarket for the same seed —
+// the tournament's anchor cell.
+var scenarios = []Scenario{
+	{
+		Name:    "optimistic",
+		Summary: "calm 2014 market: rare, shallow repricing episodes; hourly billing",
+		Billing: replay.BillingHourly, RateScale: 0.25, SpikeShift: -0.5,
+	},
+	{
+		Name:    "realistic",
+		Summary: "the paper's market model as-is; hourly billing with out-of-bid refunds",
+		Billing: replay.BillingHourly,
+	},
+	{
+		Name:    "spike-storm",
+		Summary: "turbulent market: 3x episode rate and taller spikes; hourly billing",
+		Billing: replay.BillingHourly, RateScale: 3, SpikeShift: 0.6,
+	},
+	{
+		Name:    "quiet-az",
+		Summary: "one availability zone (us-east-1a) never spikes — rewards zone selection",
+		Billing: replay.BillingHourly, QuietZone: cloud.ZoneA,
+	},
+	{
+		Name:    "per-second",
+		Summary: "the realistic market under modern per-second billing (no hour rounding, no refunds)",
+		Billing: replay.BillingContinuous,
+	},
+	{
+		Name:    "notice-2m",
+		Summary: "per-second billing plus a 2-minute interruption notice usable for emergency checkpoints",
+		Billing: replay.BillingContinuous, NoticeHours: 1.0 / 30,
+	},
+}
+
+// Scenarios returns the scenario catalog in registration order.
+func Scenarios() []Scenario {
+	out := make([]Scenario, len(scenarios))
+	copy(out, scenarios)
+	return out
+}
+
+// ScenarioNames returns the catalog's names in registration order.
+func ScenarioNames() []string {
+	out := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// LookupScenario finds a scenario by exact name; the empty name resolves
+// to "realistic".
+func LookupScenario(name string) (Scenario, bool) {
+	if name == "" {
+		name = "realistic"
+	}
+	for _, s := range scenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// NewScenario resolves a name or reports ErrUnknownScenario.
+func NewScenario(name string) (Scenario, error) {
+	s, ok := LookupScenario(name)
+	if !ok {
+		return Scenario{}, fmt.Errorf("%w: %q (have %v)", ErrUnknownScenario, name, ScenarioNames())
+	}
+	return s, nil
+}
+
+// Market synthesizes the scenario's price history for the default catalog
+// and zones, deterministically from seed. It mirrors
+// cloud.GenerateMarket's iteration and stream-splitting discipline exactly
+// so that a scenario with no shape knobs set reproduces its traces
+// bit-for-bit from the same seed.
+func (s Scenario) Market(hours float64, seed uint64) *cloud.Market {
+	cat := cloud.DefaultCatalog()
+	zones := cloud.DefaultZones()
+	root := stats.NewRNG(seed)
+	traces := make(map[cloud.MarketKey]*trace.Trace)
+	for _, it := range cat {
+		for _, z := range zones {
+			m := cloud.ModelFor(it, z)
+			if s.RateScale > 0 {
+				m.VolatileRate *= s.RateScale
+			}
+			m.SpikeMu += s.SpikeShift
+			if s.QuietZone != "" && z == s.QuietZone {
+				m.VolatileRate = 0
+				m.Jitter /= 2
+			}
+			traces[cloud.MarketKey{Type: it.Name, Zone: z}] = m.Generate(root.Split(), hours)
+		}
+	}
+	return cloud.NewMarket(cat, zones, traces)
+}

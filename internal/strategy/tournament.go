@@ -1,0 +1,335 @@
+package strategy
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"sompi/internal/app"
+	"sompi/internal/cloud"
+	"sompi/internal/opt"
+	"sompi/internal/replay"
+	"sompi/internal/stats"
+)
+
+// ReportSchemaVersion identifies the tournament report's JSON shape.
+// Bump it on any field change; CI's tournament-smoke step fails when the
+// emitted schema no longer matches what it expects.
+const ReportSchemaVersion = 1
+
+// TournamentConfig selects the grid a tournament evaluates: every
+// (strategy, workload, deadline factor, scenario) cell is Monte
+// Carlo-replayed Runs times. Zero-valued fields take defaults that cover
+// the whole built-in catalog.
+type TournamentConfig struct {
+	// Strategies are registry names (default: all registered).
+	Strategies []string `json:"strategies"`
+	// Scenarios are catalog names (default: all scenarios).
+	Scenarios []string `json:"scenarios"`
+	// Workloads are NPB application names (default: BT and FT).
+	Workloads []string `json:"workloads"`
+	// DeadlineFactors multiply each workload's fastest on-demand
+	// execution time into a deadline (default: 1.5 and 3).
+	DeadlineFactors []float64 `json:"deadline_factors"`
+	// Runs is the number of Monte Carlo replications per cell.
+	Runs int `json:"runs"`
+	// Hours is the generated market length per scenario.
+	Hours float64 `json:"hours"`
+	// History is the training window ahead of each start point.
+	History float64 `json:"history"`
+	// Seed drives every random choice; a fixed seed fixes the report.
+	Seed uint64 `json:"seed"`
+	// Workers sizes the cell worker pool (0 = GOMAXPROCS). The report is
+	// identical at every worker count.
+	Workers int `json:"-"`
+	// Params optionally overrides strategy parameters by strategy name.
+	Params map[string]map[string]float64 `json:"params,omitempty"`
+}
+
+func (c TournamentConfig) withDefaults() TournamentConfig {
+	if len(c.Strategies) == 0 {
+		c.Strategies = Names()
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = ScenarioNames()
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"BT", "FT"}
+	}
+	if len(c.DeadlineFactors) == 0 {
+		c.DeadlineFactors = []float64{1.5, 3}
+	}
+	if c.Runs <= 0 {
+		c.Runs = 20
+	}
+	if c.Hours <= 0 {
+		c.Hours = 480
+	}
+	if c.History <= 0 {
+		c.History = DefaultHistory
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Cell is one grid point's Monte Carlo outcome.
+type Cell struct {
+	Strategy       string  `json:"strategy"`
+	Scenario       string  `json:"scenario"`
+	Workload       string  `json:"workload"`
+	DeadlineFactor float64 `json:"deadline_factor"`
+	DeadlineHours  float64 `json:"deadline_hours"`
+	// CostMean/CostStd/HoursMean summarize the replications.
+	CostMean  float64 `json:"cost_mean"`
+	CostStd   float64 `json:"cost_std"`
+	HoursMean float64 `json:"hours_mean"`
+	// NormCost is CostMean normalized by the fastest on-demand fleet's
+	// full-run cost — the paper's Baseline normalization.
+	NormCost float64 `json:"norm_cost"`
+	// MissRate is the deadline-miss fraction; Score folds it into the
+	// ranking objective (NormCost + 10×MissRate).
+	MissRate float64 `json:"miss_rate"`
+	Score    float64 `json:"score"`
+	Runs     int     `json:"runs"`
+	Failures int     `json:"failures"`
+}
+
+// Ranking is one strategy's aggregate standing across all cells.
+type Ranking struct {
+	Rank         int     `json:"rank"`
+	Strategy     string  `json:"strategy"`
+	MeanScore    float64 `json:"mean_score"`
+	MeanNormCost float64 `json:"mean_norm_cost"`
+	MeanMissRate float64 `json:"mean_miss_rate"`
+	Cells        int     `json:"cells"`
+}
+
+// Report is a complete tournament result. For a fixed config it is
+// byte-identical across runs and worker counts.
+type Report struct {
+	SchemaVersion int              `json:"schema_version"`
+	Config        TournamentConfig `json:"config"`
+	Cells         []Cell           `json:"cells"`
+	Rankings      []Ranking        `json:"rankings"`
+}
+
+// Tournament Monte Carlo-evaluates every configured (strategy, workload,
+// deadline, scenario) cell and ranks the strategies by mean score.
+//
+// Determinism: cells are enumerated in a canonical scenario-major order;
+// each scenario's market derives from stats.StreamRNG(Seed, scenario
+// index) and each cell's replication seed from StreamRNG(Seed, cell
+// index + 1<<16), so the report depends only on the config — never on
+// worker scheduling. Workers parallelize whole cells and write into a
+// position-indexed slice.
+func Tournament(ctx context.Context, cfg TournamentConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+
+	// Resolve everything up front so a misconfigured grid fails fast.
+	type cellJob struct {
+		idx                int
+		strategy, scenario string
+		workload           string
+		factor             float64
+	}
+	var jobs []cellJob
+	for _, sc := range cfg.Scenarios {
+		if _, err := NewScenario(sc); err != nil {
+			return nil, err
+		}
+		for _, wl := range cfg.Workloads {
+			if _, ok := app.ByName(wl); !ok {
+				return nil, fmt.Errorf("%w: unknown workload %q", opt.ErrInvalidConfig, wl)
+			}
+			for _, f := range cfg.DeadlineFactors {
+				if f <= 0 {
+					return nil, fmt.Errorf("%w: non-positive deadline factor %v", opt.ErrInvalidConfig, f)
+				}
+				for _, st := range cfg.Strategies {
+					if _, err := New(st, cfg.Params[st]); err != nil {
+						return nil, err
+					}
+					jobs = append(jobs, cellJob{
+						idx: len(jobs), strategy: st, scenario: sc, workload: wl, factor: f,
+					})
+				}
+			}
+		}
+	}
+
+	// One market per scenario, shared by all its cells.
+	markets := make(map[string]*marketBundle, len(cfg.Scenarios))
+	for si, name := range cfg.Scenarios {
+		sc, _ := LookupScenario(name)
+		markets[name] = &marketBundle{
+			scenario: sc,
+			market:   sc.Market(cfg.Hours, stats.StreamRNG(cfg.Seed, uint64(si)).Uint64()),
+		}
+	}
+
+	cells := make([]Cell, len(jobs))
+	jobCh := make(chan cellJob)
+	errOnce := sync.Once{}
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				cell, err := runCell(ctx, cfg, markets[job.scenario], job.strategy, job.workload, job.factor, uint64(job.idx))
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				cells[job.idx] = cell
+			}
+		}()
+	}
+	for _, job := range jobs {
+		jobCh <- job
+	}
+	close(jobCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	return &Report{
+		SchemaVersion: ReportSchemaVersion,
+		Config:        cfg,
+		Cells:         cells,
+		Rankings:      rank(cfg.Strategies, cells),
+	}, nil
+}
+
+type marketBundle struct {
+	scenario Scenario
+	market   cloud.MarketView
+}
+
+// runCell Monte Carlo-replays one grid point.
+func runCell(ctx context.Context, cfg TournamentConfig, mb *marketBundle, stName, wlName string, factor float64, cellIdx uint64) (Cell, error) {
+	profile, _ := app.ByName(wlName)
+	fastest := opt.FastestOnDemand(nil, profile)
+	deadline := fastest.T * factor
+
+	st, err := New(stName, cfg.Params[stName])
+	if err != nil {
+		return Cell{}, err
+	}
+	runner := &replay.Runner{
+		Market:      mb.market,
+		Profile:     profile,
+		Billing:     mb.scenario.Billing,
+		NoticeHours: mb.scenario.NoticeHours,
+	}
+	mc, err := replay.MonteCarloContext(ctx, Replay(st, mb.market, cfg.History), runner, replay.MCConfig{
+		Deadline: deadline,
+		Runs:     cfg.Runs,
+		History:  cfg.History,
+		// Cell seeds live in their own stream block so they can never
+		// collide with the scenario market seeds.
+		Seed: stats.StreamRNG(cfg.Seed, cellIdx+1<<16).Uint64(),
+		// The cell pool owns the parallelism; serial replications inside
+		// a cell keep per-cell wall time proportional to Runs.
+		Workers: 1,
+	})
+	if err != nil {
+		return Cell{}, fmt.Errorf("cell %s/%s/%s×%g: %w", stName, mb.scenario.Name, wlName, factor, err)
+	}
+
+	cell := Cell{
+		Strategy:       stName,
+		Scenario:       mb.scenario.Name,
+		Workload:       wlName,
+		DeadlineFactor: factor,
+		DeadlineHours:  deadline,
+		CostMean:       mc.Cost.Mean(),
+		CostStd:        mc.Cost.Std(),
+		HoursMean:      mc.Hours.Mean(),
+		MissRate:       mc.MissRate(),
+		Runs:           mc.Runs,
+		Failures:       mc.Failures,
+	}
+	if base := fastest.FullCost(); base > 0 {
+		cell.NormCost = cell.CostMean / base
+	}
+	cell.Score = cell.NormCost + 10*cell.MissRate
+	return cell, nil
+}
+
+// rank aggregates cells per strategy and orders by mean score ascending,
+// ties broken by name.
+func rank(strategies []string, cells []Cell) []Ranking {
+	byName := make(map[string]*Ranking, len(strategies))
+	order := make([]*Ranking, 0, len(strategies))
+	for _, s := range strategies {
+		r := &Ranking{Strategy: s}
+		byName[s] = r
+		order = append(order, r)
+	}
+	for _, c := range cells {
+		r := byName[c.Strategy]
+		r.MeanScore += c.Score
+		r.MeanNormCost += c.NormCost
+		r.MeanMissRate += c.MissRate
+		r.Cells++
+	}
+	for _, r := range order {
+		if r.Cells > 0 {
+			n := float64(r.Cells)
+			r.MeanScore /= n
+			r.MeanNormCost /= n
+			r.MeanMissRate /= n
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].MeanScore != order[j].MeanScore {
+			return order[i].MeanScore < order[j].MeanScore
+		}
+		return order[i].Strategy < order[j].Strategy
+	})
+	out := make([]Ranking, len(order))
+	for i, r := range order {
+		r.Rank = i + 1
+		out[i] = *r
+	}
+	return out
+}
+
+// Markdown renders the report as the TOURNAMENT.md document: the ranking
+// table first, then every cell.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# Strategy tournament\n\n")
+	fmt.Fprintf(&b, "Schema v%d — seed %d, %d runs/cell, %gh markets, %d cells.\n",
+		r.SchemaVersion, r.Config.Seed, r.Config.Runs, r.Config.Hours, len(r.Cells))
+	b.WriteString("Score = normalized cost + 10 × deadline-miss rate (lower is better).\n\n")
+
+	b.WriteString("## Ranking\n\n")
+	b.WriteString("| rank | strategy | mean score | mean norm. cost | mean miss rate | cells |\n")
+	b.WriteString("|-----:|----------|-----------:|----------------:|---------------:|------:|\n")
+	for _, rk := range r.Rankings {
+		fmt.Fprintf(&b, "| %d | %s | %.4f | %.4f | %.3f | %d |\n",
+			rk.Rank, rk.Strategy, rk.MeanScore, rk.MeanNormCost, rk.MeanMissRate, rk.Cells)
+	}
+
+	b.WriteString("\n## Cells\n\n")
+	b.WriteString("| scenario | workload | deadline | strategy | cost $ | norm. | miss | runs | errors |\n")
+	b.WriteString("|----------|----------|---------:|----------|-------:|------:|-----:|-----:|-------:|\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "| %s | %s | %.1fh (×%g) | %s | %.0f ±%.0f | %.3f | %.2f | %d | %d |\n",
+			c.Scenario, c.Workload, c.DeadlineHours, c.DeadlineFactor, c.Strategy,
+			c.CostMean, c.CostStd, c.NormCost, c.MissRate, c.Runs, c.Failures)
+	}
+	return b.String()
+}

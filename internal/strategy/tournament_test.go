@@ -1,0 +1,140 @@
+package strategy_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"sompi/internal/strategy"
+)
+
+// smallTournament is a seconds-scale grid covering every strategy and
+// every scenario: one workload, one deadline, few replications, reduced
+// search knobs.
+func smallTournament(workers int) strategy.TournamentConfig {
+	return strategy.TournamentConfig{
+		Workloads:       []string{"BT"},
+		DeadlineFactors: []float64{2},
+		Runs:            3,
+		Hours:           testHours,
+		Seed:            testSeed,
+		Workers:         workers,
+		Params: map[string]map[string]float64{
+			"sompi":         smallKnobs,
+			"adaptive-ckpt": smallKnobs,
+		},
+	}
+}
+
+// TestTournamentDeterministic is the ranking-report contract: a fixed
+// seed produces byte-identical reports across repeated runs and across
+// worker counts. Run with -race to exercise the cell worker pool.
+func TestTournamentDeterministic(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 1, 3, 8} {
+		rep, err := strategy.Tournament(context.Background(), smallTournament(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("workers=%d report differs:\n got: %s\nwant: %s", workers, got, want)
+		}
+	}
+}
+
+// TestTournamentReportShape checks the grid covers every (strategy,
+// scenario) pairing, cells are finite, and rankings aggregate them.
+func TestTournamentReportShape(t *testing.T) {
+	rep, err := strategy.Tournament(context.Background(), smallTournament(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != strategy.ReportSchemaVersion {
+		t.Fatalf("schema version %d, want %d", rep.SchemaVersion, strategy.ReportSchemaVersion)
+	}
+	nStrat, nScen := len(strategy.Names()), len(strategy.ScenarioNames())
+	if len(rep.Cells) != nStrat*nScen {
+		t.Fatalf("%d cells, want %d strategies x %d scenarios", len(rep.Cells), nStrat, nScen)
+	}
+	seen := map[[2]string]bool{}
+	for _, c := range rep.Cells {
+		seen[[2]string{c.Strategy, c.Scenario}] = true
+		if c.Runs != 3 {
+			t.Fatalf("cell %s/%s runs = %d", c.Strategy, c.Scenario, c.Runs)
+		}
+		if c.CostMean <= 0 || c.NormCost <= 0 {
+			t.Fatalf("cell %s/%s cost %v norm %v", c.Strategy, c.Scenario, c.CostMean, c.NormCost)
+		}
+		if c.MissRate < 0 || c.MissRate > 1 {
+			t.Fatalf("cell %s/%s miss rate %v", c.Strategy, c.Scenario, c.MissRate)
+		}
+	}
+	if len(seen) != nStrat*nScen {
+		t.Fatalf("grid has duplicates: %d unique pairings of %d cells", len(seen), len(rep.Cells))
+	}
+	if len(rep.Rankings) != nStrat {
+		t.Fatalf("%d rankings, want %d", len(rep.Rankings), nStrat)
+	}
+	for i, r := range rep.Rankings {
+		if r.Rank != i+1 {
+			t.Fatalf("ranking %d has rank %d", i, r.Rank)
+		}
+		if i > 0 && r.MeanScore < rep.Rankings[i-1].MeanScore {
+			t.Fatalf("rankings not sorted: %v then %v", rep.Rankings[i-1].MeanScore, r.MeanScore)
+		}
+		if r.Cells != nScen {
+			t.Fatalf("ranking %s covers %d cells, want %d", r.Strategy, r.Cells, nScen)
+		}
+	}
+	// The markdown rendering must mention every strategy.
+	md := rep.Markdown()
+	for _, name := range strategy.Names() {
+		if !strings.Contains(md, name) {
+			t.Fatalf("markdown report missing strategy %q", name)
+		}
+	}
+}
+
+// TestTournamentValidatesGrid checks up-front rejection of bad grids.
+func TestTournamentValidatesGrid(t *testing.T) {
+	cfg := smallTournament(1)
+	cfg.Strategies = []string{"no-such-strategy"}
+	if _, err := strategy.Tournament(context.Background(), cfg); !errors.Is(err, strategy.ErrUnknownStrategy) {
+		t.Fatalf("unknown strategy: %v", err)
+	}
+	cfg = smallTournament(1)
+	cfg.Scenarios = []string{"no-such-scenario"}
+	if _, err := strategy.Tournament(context.Background(), cfg); !errors.Is(err, strategy.ErrUnknownScenario) {
+		t.Fatalf("unknown scenario: %v", err)
+	}
+	cfg = smallTournament(1)
+	cfg.Workloads = []string{"NOPE"}
+	if _, err := strategy.Tournament(context.Background(), cfg); err == nil {
+		t.Fatalf("unknown workload accepted")
+	}
+	cfg = smallTournament(1)
+	cfg.DeadlineFactors = []float64{-1}
+	if _, err := strategy.Tournament(context.Background(), cfg); err == nil {
+		t.Fatalf("negative deadline factor accepted")
+	}
+}
+
+// TestTournamentCancel checks a cancelled context aborts the run with the
+// context error rather than hanging or returning a partial report.
+func TestTournamentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := strategy.Tournament(ctx, smallTournament(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled tournament: %v", err)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"sompi/internal/opt"
 	"sompi/internal/replay"
 	"sompi/internal/report"
+	"sompi/internal/strategy"
 )
 
 // Core model types.
@@ -208,3 +209,90 @@ func Experiments() []experiments.Experiment { return experiments.Registry() }
 
 // ExperimentByID looks up one experiment (e.g. "fig5").
 func ExperimentByID(id string) (experiments.Experiment, error) { return experiments.ByID(id) }
+
+// Strategy catalog & tournament surface. A PlanStrategy is a named,
+// typed-parameter planning policy from the registry ("sompi" — the
+// default, byte-identical to OptimizeContext — plus "portfolio", "noft"
+// and "adaptive-ckpt"); PlanContext plans through one, and Tournament
+// Monte Carlo-evaluates the whole catalog across market scenarios.
+type (
+	// PlanStrategy is a named planning policy from the registry.
+	PlanStrategy = strategy.Strategy
+	// StrategyPlan is a strategy's answer: plan, estimate, search effort.
+	StrategyPlan = strategy.Plan
+	// StrategyExplain is a strategy's decision trail.
+	StrategyExplain = strategy.Explain
+	// StrategyDescriptor is one registry entry with its parameter schema.
+	StrategyDescriptor = strategy.Descriptor
+	// StrategyParamSpec is one strategy parameter's wire schema.
+	StrategyParamSpec = strategy.ParamSpec
+	// Workload is the application a strategy plans for.
+	Workload = strategy.Workload
+	// Deadline is the completion constraint a strategy plans against.
+	Deadline = strategy.Deadline
+	// PlanOption configures one PlanContext call (WithStrategy, ...).
+	PlanOption = strategy.PlanOption
+	// Scenario is a named market-and-billing regime for evaluation.
+	Scenario = strategy.Scenario
+	// TournamentConfig selects the (strategy × workload × deadline ×
+	// scenario) grid a tournament evaluates.
+	TournamentConfig = strategy.TournamentConfig
+	// TournamentReport is a deterministic tournament result.
+	TournamentReport = strategy.Report
+)
+
+// Typed sentinels of the strategy surface.
+var (
+	// ErrUnknownStrategy reports a name absent from the registry.
+	ErrUnknownStrategy = strategy.ErrUnknownStrategy
+	// ErrUnknownScenario reports a name absent from the scenario catalog.
+	ErrUnknownScenario = strategy.ErrUnknownScenario
+)
+
+// Options for PlanContext.
+var (
+	// WithStrategy selects a registered strategy by name with typed
+	// parameters (nil = defaults); omitted, PlanContext plans with the
+	// default "sompi" strategy.
+	WithStrategy = strategy.WithStrategy
+	// WithStrategyCandidates restricts planning to the given markets.
+	WithStrategyCandidates = strategy.WithCandidates
+	// WithStrategyExplain asks for the strategy's decision trail.
+	WithStrategyExplain = strategy.WithExplain
+)
+
+// Strategies lists the registered planning strategies in registration
+// order — the default, "sompi", first — with their parameter schemas.
+func Strategies() []StrategyDescriptor { return strategy.List() }
+
+// NewStrategy builds a registered strategy by name (nil params =
+// defaults). Unknown names report ErrUnknownStrategy; bad parameters
+// ErrInvalidConfig.
+func NewStrategy(name string, params map[string]float64) (PlanStrategy, error) {
+	return strategy.New(name, params)
+}
+
+// PlanContext plans one workload against a market view through a
+// registry strategy. With no options it is exactly the default sompi
+// plan — byte-identical to OptimizeContext with the same inputs.
+func PlanContext(ctx context.Context, view MarketView, w Workload, d Deadline, opts ...PlanOption) (StrategyPlan, *StrategyExplain, error) {
+	return strategy.PlanWith(ctx, view, w, d, opts...)
+}
+
+// Scenarios lists the named market scenarios tournaments evaluate
+// against (optimistic, realistic, spike-storm, quiet-az, per-second,
+// notice-2m).
+func Scenarios() []Scenario { return strategy.Scenarios() }
+
+// ReplayStrategy adapts a planning strategy to the replay engine so it
+// can be Monte Carlo-evaluated like the paper's baselines.
+func ReplayStrategy(s PlanStrategy, m MarketView, history float64) Strategy {
+	return strategy.Replay(s, m, history)
+}
+
+// Tournament Monte Carlo-evaluates every configured (strategy, workload,
+// deadline, scenario) cell and ranks the strategies. For a fixed config
+// the report is identical across runs and worker counts.
+func Tournament(ctx context.Context, cfg TournamentConfig) (*TournamentReport, error) {
+	return strategy.Tournament(ctx, cfg)
+}

@@ -66,8 +66,8 @@ func TestWorkloadsComplete(t *testing.T) {
 }
 
 func TestExperimentRegistryExposed(t *testing.T) {
-	if len(Experiments()) != 13 {
-		t.Fatalf("%d experiments, want 13", len(Experiments()))
+	if len(Experiments()) != 14 {
+		t.Fatalf("%d experiments, want 14 (13 paper artifacts + tournament)", len(Experiments()))
 	}
 	if _, err := ExperimentByID("fig5"); err != nil {
 		t.Fatal(err)
@@ -145,5 +145,69 @@ func TestFacadeV1ContextAPI(t *testing.T) {
 	sess.Advance(res.Plan, 1)
 	if sess.Windows != 1 || sess.Elapsed <= 0 {
 		t.Fatalf("session did not advance: %+v", sess)
+	}
+}
+
+// TestFacadeStrategyCatalog exercises the strategy surface: the registry
+// listing, PlanContext's parity with OptimizeContext on the default
+// strategy, named strategies with typed errors, scenarios and a tiny
+// deterministic tournament.
+func TestFacadeStrategyCatalog(t *testing.T) {
+	ds := Strategies()
+	if len(ds) < 4 || ds[0].Name != "sompi" {
+		t.Fatalf("Strategies() = %v, want >=4 with sompi first", ds)
+	}
+	if len(Scenarios()) < 4 {
+		t.Fatalf("only %d scenarios", len(Scenarios()))
+	}
+	if _, err := NewStrategy("nope", nil); !errors.Is(err, ErrUnknownStrategy) {
+		t.Fatalf("unknown strategy: %v, want ErrUnknownStrategy", err)
+	}
+
+	market := GenerateMarket(24*10, 1)
+	bt := WorkloadBT()
+	deadline := EstimateHours(bt, DefaultCatalog()[0]) * 3
+	view := market.Window(0, 96)
+	knobs := map[string]float64{"kappa": 2, "grid_levels": 3, "max_groups": 3}
+
+	p, _, err := PlanContext(context.Background(), view,
+		Workload{Profile: bt}, Deadline{Hours: deadline},
+		WithStrategy("sompi", knobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OptimizeContext(context.Background(), Config{
+		Profile: bt, Market: view, Deadline: deadline,
+		Kappa: 2, GridLevels: 3, MaxGroups: 3,
+	})
+	if err != nil || p.Est != res.Est {
+		t.Fatalf("PlanContext disagrees with OptimizeContext: %+v vs %+v (err %v)", p.Est, res.Est, err)
+	}
+
+	// A named strategy replays through the standard Monte Carlo engine.
+	st, err := NewStrategy("noft", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := MonteCarlo(ReplayStrategy(st, market, 96),
+		&Runner{Market: market, Profile: bt}, MCConfig{Deadline: deadline, Runs: 2, Seed: 1})
+	if mc.Runs != 2 || mc.Cost.Mean() <= 0 {
+		t.Fatalf("noft replay stats %+v", mc)
+	}
+
+	rep, err := Tournament(context.Background(), TournamentConfig{
+		Workloads:       []string{"BT"},
+		Scenarios:       []string{"realistic", "per-second"},
+		DeadlineFactors: []float64{2},
+		Runs:            2,
+		Hours:           150,
+		Seed:            3,
+		Params:          map[string]map[string]float64{"sompi": knobs, "adaptive-ckpt": knobs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rankings) != len(ds) || len(rep.Cells) != len(ds)*2 {
+		t.Fatalf("tournament shape: %d rankings, %d cells", len(rep.Rankings), len(rep.Cells))
 	}
 }
