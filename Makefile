@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve-smoke tournament-smoke fuzz bench obs-bench check
+.PHONY: all build vet test race serve-smoke tournament-smoke fuzz bench obs-bench bench-serve check
 
 all: check
 
@@ -55,3 +55,10 @@ bench:
 # ns/op recorded in BENCH_opt.json.
 obs-bench:
 	$(GO) run ./cmd/bench -obscheck -baseline BENCH_opt.json
+
+# Regenerate the serve-path scaling file: ingest p99 with 10k tracked
+# sessions must stay within 2x of the empty-server baseline, and one
+# T_m boundary crossing must re-optimize every session (dedup makes the
+# identical ones share a single optimizer run).
+bench-serve:
+	$(GO) run ./cmd/bench-serve -out BENCH_serve.json

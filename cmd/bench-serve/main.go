@@ -1,0 +1,297 @@
+// Command bench-serve is the serve-path scaling benchmark behind the
+// million-session claim: ingest latency must not degrade with the
+// number of registered sessions, because the batched appliers and the
+// re-optimization scheduler keep session work off the request path.
+//
+// It boots an in-process sompid handler, then runs four phases:
+//
+//  1. Baseline — single-tick /v1/prices POSTs over rotating shards with
+//     zero sessions, recording client-side p50/p99.
+//  2. Register — -sessions identical tracked plans (the plan cache and
+//     the re-opt dedup layer make the marginal session cheap).
+//  3. Loaded — repeat the phase-1 measurement with every session live;
+//     the headline gate is loaded p99 within 2x of baseline p99.
+//  4. Boundary — tick every shard across one T_m window, drain with
+//     ?sync=1, and record the drain wall time plus the scheduler's own
+//     /metrics: re-optimizations, deduped share count, lag p99 and the
+//     ingest queue high-water mark.
+//
+// The regression file is BENCH_serve.json (make bench-serve).
+//
+// Usage:
+//
+//	bench-serve [-sessions 10000] [-ingest-iters 300] [-hours 240] [-seed 7] [-window 2] [-out BENCH_serve.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"sompi/internal/cloud"
+	"sompi/internal/serve"
+)
+
+// latency is a client-side percentile pair for one ingest phase.
+type latency struct {
+	Samples int   `json:"samples"`
+	P50Ns   int64 `json:"p50_ns"`
+	P99Ns   int64 `json:"p99_ns"`
+}
+
+// boundaryResult is the phase-4 row: one T_m crossing under full load.
+type boundaryResult struct {
+	DrainSeconds     float64 `json:"drain_seconds"`
+	Reoptimizations  float64 `json:"reoptimizations_total"`
+	ReoptDeduped     float64 `json:"reopt_deduped_total"`
+	SchedulerLagP99S float64 `json:"scheduler_lag_p99_s"`
+	IngestQueuePeak  float64 `json:"ingest_queue_peak_depth"`
+}
+
+// benchFile is the BENCH_serve.json schema.
+type benchFile struct {
+	Date            string         `json:"date"`
+	CPUs            int            `json:"cpus"`
+	Sessions        int            `json:"sessions"`
+	WindowHours     float64        `json:"window_hours"`
+	Baseline        latency        `json:"ingest_baseline"`
+	Loaded          latency        `json:"ingest_loaded"`
+	P99Ratio        float64        `json:"ingest_p99_ratio"`
+	RegisterSeconds float64        `json:"register_seconds"`
+	Boundary        boundaryResult `json:"boundary"`
+}
+
+func main() {
+	sessions := flag.Int("sessions", 10000, "tracked sessions to register before the loaded phase")
+	iters := flag.Int("ingest-iters", 300, "single-tick POSTs per ingest phase")
+	hours := flag.Int("hours", 240, "market horizon in hours")
+	seed := flag.Uint64("seed", 7, "market generator seed")
+	window := flag.Float64("window", 2, "T_m re-optimization window in hours")
+	out := flag.String("out", "", "write the result JSON here (default stdout only)")
+	maxRatio := flag.Float64("maxratio", 2.0, "fail if loaded p99 exceeds this multiple of baseline p99")
+	flag.Parse()
+
+	res, err := run(*sessions, *iters, *hours, *seed, *window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Date = time.Now().UTC().Format(time.RFC3339)
+	res.CPUs = runtime.NumCPU()
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	os.Stdout.Write(blob)
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The ratio gate needs real parallelism to mean anything: on a
+	// runner with fewer than 4 cores the re-opt workers and the client
+	// time-slice one CPU, so a slow loaded phase measures the machine,
+	// not the request path (same convention as cmd/bench's scaling
+	// gate). The ratio is still recorded for the regression file.
+	if res.P99Ratio > *maxRatio {
+		if runtime.NumCPU() >= 4 {
+			log.Fatalf("ingest p99 with %d sessions is %.2fx the empty-server baseline, want <= %gx",
+				*sessions, res.P99Ratio, *maxRatio)
+		}
+		fmt.Fprintf(os.Stderr, "bench-serve: p99 ratio %.2fx exceeds %gx but only %d CPU(s) — gate skipped\n",
+			res.P99Ratio, *maxRatio, runtime.NumCPU())
+	}
+}
+
+func run(sessions, iters, hours int, seed uint64, window float64) (*benchFile, error) {
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), float64(hours), seed)
+	s, err := serve.New(serve.Config{Market: m, WindowHours: window})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	h := s.Handler()
+	do := func(method, path string, v any) (int, []byte) {
+		var body []byte
+		if v != nil {
+			var err error
+			if body, err = json.Marshal(v); err != nil {
+				log.Fatal(err)
+			}
+		}
+		req := httptest.NewRequest(method, path, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.Bytes()
+	}
+
+	keys := m.Keys()
+	tickPrice := 0.02
+	ingestPhase := func() (latency, error) {
+		var ns []int64
+		for i := 0; i < iters; i++ {
+			key := keys[i%len(keys)]
+			tickPrice += 0.0001
+			start := time.Now()
+			code, body := do(http.MethodPost, "/v1/prices", serve.PriceTick{
+				Type: key.Type, Zone: key.Zone, Prices: []float64{tickPrice},
+			})
+			switch code {
+			case http.StatusOK:
+				ns = append(ns, time.Since(start).Nanoseconds())
+			case http.StatusTooManyRequests:
+				i-- // backpressure retry; its latency is not an apply latency
+				time.Sleep(5 * time.Millisecond)
+			default:
+				return latency{}, fmt.Errorf("ingest %v: %d %s", key, code, body)
+			}
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		return latency{Samples: len(ns), P50Ns: ns[len(ns)/2], P99Ns: ns[len(ns)*99/100]}, nil
+	}
+
+	res := &benchFile{Sessions: sessions, WindowHours: window}
+	if res.Baseline, err = ingestPhase(); err != nil {
+		return nil, fmt.Errorf("baseline phase: %w", err)
+	}
+
+	plan := serve.PlanRequest{
+		App: "BT", DeadlineHours: 60,
+		Workers: 1, Kappa: 2, GridLevels: 3, MaxGroups: 3,
+		Track: true,
+	}
+	regStart := time.Now()
+	for i := 0; i < sessions; i++ {
+		if code, body := do(http.MethodPost, "/v1/plan", plan); code != http.StatusOK {
+			return nil, fmt.Errorf("registering session %d: %d %s", i, code, body)
+		}
+	}
+	res.RegisterSeconds = time.Since(regStart).Seconds()
+
+	if res.Loaded, err = ingestPhase(); err != nil {
+		return nil, fmt.Errorf("loaded phase: %w", err)
+	}
+	res.P99Ratio = float64(res.Loaded.P99Ns) / float64(res.Baseline.P99Ns)
+
+	// Phase 4: push every shard across one full T_m window, then drain.
+	// 12 samples per hour is the generator's native tick interval.
+	samplesNeeded := int(window*12) + 1
+	for _, key := range keys {
+		prices := make([]float64, samplesNeeded)
+		for i := range prices {
+			tickPrice += 0.0001
+			prices[i] = tickPrice
+		}
+		for {
+			code, body := do(http.MethodPost, "/v1/prices", serve.PriceTick{
+				Type: key.Type, Zone: key.Zone, Prices: prices,
+			})
+			if code == http.StatusTooManyRequests {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			if code != http.StatusOK {
+				return nil, fmt.Errorf("boundary ingest %v: %d %s", key, code, body)
+			}
+			break
+		}
+	}
+	drainStart := time.Now()
+	if code, body := do(http.MethodPost, "/v1/prices?sync=1", []serve.PriceTick{}); code != http.StatusOK {
+		return nil, fmt.Errorf("drain: %d %s", code, body)
+	}
+	res.Boundary.DrainSeconds = time.Since(drainStart).Seconds()
+
+	code, mx := do(http.MethodGet, "/metrics", nil)
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: %d", code)
+	}
+	text := string(mx)
+	if res.Boundary.Reoptimizations, err = metricValue(text, "sompid_reoptimizations_total"); err != nil {
+		return nil, err
+	}
+	if res.Boundary.ReoptDeduped, err = metricValue(text, "sompid_reopt_deduped_total"); err != nil {
+		return nil, err
+	}
+	if res.Boundary.IngestQueuePeak, err = metricValue(text, "sompid_ingest_queue_peak_depth"); err != nil {
+		return nil, err
+	}
+	if res.Boundary.SchedulerLagP99S, err = histogramQuantile(text, "sompid_scheduler_lag_seconds", 0.99); err != nil {
+		return nil, err
+	}
+	if res.Boundary.Reoptimizations < float64(sessions) {
+		return nil, fmt.Errorf("only %v re-optimizations after a boundary crossing with %d sessions",
+			res.Boundary.Reoptimizations, sessions)
+	}
+	return res, nil
+}
+
+// metricValue extracts an unlabeled gauge/counter value from exposition
+// text.
+func metricValue(text, name string) (float64, error) {
+	for _, line := range strings.Split(text, "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			var f float64
+			if _, err := fmt.Sscanf(v, "%g", &f); err != nil {
+				return 0, fmt.Errorf("parsing %s: %w", name, err)
+			}
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("/metrics has no %s", name)
+}
+
+// histogramQuantile resolves a quantile to its upper bucket bound from
+// an unlabeled histogram's cumulative buckets.
+func histogramQuantile(text, family string, q float64) (float64, error) {
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	var buckets []bucket
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, family+`_bucket{le="`)
+		if !ok {
+			continue
+		}
+		end := strings.Index(rest, `"} `)
+		if end < 0 {
+			continue
+		}
+		le := math.Inf(1)
+		if rest[:end] != "+Inf" {
+			if _, err := fmt.Sscanf(rest[:end], "%g", &le); err != nil {
+				return 0, fmt.Errorf("parsing %s bucket bound %q: %w", family, rest[:end], err)
+			}
+		}
+		var count float64
+		if _, err := fmt.Sscanf(rest[end+3:], "%g", &count); err != nil {
+			return 0, fmt.Errorf("parsing %s bucket count: %w", family, err)
+		}
+		buckets = append(buckets, bucket{le, count})
+	}
+	if len(buckets) == 0 {
+		return 0, fmt.Errorf("/metrics has no %s buckets", family)
+	}
+	total := buckets[len(buckets)-1].count
+	if total == 0 {
+		return 0, fmt.Errorf("%s recorded no observations", family)
+	}
+	for _, b := range buckets {
+		if b.count >= q*total {
+			return b.le, nil
+		}
+	}
+	return math.Inf(1), nil
+}

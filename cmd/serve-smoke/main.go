@@ -184,7 +184,10 @@ func run() error {
 	}
 	fmt.Println("serve-smoke: graceful shutdown ok")
 
-	return checkCrashRecovery(tmp, bin)
+	if err := checkCrashRecovery(tmp, bin); err != nil {
+		return err
+	}
+	return checkSustainedIngest(bin)
 }
 
 // startSompid boots the built binary with the given extra flags and
@@ -303,8 +306,10 @@ func checkCrashRecovery(tmp, bin string) error {
 	for _, key := range m.Keys() {
 		ticks = append(ticks, serve.PriceTick{Type: key.Type, Zone: key.Zone, Prices: samples})
 	}
+	// ?sync=1: re-optimization is asynchronous, and the stage snapshots
+	// the session listing next — drain so the boundary's re-opt is in it.
 	var pr serve.PricesResponse
-	if err := postJSON(base+"/v1/prices", ticks, &pr); err != nil {
+	if err := postJSON(base+"/v1/prices?sync=1", ticks, &pr); err != nil {
 		return fmt.Errorf("ingesting ticks: %w", err)
 	}
 	if pr.Reoptimized < 1 {
@@ -410,6 +415,194 @@ func checkCrashRecovery(tmp, bin string) error {
 	}
 	fmt.Println("serve-smoke: crash recovery restored the version vector, sessions and plan bytes")
 	return nil
+}
+
+// checkSustainedIngest is the batched-ingest stage: boot sompid with a
+// small ingest queue and a worker pool, track identical sessions plus a
+// distinct one, firehose concurrent multi-shard NDJSON across two
+// window boundaries, drain, and gate the new observability families —
+// the queue's high-water mark must respect its configured ceiling, the
+// scheduler-lag p99 must be sane, and the identical sessions must have
+// coalesced at least one optimizer run.
+func checkSustainedIngest(bin string) error {
+	const queueCap = 64
+	cmd, base, err := startSompid(bin,
+		"-window", "2", "-ingest-queue", fmt.Sprint(queueCap), "-reopt-workers", "4")
+	if err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+
+	track := serve.PlanRequest{
+		App: "BT", DeadlineHours: 60,
+		Workers: 1, Kappa: 2, GridLevels: 3, MaxGroups: 3,
+		Track: true,
+	}
+	for i := 0; i < 2; i++ { // the identical pair that must dedup
+		var tracked serve.PlanResponse
+		if err := postJSON(base+"/v1/plan", track, &tracked); err != nil {
+			return fmt.Errorf("tracking session %d: %w", i, err)
+		}
+	}
+	other := track
+	other.DeadlineHours = 90
+	var tracked serve.PlanResponse
+	if err := postJSON(base+"/v1/plan", other, &tracked); err != nil {
+		return fmt.Errorf("tracking distinct session: %w", err)
+	}
+
+	// 4.5 hours of flat prices per shard — two T_m boundaries — fed as
+	// concurrent NDJSON streams, several requests per shard.
+	m := cloud.GenerateMarket(cloud.DefaultCatalog(), cloud.DefaultZones(), smokeHours, smokeSeed)
+	keys := m.Keys()
+	const rounds = 9 // 0.5h per round
+	samples := strings.TrimSuffix(strings.Repeat("0.05,", 6), ",")
+	errs := make(chan error, len(keys))
+	for i := range keys {
+		go func(key cloud.MarketKey) {
+			for r := 0; r < rounds; r++ {
+				body := fmt.Sprintf("{\"type\":%q,\"zone\":%q,\"prices\":[%s]}\n", key.Type, key.Zone, samples)
+				resp, err := http.Post(base+"/v1/prices", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusTooManyRequests {
+					r-- // backpressure is a legal answer; retry the round
+					time.Sleep(20 * time.Millisecond)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("firehose on %v: status %d", key, resp.StatusCode)
+					return
+				}
+			}
+			errs <- nil
+		}(keys[i])
+	}
+	for range keys {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	var pr serve.PricesResponse
+	if err := postJSON(base+"/v1/prices?sync=1", []serve.PriceTick{}, &pr); err != nil {
+		return fmt.Errorf("draining scheduler: %w", err)
+	}
+
+	mx, err := getBytes(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	text := string(mx)
+	peak, err := metricValue(text, "sompid_ingest_queue_peak_depth")
+	if err != nil {
+		return err
+	}
+	if peak > queueCap {
+		return fmt.Errorf("ingest queue peak depth %v exceeds its configured ceiling %d", peak, queueCap)
+	}
+	lagP99, err := histogramQuantile(text, "sompid_scheduler_lag_seconds", 0.99)
+	if err != nil {
+		return err
+	}
+	// Loose by design: the gate catches a scheduler that wedges or lags
+	// by whole seconds, not micro-regressions.
+	if lagP99 > 30 {
+		return fmt.Errorf("scheduler lag p99 bucket %vs, want under 30s", lagP99)
+	}
+	deduped, err := metricValue(text, "sompid_reopt_deduped_total")
+	if err != nil {
+		return err
+	}
+	if deduped < 1 {
+		return fmt.Errorf("identical tracked sessions never coalesced an optimizer run (reopt_deduped_total %v)", deduped)
+	}
+	reopts, err := metricValue(text, "sompid_reoptimizations_total")
+	if err != nil {
+		return err
+	}
+	if reopts < 6 { // 3 sessions x 2 boundaries
+		return fmt.Errorf("only %v re-optimizations across 3 sessions and 2 boundaries", reopts)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("sompid exited uncleanly after the sustained-ingest stage: %w", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("sompid did not exit within 15s of SIGTERM after sustained ingest")
+	}
+	fmt.Printf("serve-smoke: sustained ingest ok (queue peak %.0f/%d, scheduler lag p99 <= %vs, %0.f deduped re-opts)\n",
+		peak, queueCap, lagP99, deduped)
+	return nil
+}
+
+// metricValue extracts an unlabeled gauge/counter value from exposition
+// text.
+func metricValue(text, name string) (float64, error) {
+	for _, line := range strings.Split(text, "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			var f float64
+			if _, err := fmt.Sscanf(v, "%g", &f); err != nil {
+				return 0, fmt.Errorf("parsing %s: %w", name, err)
+			}
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("/metrics has no %s", name)
+}
+
+// histogramQuantile resolves a quantile to its upper bucket bound from
+// an unlabeled histogram's cumulative buckets (+Inf maps to math.Inf).
+func histogramQuantile(text, family string, q float64) (float64, error) {
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	var buckets []bucket
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, family+`_bucket{le="`)
+		if !ok {
+			continue
+		}
+		end := strings.Index(rest, `"} `)
+		if end < 0 {
+			continue
+		}
+		le := math.Inf(1)
+		if rest[:end] != "+Inf" {
+			if _, err := fmt.Sscanf(rest[:end], "%g", &le); err != nil {
+				return 0, fmt.Errorf("parsing %s bucket bound %q: %w", family, rest[:end], err)
+			}
+		}
+		var count float64
+		if _, err := fmt.Sscanf(rest[end+3:], "%g", &count); err != nil {
+			return 0, fmt.Errorf("parsing %s bucket count: %w", family, err)
+		}
+		buckets = append(buckets, bucket{le, count})
+	}
+	if len(buckets) == 0 {
+		return 0, fmt.Errorf("/metrics has no %s buckets", family)
+	}
+	total := buckets[len(buckets)-1].count
+	if total == 0 {
+		return 0, fmt.Errorf("%s recorded no observations", family)
+	}
+	for _, b := range buckets {
+		if b.count >= q*total {
+			return b.le, nil
+		}
+	}
+	return math.Inf(1), nil
 }
 
 // checkTrace pulls the span ring filtered to the plan request's ID and

@@ -8,6 +8,7 @@
 //	       [-window 15] [-history 96] [-cache 256] [-timeout 60s]
 //	       [-retain 0] [-log-format text|ndjson] [-log-level info]
 //	       [-trace-ring 4096] [-data-dir DIR] [-fsync] [-snapshot-every 4096]
+//	       [-ingest-queue 1024] [-reopt-workers 4]
 //
 // The market is either synthesized (-seed/-hours) or loaded from a
 // cmd/tracegen CSV directory (-traces). With -data-dir, every ingested
@@ -56,14 +57,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sompid: ")
 	var (
-		addr    = flag.String("addr", ":8377", "listen address (use :0 for an ephemeral port)")
-		seed    = flag.Uint64("seed", 42, "market seed for the synthesized market")
-		hours   = flag.Float64("hours", 720, "hours of synthesized price history")
-		traces  = flag.String("traces", "", "load the market from this cmd/tracegen CSV directory instead of synthesizing")
-		window  = flag.Float64("window", 0, "re-optimization window T_m in hours (0 = paper default)")
-		history = flag.Float64("history", 0, "default training history in hours (0 = default 96)")
-		cache   = flag.Int("cache", 256, "plan cache entries")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-request timeout for plan/evaluate/montecarlo")
+		addr      = flag.String("addr", ":8377", "listen address (use :0 for an ephemeral port)")
+		seed      = flag.Uint64("seed", 42, "market seed for the synthesized market")
+		hours     = flag.Float64("hours", 720, "hours of synthesized price history")
+		traces    = flag.String("traces", "", "load the market from this cmd/tracegen CSV directory instead of synthesizing")
+		window    = flag.Float64("window", 0, "re-optimization window T_m in hours (0 = paper default)")
+		history   = flag.Float64("history", 0, "default training history in hours (0 = default 96)")
+		cache     = flag.Int("cache", 256, "plan cache entries")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-request timeout for plan/evaluate/montecarlo")
 		retain    = flag.Float64("retain", 0, "per-shard price retention in hours (0 = unbounded): a long-lived feed keeps only this much trailing history per (type, zone) shard, compacting older samples")
 		logFormat = flag.String("log-format", "text", "structured log encoding: text or ndjson")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
@@ -71,6 +72,8 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durability directory for the WAL + snapshots (empty = in-memory only)")
 		fsync     = flag.Bool("fsync", true, "fsync every WAL append (with -data-dir); off trades the tail since the last sync for latency")
 		snapEvery = flag.Int("snapshot-every", 0, "cut a snapshot every N WAL appends (with -data-dir; 0 = default 4096)")
+		ingestQ   = flag.Int("ingest-queue", 0, "per-shard ingest queue capacity in batches; full queues answer 429 (0 = default 1024)")
+		reoptWork = flag.Int("reopt-workers", 0, "session re-optimization worker pool size (0 = default 4)")
 	)
 	flag.Parse()
 
@@ -120,6 +123,8 @@ func main() {
 		Logger:         logger,
 		Store:          st,
 		SnapshotEvery:  *snapEvery,
+		IngestQueue:    *ingestQ,
+		ReoptWorkers:   *reoptWork,
 	})
 	if err != nil {
 		log.Fatalf("configuring service: %v", err)
@@ -134,6 +139,7 @@ func main() {
 		"timeout", timeout.String(), "retain", *retain,
 		"log_format", *logFormat, "log_level", *logLevel, "trace_ring", *traceRing,
 		"data_dir", *dataDir, "fsync", *fsync, "snapshot_every", *snapEvery,
+		"ingest_queue", *ingestQ, "reopt_workers", *reoptWork,
 		"market_version", m.Version(), "markets", m.NumMarkets(),
 		"frontier_hours", m.MinDuration())
 

@@ -174,6 +174,12 @@ type Market struct {
 	// for the same reason as collector; nil (the default) keeps the
 	// market pure in-memory.
 	persist atomic.Pointer[PersistFunc]
+
+	// persistBatch, when set, is the group-commit durability hook:
+	// AppendBatch logs a shard's whole run of ticks in one call instead
+	// of one WAL append per tick. Without it AppendBatch falls back to
+	// the per-tick persist hook.
+	persistBatch atomic.Pointer[PersistBatchFunc]
 }
 
 // PersistFunc is the durability hook invoked by Append before a tick is
@@ -181,6 +187,18 @@ type Market struct {
 // apply will produce. Returning an error aborts the append — the hook
 // runs WAL-first, so an unlogged tick is never applied.
 type PersistFunc func(key MarketKey, samples []float64, version uint64) error
+
+// PersistBatchFunc is the batch durability hook invoked by AppendBatch
+// under the target shard's write lock, before any in-memory apply, with
+// the whole run of ticks and the shard version the first tick will
+// produce (tick i lands at firstVersion+i). It returns how many leading
+// ticks are durably in the log: on a clean write that is len(ticks); on
+// a mid-batch write failure it is the index of the failed tick (nothing
+// from that tick onward was logged); a post-write sync failure still
+// returns len(ticks) — the frames are in the log and will replay, so
+// the market must apply them all or replay would outrun the live state.
+// AppendBatch applies exactly the returned prefix.
+type PersistBatchFunc func(key MarketKey, ticks [][]float64, firstVersion uint64) (int, error)
 
 // ShardState is one shard's full durable state as captured into (and
 // restored from) a snapshot: the retained ring buffer, the absolute
@@ -288,6 +306,32 @@ func (m *Market) SetPersist(fn PersistFunc) {
 	m.persist.Store(&fn)
 }
 
+// SetPersistBatch installs (or, with nil, removes) the batch durability
+// hook used by AppendBatch. Safe to call concurrently with ingestion.
+func (m *Market) SetPersistBatch(fn PersistBatchFunc) {
+	if fn == nil {
+		m.persistBatch.Store(nil)
+		return
+	}
+	m.persistBatch.Store(&fn)
+}
+
+// ValidateTick checks an append's arguments without applying anything:
+// the key must name an existing shard and every sample must be a price.
+// It lets a streaming ingester reject bad input eagerly, before the
+// tick is queued for a batched apply.
+func (m *Market) ValidateTick(key MarketKey, samples []float64) error {
+	if _, ok := m.shards[key]; !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownMarket, key)
+	}
+	for i, p := range samples {
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("%w: sample %d for %v is not a price: %v", ErrBadSample, i, key, p)
+		}
+	}
+	return nil
+}
+
 // Append extends one shard's price history with new samples (prices in
 // $/instance-hour, one per trace step) and returns the market's new
 // composite version. Only the target shard is locked: concurrent appends
@@ -321,6 +365,50 @@ func (m *Market) Append(key MarketKey, samples []float64) (uint64, error) {
 			obs.Attr{Key: "shard_version", Value: fmt.Sprint(sv)})
 	}
 	return m.base + m.ticks.Add(1), nil
+}
+
+// AppendBatch extends one shard's price history with a run of ticks
+// under a single shard write-lock acquisition — the batched analogue of
+// calling Append len(ticks) times, with one durability call (group
+// commit) when a batch persist hook is installed. All ticks are
+// validated up front; a bad sample rejects the batch whole. A
+// durability failure applies exactly the prefix the hook reports as
+// logged and returns that count alongside the error, so the shard never
+// runs ahead of (or behind) what WAL replay will reconstruct.
+//
+// Returns the number of ticks applied and the market's resulting
+// composite version (each applied tick bumps it by 1, exactly as
+// Append would).
+func (m *Market) AppendBatch(key MarketKey, ticks [][]float64) (int, uint64, error) {
+	col := m.collector.Load()
+	var start time.Time
+	if col != nil {
+		start = time.Now()
+	}
+	s, ok := m.shards[key]
+	if !ok {
+		return 0, m.Version(), fmt.Errorf("%w: %v", ErrUnknownMarket, key)
+	}
+	var persist PersistFunc
+	if p := m.persist.Load(); p != nil {
+		persist = *p
+	}
+	var persistBatch PersistBatchFunc
+	if p := m.persistBatch.Load(); p != nil {
+		persistBatch = *p
+	}
+	applied, sv, err := s.appendBatch(ticks, m.Retention(), persistBatch, persist)
+	version := m.Version()
+	if applied > 0 {
+		version = m.base + m.ticks.Add(uint64(applied))
+	}
+	if col != nil {
+		col.RecordSpan("market.append_batch", start,
+			obs.Attr{Key: "market", Value: key.String()},
+			obs.Attr{Key: "ticks", Value: fmt.Sprint(applied)},
+			obs.Attr{Key: "shard_version", Value: fmt.Sprint(sv)})
+	}
+	return applied, version, err
 }
 
 // Trace returns the price history for the given market. It panics if the

@@ -86,6 +86,58 @@ func (s *shard) append(samples []float64, retainHours float64, persist PersistFu
 	return s.version, nil
 }
 
+// appendBatch validates and applies a run of ticks under one write-lock
+// acquisition, preserving the WAL-first contract per tick. All ticks are
+// validated before the lock is taken, so a bad sample rejects the batch
+// whole with nothing applied. With a batch persist hook the entire run
+// is logged in one call (group commit); the hook reports how many
+// leading ticks are durably in the log and exactly that prefix is
+// applied — a tick is applied iff its version is reachable by WAL
+// replay. Without a batch hook, a per-tick persist hook (or none) is
+// invoked tick by tick, stopping at the first failure.
+//
+// Returns the number of ticks applied and the shard's resulting
+// version; a partial apply returns both the applied count and the
+// error.
+func (s *shard) appendBatch(ticks [][]float64, retainHours float64, persistBatch PersistBatchFunc, persist PersistFunc) (int, uint64, error) {
+	for t, samples := range ticks {
+		for i, p := range samples {
+			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+				s.mu.RLock()
+				v := s.version
+				s.mu.RUnlock()
+				return 0, v, fmt.Errorf("%w: tick %d sample %d for %v is not a price: %v", ErrBadSample, t, i, s.key, p)
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	apply := len(ticks)
+	var persistErr error
+	switch {
+	case persistBatch != nil:
+		n, err := persistBatch(s.key, ticks, s.version+1)
+		if err != nil {
+			persistErr = fmt.Errorf("cloud: persisting batch for %v: %w", s.key, err)
+		}
+		if n < apply {
+			apply = n
+		}
+	case persist != nil:
+		for i, samples := range ticks {
+			if err := persist(s.key, samples, s.version+1+uint64(i)); err != nil {
+				persistErr = fmt.Errorf("cloud: persisting tick for %v: %w", s.key, err)
+				apply = i
+				break
+			}
+		}
+	}
+	for _, samples := range ticks[:apply] {
+		s.applyLocked(samples, retainHours)
+	}
+	return apply, s.version, persistErr
+}
+
 // applyLocked performs the in-memory append; the caller holds the write
 // lock.
 func (s *shard) applyLocked(samples []float64, retainHours float64) {

@@ -347,9 +347,12 @@ type PricesResponse struct {
 	// FrontierHours is the consistent price frontier (every market has
 	// samples up to at least this hour) after ingestion.
 	FrontierHours float64 `json:"frontier_hours"`
-	// Reoptimized counts tracked sessions whose window boundary the
-	// ingestion crossed (each was replayed and re-planned); Completed
-	// counts sessions that finished during those windows.
+	// Reoptimized counts tracked-session window re-optimizations and
+	// Completed counts session completions that landed server-wide while
+	// the request waited on the ?sync=1 scheduler drain. Session
+	// advancement is asynchronous: without ?sync=1 both report 0 even
+	// when the feed crossed boundaries — the scheduler runs them off the
+	// request path.
 	Reoptimized int `json:"reoptimized"`
 	Completed   int `json:"completed"`
 }

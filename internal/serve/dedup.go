@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"sompi/internal/opt"
+)
+
+// reoptCache coalesces identical optimizer runs: a vector-keyed
+// single-flight in front of a small LRU of opt.Results. When k sessions
+// share a workload profile, deadline leftover, training window and
+// strategy knobs at the same T_m boundary, the first to arrive runs the
+// optimizer and the other k-1 adopt its result — the plan dedup leg of
+// the million-session path. Results are shareable because nothing
+// downstream mutates an opt.Result: replay advances only Session state
+// and model.Group's internal caches are synchronized.
+//
+// Errors are never cached: a failed leader removes its entry, waiting
+// followers observe the failure and retry as leader, so a transient
+// cancellation cannot poison a key.
+type reoptCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+// reoptEntry is one in-flight or completed optimizer run. done closes
+// when res/err are final; both are written before the close, so a
+// reader that saw done closed reads them race-free.
+type reoptEntry struct {
+	key  string
+	done chan struct{}
+	res  opt.Result
+	err  error
+}
+
+func newReoptCache(capacity int) *reoptCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &reoptCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+// do returns the optimizer result for key, running fn at most once per
+// key across concurrent callers. shared reports whether the result came
+// from another caller's run (a deduplicated re-opt). A follower whose
+// ctx dies while waiting returns ctx's error; the leader's run is
+// governed by the leader's own context inside fn.
+func (c *reoptCache) do(ctx context.Context, key string, fn func() (opt.Result, error)) (res opt.Result, shared bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			e := el.Value.(*reoptEntry)
+			select {
+			case <-e.done:
+				// Completed successfully (failures remove their entry).
+				c.ll.MoveToFront(el)
+				c.mu.Unlock()
+				return e.res, true, nil
+			default:
+			}
+			c.mu.Unlock()
+			select {
+			case <-e.done:
+				if e.err == nil {
+					return e.res, true, nil
+				}
+				// Leader failed; its entry is gone. Retry as leader.
+				continue
+			case <-ctx.Done():
+				return opt.Result{}, false, ctx.Err()
+			}
+		}
+		e := &reoptEntry{key: key, done: make(chan struct{})}
+		el := c.ll.PushFront(e)
+		c.items[key] = el
+		for c.ll.Len() > c.cap {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*reoptEntry).key)
+		}
+		c.mu.Unlock()
+
+		res, err = fn()
+		c.mu.Lock()
+		e.res, e.err = res, err
+		if err != nil {
+			// Only remove our own entry — eviction may have already
+			// replaced it with a fresh leader under the same key.
+			if cur, ok := c.items[key]; ok && cur == el {
+				c.ll.Remove(el)
+				delete(c.items, key)
+			}
+		}
+		close(e.done)
+		c.mu.Unlock()
+		return res, false, err
+	}
+}
+
+// len reports the number of resident entries (including in-flight).
+func (c *reoptCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

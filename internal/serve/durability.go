@@ -78,7 +78,8 @@ type snapshotPayload struct {
 	Sessions []sessionState     `json:"sessions"`
 }
 
-// state renders the session's durable state. Caller holds s.mu.
+// state renders the session's durable state. Caller holds t.mu (or owns
+// the session exclusively, as registration and recovery do).
 func (t *trackedSession) state() sessionState {
 	var audit []AuditRecord
 	if len(t.audit) > 0 {
@@ -127,17 +128,45 @@ func (s *Server) persistTick(key cloud.MarketKey, samples []float64, version uin
 	return nil
 }
 
-// persistSessionLocked logs one session transition and reports whether
-// the record reached the WAL. Caller holds s.mu for writing — which is
-// the snapshot barrier: a snapshot cut after this record's WAL write
-// cannot capture the registry until the caller releases the lock, so
-// the capture always includes the transition the record describes (and
-// replaying the record over it is a Seq-skipped no-op). Registration is
-// fail-closed on the returned error (no id leaves the server without a
-// durable record); window transitions cannot be — the in-memory
-// transition has already happened and an append failure cannot unwind
-// it — so their callers rely on the logging and error counter here.
-func (s *Server) persistSessionLocked(t *trackedSession) error {
+// persistTickBatch is the cloud.PersistBatchFunc behind batched ingest:
+// one shard's whole run of ticks logged under one store mutex hold with
+// one trailing fsync. It runs under the target shard's write lock and
+// honors the prefix contract (see cloud.PersistBatchFunc): the returned
+// count is exactly what WAL replay will reconstruct, so the market
+// applies exactly that.
+func (s *Server) persistTickBatch(key cloud.MarketKey, ticks [][]float64, firstVersion uint64) (int, error) {
+	recs := make([]store.Record, len(ticks))
+	for i, samples := range ticks {
+		payload, err := store.EncodeTick(store.Tick{Type: key.Type, Zone: key.Zone, Version: firstVersion + uint64(i), Prices: samples})
+		if err != nil {
+			s.met.walAppendErrors.Add(int64(len(ticks) - i))
+			return i, err
+		}
+		recs[i] = store.Record{Type: store.RecordTick, Payload: payload}
+	}
+	n, err := s.store.AppendBatch(recs)
+	if err != nil {
+		failed := int64(len(recs) - n)
+		if failed == 0 {
+			failed = 1 // trailing fsync failure: the unsynced tail is at risk
+		}
+		s.met.walAppendErrors.Add(failed)
+	}
+	return n, err
+}
+
+// persistSession logs one session transition and reports whether the
+// record reached the WAL. Caller holds t.mu (or owns the session
+// exclusively, as registration does) — which is the snapshot barrier: a
+// snapshot cut after this record's WAL write cannot capture this
+// session until the caller releases the lock, so the capture always
+// includes the transition the record describes (and replaying the
+// record over it is a Seq-skipped no-op). Registration is fail-closed
+// on the returned error (no id leaves the server without a durable
+// record); window transitions cannot be — the in-memory transition has
+// already happened and an append failure cannot unwind it — so their
+// callers rely on the logging and error counter here.
+func (s *Server) persistSession(t *trackedSession) error {
 	if s.store == nil {
 		return nil
 	}
@@ -184,8 +213,11 @@ func (s *Server) maybeSnapshot() {
 // cutSnapshot materializes the full service state into a snapshot at a
 // fresh WAL segment boundary. The store rotates first and invokes the
 // capture with no store lock held; the capture's shard read locks and
-// s.mu read lock are the barrier that makes the snapshot cover every
-// record below the boundary (see store.Snapshot).
+// per-session t.mu acquisitions are the barrier that makes the snapshot
+// cover every record below the boundary (see store.Snapshot): a tick or
+// transition logged before the rotation was written under the same lock
+// the capture takes, so the capture cannot see a state the log has not
+// reached.
 func (s *Server) cutSnapshot() error {
 	start := time.Now()
 	err := s.store.Snapshot(func() ([]byte, error) {
@@ -193,7 +225,10 @@ func (s *Server) cutSnapshot() error {
 		s.mu.RLock()
 		payload.Sessions = make([]sessionState, 0, len(s.order))
 		for _, id := range s.order {
-			payload.Sessions = append(payload.Sessions, s.sessions[id].state())
+			t := s.sessions[id]
+			t.mu.Lock()
+			payload.Sessions = append(payload.Sessions, t.state())
+			t.mu.Unlock()
 		}
 		s.mu.RUnlock()
 		return json.Marshal(payload)
@@ -360,14 +395,15 @@ func (s *Server) materializeSession(st sessionState) (*trackedSession, error) {
 	return t, nil
 }
 
-// Close flushes the service's durable state and closes the store: a
-// final snapshot at a clean segment boundary, then fsync-and-close of
-// the active WAL segment. Graceful shutdown must call it after the
-// HTTP server has drained; without a store it is a no-op. Idempotent.
+// Close shuts the service's background machinery down and, on a durable
+// server, flushes its state: in-flight re-optimizations are cancelled
+// (their boundaries stay in the WAL for the next boot), the ingest
+// appliers and scheduler workers drain, then a final snapshot lands at
+// a clean segment boundary and the active WAL segment is fsync-closed.
+// Graceful shutdown must call it after the HTTP server has drained; an
+// in-memory server stops its goroutines and keeps serving reads.
+// Idempotent.
 func (s *Server) Close() error {
-	if s.store == nil {
-		return nil
-	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -375,9 +411,18 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	// Wait out any background cut first: its boundary would otherwise
-	// race the shutdown snapshot's (the store serializes the cuts, but
-	// the final snapshot must be the newest one on disk).
+	// Cancel first so a worker stuck in a long optimization aborts
+	// instead of stalling shutdown; then stop ingest (no new frontier
+	// movement) and the workers.
+	s.runCancel()
+	s.ing.stop()
+	s.sched.stop()
+	if s.store == nil {
+		return nil
+	}
+	// Wait out any background cut: its boundary would otherwise race
+	// the shutdown snapshot's (the store serializes the cuts, but the
+	// final snapshot must be the newest one on disk).
 	s.snapWG.Wait()
 	if err := s.cutSnapshot(); err != nil {
 		// The WAL still holds everything the snapshot would have covered;
@@ -386,5 +431,6 @@ func (s *Server) Close() error {
 		s.log.Error("shutdown snapshot failed", "error", err.Error())
 	}
 	s.market.SetPersist(nil)
+	s.market.SetPersistBatch(nil)
 	return s.store.Close()
 }

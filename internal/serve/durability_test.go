@@ -106,7 +106,10 @@ func ingestHours(t *testing.T, url string, hours float64) {
 	for _, key := range durableMarket().Keys() {
 		ticks = append(ticks, PriceTick{Type: key.Type, Zone: key.Zone, Prices: samples})
 	}
-	durablePost(t, url+"/v1/prices", ticks)
+	// ?sync=1: the durability tests assert post-re-optimization state
+	// (audit records, WAL session transitions), so drain the scheduler
+	// before returning.
+	durablePost(t, url+"/v1/prices?sync=1", ticks)
 }
 
 // assertRecoveredExactly is the tentpole's exactness proof: version

@@ -61,6 +61,7 @@ func FuzzIngestPrices(f *testing.F) {
 		if err != nil {
 			t.Fatalf("serve.New: %v", err)
 		}
+		defer s.Close()
 		before := m.Version()
 
 		req := httptest.NewRequest(http.MethodPost, "/v1/prices", bytes.NewReader(body))

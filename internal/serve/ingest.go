@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"sompi/internal/cloud"
+)
+
+// This file is the batched ingest pipeline: handlePrices stages a tick
+// stream per (type, AZ) shard and hands each shard's run to a dedicated
+// applier goroutine through a bounded queue. The applier applies the
+// whole run under one shard write-lock acquisition (and one WAL group
+// commit) via cloud.Market.AppendBatch, then wakes the re-optimization
+// scheduler for that shard. Ingest latency therefore stops depending on
+// how many sessions a tick invalidates — the request path never runs an
+// optimizer — and a firehose feeding one shard amortizes its lock and
+// fsync cost across the batch.
+
+// errIngestBacklog reports a shard queue that stayed full past the
+// enqueue grace period: the client should back off (429 + Retry-After).
+var errIngestBacklog = errors.New("serve: ingest queue full")
+
+// errIngestClosed reports an enqueue against a stopped ingester (the
+// server is shutting down).
+var errIngestClosed = errors.New("serve: ingest stopped")
+
+// ingestEnqueueWait is how long an enqueue blocks on a full shard queue
+// before surfacing backpressure to the client.
+const ingestEnqueueWait = 50 * time.Millisecond
+
+// maxBatchTicks bounds how many ticks handlePrices stages per shard
+// before flushing a batch, so an unbounded NDJSON feed still ingests in
+// bounded memory.
+const maxBatchTicks = 256
+
+// tickBatch is one shard's staged run of ticks. done is buffered so the
+// applier never blocks on a waiter, even one that abandoned the result.
+type tickBatch struct {
+	key   cloud.MarketKey
+	ticks [][]float64
+	start time.Time
+	done  chan batchResult
+}
+
+// batchResult reports what a batch apply did: how many leading ticks
+// landed, the market's composite version after them, and the durability
+// error on a partial apply.
+type batchResult struct {
+	applied int
+	version uint64
+	err     error
+}
+
+// ingester owns the per-shard queues and applier goroutines. The mutex
+// only fences enqueue against stop: the queues themselves are the
+// synchronization between handlers and appliers.
+type ingester struct {
+	s      *Server
+	queues map[cloud.MarketKey]chan *tickBatch
+
+	mu     sync.RWMutex
+	closed bool
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// newIngester builds the queues — one per market shard, capacity
+// queueCap batches each — and starts one applier per shard. Appliers
+// are per shard so batches for one market apply in arrival order
+// (shard versions stay sequential) while different markets never
+// contend.
+func newIngester(s *Server, queueCap int) *ingester {
+	i := &ingester{
+		s:      s,
+		queues: make(map[cloud.MarketKey]chan *tickBatch),
+		stopCh: make(chan struct{}),
+	}
+	for _, k := range s.market.Keys() {
+		q := make(chan *tickBatch, queueCap)
+		i.queues[k] = q
+		i.wg.Add(1)
+		go i.run(k, q)
+	}
+	return i
+}
+
+// enqueue hands a batch to its shard's applier. A full queue gets a
+// short grace period (the applier may just be mid-batch), then the
+// typed backlog error — the client's signal to slow down.
+func (i *ingester) enqueue(b *tickBatch) error {
+	i.mu.RLock()
+	defer i.mu.RUnlock()
+	if i.closed {
+		return errIngestClosed
+	}
+	q, ok := i.queues[b.key]
+	if !ok {
+		// Unknown markets were rejected by validation before staging;
+		// reaching here is a programming error surfaced as the typed error.
+		return cloud.ErrUnknownMarket
+	}
+	select {
+	case q <- b:
+	default:
+		t := time.NewTimer(ingestEnqueueWait)
+		defer t.Stop()
+		select {
+		case q <- b:
+		case <-t.C:
+			return errIngestBacklog
+		case <-i.stopCh:
+			return errIngestClosed
+		}
+	}
+	i.s.met.noteQueueDepth(int64(len(q)))
+	return nil
+}
+
+// depths samples every queue's current occupancy for /metrics.
+func (i *ingester) depths() map[string]int {
+	out := make(map[string]int, len(i.queues))
+	for k, q := range i.queues {
+		out[k.String()] = len(q)
+	}
+	return out
+}
+
+// run is one shard's applier loop.
+func (i *ingester) run(key cloud.MarketKey, q chan *tickBatch) {
+	defer i.wg.Done()
+	for {
+		select {
+		case <-i.stopCh:
+			return
+		case b := <-q:
+			i.apply(b)
+		}
+	}
+}
+
+// apply lands one batch: the shard append (WAL-first, one lock hold),
+// the ingest counters, the scheduler wake for sessions watching this
+// shard, and the snapshot check — all before the waiter is released, so
+// a caller that waits on done observes a market and scheduler that
+// already know about its ticks.
+func (i *ingester) apply(b *tickBatch) {
+	s := i.s
+	applied, version, err := s.market.AppendBatch(b.key, b.ticks)
+	if applied > 0 {
+		s.met.ingestTicks.Add(int64(applied))
+		samples := 0
+		for _, t := range b.ticks[:applied] {
+			samples += len(t)
+		}
+		s.met.ingestSamples.Add(int64(samples))
+		s.sched.shardAdvanced(b.key)
+	}
+	s.met.batchSize.Observe(float64(len(b.ticks)))
+	s.met.observeIngest(b.key.String(), time.Since(b.start).Seconds())
+	s.maybeSnapshot()
+	b.done <- batchResult{applied: applied, version: version, err: err}
+}
+
+// stop shuts the pipeline down: no new enqueues, appliers drained, and
+// every still-queued batch failed with the typed closed error so no
+// waiter hangs. Idempotent.
+func (i *ingester) stop() {
+	i.mu.Lock()
+	if i.closed {
+		i.mu.Unlock()
+		return
+	}
+	i.closed = true
+	i.mu.Unlock()
+	// The write lock above waited out every in-flight enqueue, so the
+	// queued set is fixed now; appliers may consume part of it before
+	// they observe stopCh, the sweep below fails the rest.
+	close(i.stopCh)
+	i.wg.Wait()
+	for _, q := range i.queues {
+		for {
+			select {
+			case b := <-q:
+				b.done <- batchResult{err: errIngestClosed}
+			default:
+			}
+			if len(q) == 0 {
+				break
+			}
+		}
+	}
+}

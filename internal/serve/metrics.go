@@ -57,14 +57,27 @@ type metrics struct {
 
 	ingestTicks   atomic.Int64
 	ingestSamples atomic.Int64
-	// ingestLatency times each tick's full append→session-advance cycle
-	// per target shard (sompid_ingest_seconds{market=...}). The key set is
-	// fixed at market construction, so the map is read-only after init.
+	// ingestLatency times each batch's enqueue→apply cycle per target
+	// shard (sompid_ingest_seconds{market=...}). The key set is fixed at
+	// market construction, so the map is read-only after init.
 	ingestLatency map[string]*obs.Histogram
+	// batchSize is the applied-batch tick-count distribution; the bounds
+	// are powers of two up to maxBatchTicks, so the top bucket isolates
+	// full (flush-forced) batches. ingestQueuePeak is a high-water mark
+	// of per-shard queue depth observed at enqueue, maintained by
+	// noteQueueDepth (instantaneous depths are sampled at render).
+	batchSize       *obs.Histogram
+	ingestQueuePeak atomic.Int64
 
 	reoptimizations   atomic.Int64
 	activeSessions    atomic.Int64
 	completedSessions atomic.Int64
+
+	// schedulerLag times eligibility→worker-pickup for session
+	// re-optimizations; reoptDeduped counts re-opts answered by another
+	// session's coalesced optimizer run instead of a fresh search.
+	schedulerLag *obs.Histogram
+	reoptDeduped atomic.Int64
 
 	// warmStarts counts session re-optimizations whose previous plan
 	// re-priced into an admissible incumbent seed; evalsSaved counts
@@ -110,6 +123,19 @@ func (m *metrics) init(keys []cloud.MarketKey) {
 		m.strategies[name] = &strategyMetrics{latency: obs.NewHistogram(nil)}
 	}
 	m.walFsync = obs.NewHistogram(nil)
+	m.batchSize = obs.NewHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	m.schedulerLag = obs.NewHistogram(nil)
+}
+
+// noteQueueDepth folds one observed per-shard queue depth into the
+// high-water mark.
+func (m *metrics) noteQueueDepth(d int64) {
+	for {
+		cur := m.ingestQueuePeak.Load()
+		if d <= cur || m.ingestQueuePeak.CompareAndSwap(cur, d) {
+			return
+		}
+	}
 }
 
 // observeStrategy records one plan request's latency under its
@@ -181,10 +207,10 @@ func header(w io.Writer, name, typ, help string) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 }
 
-// render writes the exposition text. marketVersion, cacheLen and the
-// shard stats are sampled by the caller (they live in the market and
-// cache, not here).
-func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, cacheLen int, shards []cloud.ShardStat, wal store.Stats) {
+// render writes the exposition text. marketVersion, cacheLen, the shard
+// stats and the ingest queue depths are sampled by the caller (they
+// live in the market, cache and ingester, not here).
+func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, cacheLen int, shards []cloud.ShardStat, wal store.Stats, queueDepths map[string]int) {
 	header(w, "sompid_requests_total", "counter", "Requests served, by endpoint.")
 	for ep := endpoint(0); ep < numEndpoints; ep++ {
 		fmt.Fprintf(w, "sompid_requests_total{endpoint=\"%s\"} %d\n", escapeLabel(endpointNames[ep]), m.requests[ep].Load())
@@ -247,6 +273,20 @@ func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, ca
 		m.ingestLatency[name].WriteProm(w, "sompid_ingest_seconds", fmt.Sprintf("market=\"%s\"", escapeLabel(name)))
 	}
 
+	header(w, "sompid_ingest_queue_depth", "gauge", "Per-shard ingest queue depth (batches waiting for the applier).")
+	depthNames := make([]string, 0, len(queueDepths))
+	for name := range queueDepths {
+		depthNames = append(depthNames, name)
+	}
+	sort.Strings(depthNames)
+	for _, name := range depthNames {
+		fmt.Fprintf(w, "sompid_ingest_queue_depth{market=\"%s\"} %d\n", escapeLabel(name), queueDepths[name])
+	}
+	header(w, "sompid_ingest_queue_peak_depth", "gauge", "High-water mark of per-shard ingest queue depth since start.")
+	fmt.Fprintf(w, "sompid_ingest_queue_peak_depth %d\n", m.ingestQueuePeak.Load())
+	header(w, "sompid_ingest_batch_size", "histogram", "Ticks per applied ingest batch.")
+	m.batchSize.WriteProm(w, "sompid_ingest_batch_size", "")
+
 	header(w, "sompid_market_version", "gauge", "Composite market mutation version.")
 	fmt.Fprintf(w, "sompid_market_version %d\n", marketVersion)
 	header(w, "sompid_market_frontier_hours", "gauge", "Shortest price frontier across all shards, in hours.")
@@ -291,6 +331,10 @@ func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, ca
 	fmt.Fprintf(w, "sompid_reopt_warm_starts_total %d\n", m.warmStarts.Load())
 	header(w, "sompid_reopt_evals_saved_total", "counter", "Cost-model evaluations skipped via the cross-optimization reuse cache.")
 	fmt.Fprintf(w, "sompid_reopt_evals_saved_total %d\n", m.evalsSaved.Load())
+	header(w, "sompid_reopt_deduped_total", "counter", "Session re-optimizations answered by a coalesced identical optimizer run.")
+	fmt.Fprintf(w, "sompid_reopt_deduped_total %d\n", m.reoptDeduped.Load())
+	header(w, "sompid_scheduler_lag_seconds", "histogram", "Delay from boundary eligibility to worker pickup for session re-optimizations.")
+	m.schedulerLag.WriteProm(w, "sompid_scheduler_lag_seconds", "")
 	header(w, "sompid_session_window_truncations_total", "counter", "Session windows clamped by ring-buffer retention.")
 	fmt.Fprintf(w, "sompid_session_window_truncations_total %d\n", m.windowTruncations.Load())
 	header(w, "sompid_active_sessions", "gauge", "Live tracked sessions.")

@@ -196,7 +196,7 @@ func TestSessionAuditTrail(t *testing.T) {
 	for _, key := range testMarket().Keys() {
 		ticks = append(ticks, serve.PriceTick{Type: key.Type, Zone: key.Zone, Prices: samples})
 	}
-	if status, _, body := postJSON(t, ts.URL+"/v1/prices", ticks); status != http.StatusOK {
+	if status, _, body := postJSON(t, ts.URL+"/v1/prices?sync=1", ticks); status != http.StatusOK {
 		t.Fatalf("ingest: %d %s", status, body)
 	}
 
@@ -439,6 +439,12 @@ func TestExpositionFormat(t *testing.T) {
 		`sompid_ingest_seconds_count{market="m1.medium/us-east-1a"}`,
 		"# TYPE sompid_reopt_warm_starts_total counter",
 		"# TYPE sompid_reopt_evals_saved_total counter",
+		"# TYPE sompid_ingest_queue_depth gauge",
+		`sompid_ingest_queue_depth{market="m1.medium/us-east-1a"}`,
+		"# TYPE sompid_ingest_queue_peak_depth gauge",
+		"# TYPE sompid_ingest_batch_size histogram",
+		"# TYPE sompid_scheduler_lag_seconds histogram",
+		"# TYPE sompid_reopt_deduped_total counter",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("/metrics missing %q", want)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceEnabled scales the stress tests down under -race; see
+// race_on_test.go.
+const raceEnabled = false

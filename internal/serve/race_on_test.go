@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled scales the stress tests down under -race: the detector
+// multiplies memory and time per goroutine, and the scaled run still
+// exercises every interleaving class the full-size run does.
+const raceEnabled = true

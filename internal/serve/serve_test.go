@@ -45,7 +45,12 @@ func newTestServer(t *testing.T, cfg serve.Config) *httptest.Server {
 		t.Fatalf("serve.New: %v", err)
 	}
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		if cerr := s.Close(); cerr != nil {
+			t.Errorf("server close: %v", cerr)
+		}
+	})
 	return ts
 }
 
@@ -382,7 +387,7 @@ func TestSessionReoptimization(t *testing.T) {
 	for _, key := range testMarket().Keys() {
 		ticks = append(ticks, serve.PriceTick{Type: key.Type, Zone: key.Zone, Prices: samples})
 	}
-	status, _, body = postJSON(t, ts.URL+"/v1/prices", ticks)
+	status, _, body = postJSON(t, ts.URL+"/v1/prices?sync=1", ticks)
 	if status != http.StatusOK {
 		t.Fatalf("ingest: %d %s", status, body)
 	}

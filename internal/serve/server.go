@@ -66,15 +66,26 @@ type Config struct {
 	// SnapshotEvery cuts a snapshot after that many WAL records since
 	// the previous one; zero means 4096. Ignored without Store.
 	SnapshotEvery int
+	// IngestQueue bounds each shard's pending tick-batch queue; a full
+	// queue surfaces as 429 + Retry-After backpressure. Zero means 1024
+	// batches per shard; negative means 1.
+	IngestQueue int
+	// ReoptWorkers sizes the scheduler's re-optimization worker pool —
+	// the goroutines that drive tracked sessions across their T_m
+	// boundaries off the ingest path. Zero means 4; negative starts
+	// none (boundaries accumulate durably but never run — a test and
+	// maintenance hook).
+	ReoptWorkers int
 }
 
 // Server is the sompid planner service. The market synchronizes itself
 // per shard — ingestion locks only the target (type, zone) shard and
-// readers take lock-free snapshots — so the server's own RWMutex fences
-// just the session registry. Lock ordering: s.mu may be held while
-// taking shard read locks (session advancement reads the market under
-// s.mu), never the reverse — shard locks are leaf locks and no market
-// call ever touches s.mu.
+// readers take lock-free snapshots — and each tracked session carries
+// its own t.mu, so the server's RWMutex fences just the session
+// registry (the map, ordering and id counter). Lock ordering (see
+// DESIGN.md §13): s.mu → t.mu → {shard locks, store mutex}; s.mu →
+// sched.mu → shard read locks; never t.mu → sched.mu and never the
+// reverse of any edge — shard and store locks are leaves.
 type Server struct {
 	window  float64
 	history float64
@@ -85,6 +96,20 @@ type Server struct {
 	sessions map[string]*trackedSession
 	order    []string // session iteration in creation order
 	nextID   int
+
+	// runCtx is the server-lifecycle context every asynchronous
+	// re-optimization runs under: a client disconnecting mid-feed must
+	// not cancel other sessions' replanning, only Close may. runCancel
+	// aborts in-flight work at shutdown.
+	runCtx    context.Context
+	runCancel context.CancelFunc
+
+	// ing is the batched ingest pipeline (per-shard queues + appliers);
+	// sched the central re-optimization scheduler; reopts the
+	// single-flight cache that coalesces identical optimizer runs.
+	ing    *ingester
+	sched  *reoptScheduler
+	reopts *reoptCache
 
 	cache *planCache
 	// reuse carries prepared-group state and evaluated subset costs
@@ -166,6 +191,35 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.store.SetFsyncObserver(func(seconds float64) { s.met.walFsync.Observe(seconds) })
 		s.market.SetPersist(s.persistTick)
+		s.market.SetPersistBatch(s.persistTickBatch)
+	}
+
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	s.reopts = newReoptCache(s.cache.cap)
+	workers := cfg.ReoptWorkers
+	switch {
+	case workers == 0:
+		workers = 4
+	case workers < 0:
+		workers = 0
+	}
+	s.sched = newReoptScheduler(s, workers)
+	queue := cfg.IngestQueue
+	switch {
+	case queue == 0:
+		queue = 1024
+	case queue < 0:
+		queue = 1
+	}
+	s.ing = newIngester(s, queue)
+	// Recovered live sessions re-enter the scheduler: a boundary the
+	// pre-crash server never got to re-optimize is eligible immediately
+	// and runs as soon as a worker picks it up — no re-opt is lost to a
+	// SIGKILL.
+	for _, id := range s.order {
+		if t := s.sessions[id]; !t.done {
+			s.sched.add(t)
+		}
 	}
 	return s, nil
 }
@@ -400,10 +454,30 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	cfg := req.Config(profile, train)
 	cfg.Explain = explain
 	cfg.Reuse = s.reuse
-	res, err := opt.OptimizeContext(ctx, cfg)
-	s.met.evals.Add(int64(res.Evals))
-	s.met.pruned.Add(int64(res.Pruned))
-	s.met.evalsSaved.Add(int64(res.SavedEvals))
+	// Identical concurrent plan requests — the byte cache only answers
+	// after a leader finishes — coalesce onto one optimizer run. The key
+	// includes the version vector (same content pin the byte cache uses),
+	// so a share is byte-identical work, and Track requests share too:
+	// k tracked registrations of the same workload need one search, not
+	// k. Explained runs stay solo — their trail is per-request.
+	var res opt.Result
+	var shared bool
+	var err error
+	run := func() (opt.Result, error) {
+		r, e := opt.OptimizeContext(ctx, cfg)
+		s.met.evals.Add(int64(r.Evals))
+		s.met.pruned.Add(int64(r.Pruned))
+		s.met.evalsSaved.Add(int64(r.SavedEvals))
+		return r, e
+	}
+	if explain {
+		res, err = run()
+	} else {
+		res, shared, err = s.reopts.do(ctx, "plan|"+key, run)
+		if shared {
+			s.met.reoptDeduped.Add(1)
+		}
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			s.met.cancelled.Add(1)
@@ -474,13 +548,16 @@ func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.R
 		trainStart: trainStart,
 		trainDur:   frontier - trainStart,
 	}
-	if err := s.persistSessionLocked(t); err != nil {
+	if err := s.persistSession(t); err != nil {
 		s.nextID--
 		return "", fmt.Errorf("persisting session registration: %w", err)
 	}
 	s.sessions[id] = t
 	s.order = append(s.order, id)
 	s.met.activeSessions.Add(1)
+	// Into the scheduler last: t is fully built and published, and
+	// s.mu → sched.mu is the sanctioned lock order.
+	s.sched.add(t)
 	return id, nil
 }
 
@@ -598,46 +675,138 @@ func strategyFor(req MonteCarloRequest, m cloud.MarketView) (replay.Strategy, er
 
 // handlePrices ingests spot-price ticks. The body is a stream: either a
 // single JSON array of ticks or whitespace/newline-separated tick
-// objects (NDJSON). Each tick is applied — locking only the target
-// (type, zone) shard — and tracked sessions advanced across any crossed
-// window boundaries — before the next one is read, so an arbitrarily
-// long feed ingests in constant memory and feeds for different markets
-// never contend on a global write lock.
+// objects (NDJSON). Ticks are validated eagerly, staged per (type,
+// zone) shard and applied as batches — one shard lock acquisition and
+// one WAL group commit per batch — by the shard's applier goroutine, so
+// an arbitrarily long feed ingests in bounded memory, feeds for
+// different markets never contend, and the request path never runs a
+// session re-optimization: ingest latency is independent of how many
+// sessions the ticks invalidate. A shard whose applier queue stays full
+// answers 429 with Retry-After — the backpressure signal.
+//
+// The response is written after every staged batch has applied, so
+// MarketVersion/Ticks/Samples reflect exactly this request's feed.
+// Session re-optimization runs asynchronously: the default response
+// reports Reoptimized/Completed as 0; ?sync=1 drains the scheduler
+// before answering and reports how many re-optimizations and
+// completions landed server-wide while the request waited (an empty
+// ?sync=1 feed is therefore an operational flush).
 func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
-	var resp PricesResponse
-	apply := func(tick PriceTick) error {
-		key := cloud.MarketKey{Type: tick.Type, Zone: tick.Zone}
-		start := time.Now()
-		version, err := s.market.Append(key, tick.Prices)
-		if err != nil {
-			return err
-		}
-		s.met.ingestTicks.Add(1)
-		s.met.ingestSamples.Add(int64(len(tick.Prices)))
-		s.mu.Lock()
-		reopted, completed := s.advanceSessionsLocked(r.Context())
-		s.mu.Unlock()
-		// The ingest histogram covers the whole append→session-invalidate
-		// cycle: a shard whose ticks keep re-optimizing lagging sessions
-		// shows up as a fat tail under its own market label.
-		s.met.observeIngest(key.String(), time.Since(start).Seconds())
-		resp.MarketVersion = version
-		resp.Ticks++
-		resp.Samples += len(tick.Prices)
-		resp.Reoptimized += reopted
-		resp.Completed += completed
-		return nil
+	syncMode := r.URL.Query().Get("sync") == "1"
+	var reoptBase, doneBase int64
+	if syncMode {
+		reoptBase = s.met.reoptimizations.Load()
+		doneBase = s.met.completedSessions.Load()
 	}
 
-	if err := forEachTick(json.NewDecoder(r.Body), func() int { return resp.Ticks }, apply); err != nil {
-		writeError(w, statusOf(err), err)
+	var resp PricesResponse
+	staged := make(map[cloud.MarketKey][][]float64)
+	var batches []*tickBatch
+	ticksSeen := 0
+
+	flush := func(key cloud.MarketKey) error {
+		ticks := staged[key]
+		if len(ticks) == 0 {
+			return nil
+		}
+		delete(staged, key)
+		b := &tickBatch{key: key, ticks: ticks, start: time.Now(), done: make(chan batchResult, 1)}
+		if err := s.ing.enqueue(b); err != nil {
+			return err
+		}
+		batches = append(batches, b)
+		return nil
+	}
+	stage := func(tick PriceTick) error {
+		key := cloud.MarketKey{Type: tick.Type, Zone: tick.Zone}
+		// Validation is eager — before staging — so a malformed tick is
+		// rejected at its position in the stream, exactly as the
+		// tick-at-a-time path did.
+		if err := s.market.ValidateTick(key, tick.Prices); err != nil {
+			return err
+		}
+		staged[key] = append(staged[key], tick.Prices)
+		ticksSeen++
+		if len(staged[key]) >= maxBatchTicks {
+			return flush(key)
+		}
+		return nil
+	}
+	// wait settles every enqueued batch and folds its outcome into the
+	// response. The max composite version across this request's batches
+	// is the version after its last applied tick: versions are allotted
+	// atomically per applied tick, and all of this request's ticks have
+	// applied by the time wait returns.
+	wait := func() error {
+		var firstErr error
+		for _, b := range batches {
+			res := <-b.done
+			resp.Ticks += res.applied
+			for _, t := range b.ticks[:res.applied] {
+				resp.Samples += len(t)
+			}
+			if res.version > resp.MarketVersion {
+				resp.MarketVersion = res.version
+			}
+			if res.err != nil && firstErr == nil {
+				firstErr = res.err
+			}
+		}
+		return firstErr
+	}
+	flushAll := func() error {
+		var firstErr error
+		for key := range staged {
+			if err := flush(key); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	if err := forEachTick(json.NewDecoder(r.Body), func() int { return ticksSeen }, stage); err != nil {
+		// Ticks staged (or batched) before the error still apply — the
+		// old path had applied them already — so settle them before
+		// answering, keeping the partial-apply semantics observable.
+		flushAll()
+		wait()
+		switch {
+		case errors.Is(err, errIngestBacklog):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, errIngestClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, statusOf(err), err)
+		}
+		return
+	}
+	err := flushAll()
+	if werr := wait(); err == nil {
+		err = werr
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, errIngestBacklog):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, errIngestClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, statusOf(fmt.Errorf("after %d ticks: %w", resp.Ticks, err)),
+				fmt.Errorf("after %d ticks: %w", resp.Ticks, err))
+		}
 		return
 	}
 	if resp.Ticks == 0 { // empty feed: report current state
 		resp.MarketVersion = s.market.Version()
 	}
 	resp.FrontierHours = s.market.MinDuration()
-	s.maybeSnapshot()
+	if syncMode {
+		s.sched.drain()
+		resp.Reoptimized = int(s.met.reoptimizations.Load() - reoptBase)
+		resp.Completed = int(s.met.completedSessions.Load() - doneBase)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -722,7 +891,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		wal = s.store.Stats()
 	}
-	s.met.render(w, s.market.Version(), s.market.MinDuration(), s.cache.len(), s.market.ShardStats(), wal)
+	s.met.render(w, s.market.Version(), s.market.MinDuration(), s.cache.len(), s.market.ShardStats(), wal, s.ing.depths())
 }
 
 // handleDebugTrace serves the flight recorder: the most recent completed

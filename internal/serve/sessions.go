@@ -2,7 +2,10 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"strings"
+	"sync"
 
 	"sompi/internal/app"
 	"sompi/internal/cloud"
@@ -29,6 +32,14 @@ type trackedSession struct {
 	id      string
 	profile app.Profile
 	history float64
+	// mu guards every mutable field below: session state moved off the
+	// global s.mu so scheduler workers advancing different sessions
+	// never contend. Lock ordering: t.mu may be taken under s.mu
+	// (listing, snapshot capture) and may be held while taking shard
+	// read locks or the store mutex (advance + persist), but never
+	// while taking sched.mu — workers re-schedule a session only after
+	// releasing it.
+	mu sync.Mutex
 	// base carries the request's optimizer knobs; Market, Profile and
 	// Deadline are refilled at every re-optimization. base.Candidates
 	// pins the request's Types/Zones restriction across re-plans.
@@ -79,7 +90,7 @@ type trackedSession struct {
 // signals a runaway trigger loop rather than normal operation.
 const maxAuditRecords = 256
 
-// recordAudit appends one decision record. Caller holds s.mu; newPlan is
+// recordAudit appends one decision record. Caller holds t.mu; newPlan is
 // nil when the session went terminal without adopting a fresh plan.
 func (s *Server) recordAudit(t *trackedSession, trigger string, newPlan *model.Plan, newCost float64, optErr error) {
 	rec := AuditRecord{
@@ -109,17 +120,19 @@ func (s *Server) recordAudit(t *trackedSession, trigger string, newPlan *model.P
 	t.audit = append(t.audit, rec)
 }
 
-// info renders the session's observable state. Caller holds s.mu. The
-// audit log is copied so the caller can marshal it after releasing the
-// lock while re-optimizations keep appending.
+// info renders the session's observable state under the session's own
+// lock. The audit log is copied so the caller can marshal it after the
+// lock is released while re-optimizations keep appending.
 func (t *trackedSession) info() SessionInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var audit []AuditRecord
 	if len(t.audit) > 0 {
 		audit = make([]AuditRecord, len(t.audit))
 		copy(audit, t.audit)
 	}
 	return SessionInfo{
-		Audit: audit,
+		Audit:         audit,
 		ID:            t.id,
 		App:           t.profile.Name,
 		DeadlineHours: t.sess.Deadline,
@@ -135,37 +148,41 @@ func (t *trackedSession) info() SessionInfo {
 	}
 }
 
-// advanceSessionsLocked drives every live session up to the price
-// frontier of its own candidate shards, one T_m window at a time — a
-// session re-optimizes only when a shard in its plan's universe advanced
-// past its boundary. Caller holds s.mu for writing, so the session
-// registry is quiescent; the market itself synchronizes per shard.
-// Returns how many window-boundary re-optimizations ran and how many
-// sessions reached a terminal state.
-func (s *Server) advanceSessionsLocked(ctx context.Context) (reopted, completed int) {
-	for _, id := range s.order {
-		t := s.sessions[id]
-		frontier := s.market.MinDurationFor(t.keys)
-		for !t.done && t.boundary <= frontier+1e-9 {
-			r, done := s.advanceWindowLocked(ctx, t)
-			reopted += r
-			if done {
-				completed++
-			}
-			// Every window transition is durable: the session either
-			// advanced, re-optimized or went terminal, and a crash right
-			// after this line restores exactly that state.
-			s.persistSessionLocked(t)
+// advanceSession drives one session up to the price frontier of its own
+// candidate shards, one T_m window at a time, under the session's lock.
+// Scheduler workers call it off the request path; the loop holds t.mu
+// across each window's replay, re-optimization and WAL append so a
+// snapshot capture (which takes the same lock) always sees a state the
+// log reaches exactly.
+func (s *Server) advanceSession(ctx context.Context, t *trackedSession) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for !t.done && t.boundary <= s.market.MinDurationFor(t.keys)+1e-9 {
+		aborted := s.advanceWindow(ctx, t)
+		if aborted {
+			// Shutdown cancelled the optimization mid-window; the session
+			// was restored to its pre-window state and its boundary stays
+			// in the WAL for the next boot to reschedule.
+			return
 		}
+		// Every window transition is durable: the session either
+		// advanced, re-optimized or went terminal, and a crash right
+		// after this line restores exactly that state.
+		s.persistSession(t)
 	}
-	return reopted, completed
 }
 
-// advanceWindowLocked replays one window of the session's current plan
-// (up to its boundary) and re-optimizes the residual. It reports whether
-// a re-optimization ran and whether the session reached a terminal
-// state.
-func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (reopted int, done bool) {
+// advanceWindow replays one window of the session's current plan (up to
+// its boundary) and re-optimizes the residual. Caller holds t.mu. It
+// reports whether the window was aborted by server shutdown — the only
+// outcome that leaves the session unchanged.
+func (s *Server) advanceWindow(ctx context.Context, t *trackedSession) (aborted bool) {
+	// Capture the replay state first: a shutdown that cancels the
+	// optimizer mid-window must not strand the session half-advanced
+	// with no adopted plan (it would be misrecorded as a terminal
+	// opt_error), so the abort path restores this and retries after
+	// restart.
+	saved := *t.sess
 	// Retention guard: New rejects retain < history + window for the
 	// server defaults, but a request can ask for a longer history and a
 	// lagging session can fall behind compaction. If this window's
@@ -181,7 +198,8 @@ func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (re
 	}
 	if t.sess.Completed {
 		s.recordAudit(t, "completed", nil, 0, nil)
-		return 0, s.finishSessionLocked(t)
+		s.finishSession(t)
+		return false
 	}
 
 	leftover := t.sess.Remaining()
@@ -192,8 +210,9 @@ func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (re
 		// is price-independent, so replaying it past the frontier peeks
 		// at nothing.
 		s.recordAudit(t, "recovered_on_demand", nil, 0, nil)
-		s.recoverOnDemandLocked(t)
-		return 0, s.finishSessionLocked(t)
+		s.recoverOnDemand(t)
+		s.finishSession(t)
+		return false
 	}
 
 	// Algorithm 1's window boundary: train on the trailing history,
@@ -202,7 +221,6 @@ func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (re
 	cfg := t.base
 	cfg.Profile = resid
 	trainStart := math.Max(0, t.boundary-t.history)
-	cfg.Market = s.market.Window(trainStart, t.boundary-trainStart)
 	cfg.Deadline = leftover
 	if fastest := opt.FastestOnDemand(t.base.OnDemandTypes, resid); leftover-fastest.T*1.02 < 2 {
 		// Too close to the deadline for exploration: only plans that are
@@ -224,26 +242,59 @@ func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (re
 		// Registry strategy: re-plan the residual through the strategy's
 		// own policy. The committed-window MaxAllFail tightening above is
 		// an optimizer knob; strategies carry their own risk posture.
+		// Strategies skip the single-flight dedup — their planning may be
+		// stateful (adaptive-ckpt's cadence pass), so two sessions are
+		// only provably identical on the default path.
+		cfg.Market = s.market.Window(trainStart, t.boundary-trainStart)
 		strategy.Configure(t.strat, t.keys, s.reuse)
 		var p strategy.Plan
 		p, _, err = t.strat.Plan(ctx, cfg.Market,
 			strategy.Workload{Profile: resid}, strategy.Deadline{Hours: leftover})
 		res = opt.Result{Plan: p.Model, Est: p.Est, Evals: p.Evals, Pruned: p.Pruned, SavedEvals: p.SavedEvals}
+		s.met.evalsSaved.Add(int64(res.SavedEvals))
 	} else {
-		if len(t.plan.Groups) > 0 {
-			if hint, ok := opt.WarmBound(cfg, t.plan); ok {
-				cfg.InitialIncumbent = hint
-				s.met.warmStarts.Add(1)
+		// Identical sessions hitting the same boundary coalesce onto one
+		// optimizer run. The search-effort counters live inside the
+		// leader's closure so a deduplicated re-opt counts its shared run
+		// once, not k times.
+		var shared bool
+		res, shared, err = s.reopts.do(ctx, s.reoptKey(t, cfg, leftover, trainStart), func() (opt.Result, error) {
+			// The training-window snapshot is built inside the leader's
+			// closure: it copies every candidate shard's history under
+			// read locks, and followers sharing the leader's result never
+			// need it — k coalesced sessions pay for one copy, not k.
+			run := cfg
+			run.Market = s.market.Window(trainStart, t.boundary-trainStart)
+			if len(t.plan.Groups) > 0 {
+				if hint, ok := opt.WarmBound(run, t.plan); ok {
+					run.InitialIncumbent = hint
+					s.met.warmStarts.Add(1)
+				}
 			}
+			r, e := opt.OptimizeContext(ctx, run)
+			s.met.evalsSaved.Add(int64(r.SavedEvals))
+			if e == nil {
+				s.met.evals.Add(int64(r.Evals))
+				s.met.pruned.Add(int64(r.Pruned))
+			}
+			return r, e
+		})
+		if shared {
+			s.met.reoptDeduped.Add(1)
 		}
-		res, err = opt.OptimizeContext(ctx, cfg)
 	}
-	s.met.evalsSaved.Add(int64(res.SavedEvals))
 	switch {
 	case err != nil:
+		if ctx.Err() != nil {
+			// Server shutdown, not an optimizer failure: undo the window's
+			// replay and leave the session exactly where the WAL has it.
+			*t.sess = saved
+			return true
+		}
 		s.recordAudit(t, "opt_error", nil, 0, err)
-		s.recoverOnDemandLocked(t)
-		return 0, s.finishSessionLocked(t)
+		s.recoverOnDemand(t)
+		s.finishSession(t)
+		return false
 	case len(res.Plan.Groups) == 0:
 		// The optimizer's best feasible plan is pure on-demand: run it
 		// out (price-independent, so no peeking).
@@ -251,9 +302,8 @@ func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (re
 		t.sess.Advance(res.Plan, math.Inf(1))
 		t.reopts++
 		s.met.reoptimizations.Add(1)
-		s.met.evals.Add(int64(res.Evals))
-		s.met.pruned.Add(int64(res.Pruned))
-		return 1, s.finishSessionLocked(t)
+		s.finishSession(t)
+		return false
 	default:
 		s.recordAudit(t, "reoptimized", &res.Plan, res.Est.Cost, nil)
 		t.plan = res.Plan
@@ -268,16 +318,36 @@ func (s *Server) advanceWindowLocked(ctx context.Context, t *trackedSession) (re
 		t.boundary += s.window
 		t.reopts++
 		s.met.reoptimizations.Add(1)
-		s.met.evals.Add(int64(res.Evals))
-		s.met.pruned.Add(int64(res.Pruned))
-		return 1, false
+		return false
 	}
 }
 
-// recoverOnDemandLocked runs the session's remaining work to completion
-// on the fastest on-demand fleet for the residual profile — the same
+// reoptKey is the dedup key for a session re-optimization: every knob
+// that determines the optimizer's inputs at this boundary. The market
+// content is pinned not by a version vector (which moves with every
+// heartbeat tick while workers run) but by the training window itself:
+// once the frontier of the session's shards has crossed the boundary,
+// the samples inside [trainStart, boundary) are immutable — appends
+// only extend past the frontier — except for retention truncation,
+// which the effective retained start pins. Two sessions with equal keys
+// therefore hand the optimizer bit-identical inputs, and the warm-start
+// incumbent (deliberately excluded) provably never changes the result
+// (see opt.Config.InitialIncumbent).
+func (s *Server) reoptKey(t *trackedSession, cfg opt.Config, leftover, trainStart float64) string {
+	effStart := math.Max(trainStart, s.market.RetainedStartFor(t.keys))
+	return fmt.Sprintf("reopt|%s|%g|%d|%d|%d|%d|%g|%g|%t|%t|t:%s|z:%s|s:%s|sp{%s}|sc:%v|lo:%v|ts:%v|b:%v|es:%v|maf:%v",
+		t.profile.Name, t.history, cfg.Workers, cfg.Kappa, cfg.GridLevels, cfg.MaxGroups,
+		cfg.Slack, t.base.MaxAllFail, cfg.DisableCheckpoints, cfg.DisablePruning,
+		strings.Join(t.req.Types, ","), strings.Join(t.req.Zones, ","),
+		t.req.Strategy, canonicalParams(t.req.StrategyParams),
+		1-t.sess.Progress, leftover, trainStart, t.boundary, effStart, cfg.MaxAllFail)
+}
+
+// recoverOnDemand runs the session's remaining work to completion on
+// the fastest on-demand fleet for the residual profile — the same
 // fallback opt.Adaptive takes when a window leaves no feasible plan.
-func (s *Server) recoverOnDemandLocked(t *trackedSession) {
+// Caller holds t.mu.
+func (s *Server) recoverOnDemand(t *trackedSession) {
 	if t.sess.Progress >= 1 {
 		return
 	}
@@ -286,10 +356,10 @@ func (s *Server) recoverOnDemandLocked(t *trackedSession) {
 	t.sess.Advance(model.Plan{Recovery: fastest}, math.Inf(1))
 }
 
-// finishSessionLocked marks the session terminal and moves the gauges.
-func (s *Server) finishSessionLocked(t *trackedSession) bool {
+// finishSession marks the session terminal and moves the gauges. Caller
+// holds t.mu.
+func (s *Server) finishSession(t *trackedSession) {
 	t.done = true
 	s.met.activeSessions.Add(-1)
 	s.met.completedSessions.Add(1)
-	return true
 }

@@ -429,6 +429,47 @@ func (s *Store) Append(rec Record) error {
 	return nil
 }
 
+// AppendBatch frames and appends a run of records under one mutex hold
+// with a single trailing fsync — the group commit the batched ingest
+// path rides on. It returns how many leading records are durably in the
+// log: a write failure at record i returns (i, err) and nothing from i
+// onward was logged; a trailing fsync failure returns (len(recs), err)
+// because every frame is in the log and will be seen by replay — the
+// caller must treat the batch as logged (the exposure is the same
+// tail-loss window as running with Options.Fsync off).
+func (s *Store) AppendBatch(recs []Record) (int, error) {
+	frames := make([][]byte, len(recs))
+	for i, rec := range recs {
+		frames[i] = EncodeRecord(rec)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return 0, ErrClosed
+	case !s.recovered:
+		return 0, ErrNotRecovered
+	}
+	for i, frame := range frames {
+		if s.size >= s.opts.SegmentBytes {
+			if err := s.rotateLocked(); err != nil {
+				return i, err
+			}
+		}
+		if _, err := s.f.Write(frame); err != nil {
+			return i, fmt.Errorf("store: appending to segment %d: %w", s.active, err)
+		}
+		s.size += int64(len(frame))
+		s.appended++
+	}
+	if s.opts.Fsync && len(recs) > 0 {
+		if err := s.syncLocked(); err != nil {
+			return len(recs), err
+		}
+	}
+	return len(recs), nil
+}
+
 // rotateLocked seals the active segment (fsync + close) and opens the
 // next one.
 func (s *Store) rotateLocked() error {
