@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve-smoke tournament-smoke fuzz bench obs-bench bench-serve check
+.PHONY: all build vet test race serve-smoke tournament-smoke replay-smoke fuzz bench obs-bench bench-serve bench-replay check
 
 all: check
 
@@ -34,6 +34,14 @@ serve-smoke:
 tournament-smoke:
 	$(GO) run ./cmd/sompi tournament -smoke > /dev/null
 
+# Capture/replay end-to-end gate: boot sompid -capture-log and drive
+# mixed traffic, SIGTERM-seal the log, twin-diff the replay against an
+# in-memory and a -data-dir sompid (zero plan-byte diffs, rules file
+# passes), prove a violated rules file exits with the rules code, and
+# run the sustained-load mode with -append-bench against a scratch copy.
+replay-smoke:
+	$(GO) run ./cmd/replay-smoke
+
 # Short-budget fuzz pass over the WAL record codec: the decoders must
 # return typed errors, never panic, on arbitrary torn/corrupt input.
 # (go test -fuzz takes one target per invocation.)
@@ -41,8 +49,9 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/store -run '^$$' -fuzz 'FuzzDecodeRecord' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store -run '^$$' -fuzz 'FuzzDecodeTick' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/harness -run '^$$' -fuzz 'FuzzDecodeCaptureRecord' -fuzztime $(FUZZTIME)
 
-check: build vet race serve-smoke tournament-smoke
+check: build vet race serve-smoke tournament-smoke replay-smoke
 
 # Regenerate the optimizer benchmark-regression file. Compares the
 # exhaustive serial search against branch-and-bound and the parallel
@@ -62,3 +71,10 @@ obs-bench:
 # identical ones share a single optimizer run).
 bench-serve:
 	$(GO) run ./cmd/bench-serve -out BENCH_serve.json
+
+# Sustained-load replay against a live sompid: synthesize a mixed
+# plan/ingest/listing capture, replay it full speed, and append the
+# plan QPS / ingest QPS / p99-under-mixed-load summary to
+# BENCH_serve.json under the "replay" key.
+bench-replay:
+	$(GO) run ./cmd/bench-replay -out BENCH_serve.json

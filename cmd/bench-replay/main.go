@@ -1,0 +1,215 @@
+// Command bench-replay is the sustained-load replay benchmark behind
+// `make bench-replay`: it synthesizes a mixed plan/ingest/listing
+// capture with the harness writer, boots a real sompid on an ephemeral
+// port, replays the capture full speed at a fixed concurrency, and
+// appends the plan QPS / ingest QPS / p99-under-mixed-load summary to
+// a BENCH_serve.json-style file under the "replay" key.
+//
+// Usage:
+//
+//	bench-replay [-out BENCH_serve.json] [-rounds 200] [-concurrency 8]
+//	             [-hours 240] [-seed 7]
+//
+// Each round is two plan requests (cycling three deadlines, so the plan
+// cache sees repeats), two ingest posts and periodically a strategies
+// listing — a mixed read/write load, which is what makes the recorded
+// p99 numbers meaningful: plans are served while the market underneath
+// them is being invalidated.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"sompi/internal/cloud"
+	"sompi/internal/harness"
+	"sompi/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench-replay: ")
+	var (
+		out         = flag.String("out", "BENCH_serve.json", "bench file to merge the replay summary into")
+		rounds      = flag.Int("rounds", 200, "synthesized load rounds (2 plans + 2 ingests each)")
+		concurrency = flag.Int("concurrency", 8, "in-flight replay requests")
+		hours       = flag.Float64("hours", 240, "synthesized market hours")
+		seed        = flag.Uint64("seed", 7, "market seed")
+	)
+	flag.Parse()
+	if err := run(*out, *rounds, *concurrency, *hours, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out string, rounds, concurrency int, hours float64, seed uint64) error {
+	tmp, err := os.MkdirTemp("", "sompi-bench-replay")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	capDir := filepath.Join(tmp, "capture")
+	records, err := synthesize(capDir, rounds)
+	if err != nil {
+		return err
+	}
+
+	bin := filepath.Join(tmp, "sompid")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sompid")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building sompid: %w", err)
+	}
+	cmd, base, err := startSompid(bin, hours, seed)
+	if err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+
+	fmt.Printf("bench-replay: replaying %d records at concurrency %d against %s\n", records, concurrency, base)
+	loaded, err := harness.Load(capDir)
+	if err != nil {
+		return err
+	}
+	rep, err := harness.Replay(context.Background(), loaded, harness.Options{
+		Targets:     []harness.Target{{Name: "sompid", URL: base}},
+		Concurrency: concurrency,
+	})
+	if err != nil {
+		return err
+	}
+	if rep.TransportErrors > 0 {
+		return fmt.Errorf("%d transport errors during the bench replay", rep.TransportErrors)
+	}
+	if err := harness.AppendBench(out, rep); err != nil {
+		return err
+	}
+	s := rep.Summarize()
+	fmt.Printf("bench-replay: %d records in %.2fs (%.0f qps): plan p99 %.2fms at %.0f qps, ingest p99 %.2fms at %.0f qps -> %s\n",
+		s.Records, s.WallSeconds, s.QPS,
+		s.Endpoints["plan"].P99MS, s.Endpoints["plan"].QPS,
+		s.Endpoints["prices"].P99MS, s.Endpoints["prices"].QPS, out)
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("sompid exited uncleanly: %w", err)
+		}
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("sompid did not exit within 15s of SIGTERM")
+	}
+	return nil
+}
+
+// synthesize writes the mixed-load capture and reports its record count.
+func synthesize(dir string, rounds int) (int, error) {
+	w, err := harness.OpenWriter(dir, 1024)
+	if err != nil {
+		return 0, err
+	}
+	var plans [][]byte
+	for _, dl := range []float64{60, 72, 90} {
+		b, _ := json.Marshal(serve.PlanRequest{
+			App: "BT", DeadlineHours: dl,
+			Workers: 1, Kappa: 2, GridLevels: 3, MaxGroups: 3,
+		})
+		plans = append(plans, b)
+	}
+	keys := []cloud.MarketKey{
+		{Type: cloud.M1Medium.Name, Zone: cloud.ZoneA},
+		{Type: cloud.M1Small.Name, Zone: cloud.ZoneB},
+	}
+	n := 0
+	appendRec := func(rec harness.Record) error {
+		if err := w.Append(rec); err != nil {
+			return err
+		}
+		n++
+		return nil
+	}
+	for i := 0; i < rounds; i++ {
+		for j := 0; j < 2; j++ {
+			if err := appendRec(harness.Record{
+				Endpoint: "plan", Method: "POST", Path: "/v1/plan",
+				Body: string(plans[(2*i+j)%len(plans)]), Status: 200,
+			}); err != nil {
+				return 0, err
+			}
+			key := keys[(i+j)%len(keys)]
+			tick, _ := json.Marshal([]serve.PriceTick{{Type: key.Type, Zone: key.Zone, Prices: []float64{0.05}}})
+			if err := appendRec(harness.Record{
+				Endpoint: "prices", Method: "POST", Path: "/v1/prices",
+				Body: string(tick), Status: 200,
+			}); err != nil {
+				return 0, err
+			}
+		}
+		if i%8 == 0 {
+			if err := appendRec(harness.Record{Endpoint: "strategies", Method: "GET", Path: "/v1/strategies", Status: 200}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return n, w.Close()
+}
+
+// startSompid boots the built binary and returns the process plus its
+// announced base URL.
+func startSompid(bin string, hours float64, seed uint64) (*exec.Cmd, string, error) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-hours", fmt.Sprint(hours),
+		"-seed", fmt.Sprint(seed))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("starting sompid: %w", err)
+	}
+	sc := bufio.NewScanner(stdout)
+	base := ""
+	for lines := 0; base == "" && lines < 20 && sc.Scan(); lines++ {
+		banner := sc.Text()
+		if i := strings.Index(banner, "http://"); i >= 0 {
+			base = strings.Fields(banner[i:])[0]
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		return nil, "", fmt.Errorf("sompid never printed a listen banner on stdout")
+	}
+	go io.Copy(io.Discard, stdout)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, base, nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	return nil, "", fmt.Errorf("sompid never became healthy")
+}

@@ -1,0 +1,469 @@
+// Command replay-smoke is the capture/replay end-to-end gate behind
+// `make replay-smoke`. Four stages against real processes:
+//
+//  1. Capture: boot sompid -capture-log, drive mixed v1 traffic (plans
+//     with a cache hit, an explained plan, a synchronous ingest, an
+//     evaluate, a seeded Monte Carlo, the GET listings), SIGTERM, and
+//     assert the log sealed into complete segments.
+//  2. Twin-diff: boot an in-memory sompid and a -data-dir sompid at the
+//     same market seed, replay the captured log against both through
+//     the sompi-replay binary under a passing rules file, and require
+//     exit 0 with zero plan-byte diffs and zero field diffs.
+//  3. Gate demo: re-run the same replay under an impossible latency
+//     budget and require the distinct rules exit code — the regression
+//     gate must actually be able to fail.
+//  4. Sustained load: synthesize a mixed plan/ingest/listing capture
+//     with the harness writer, replay it full speed at concurrency 4
+//     against a fresh sompid, and verify -append-bench merges a replay
+//     summary (QPS, per-endpoint p99) into a BENCH_serve.json copy
+//     without disturbing the benchmarks already there.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"sompi/internal/cloud"
+	"sompi/internal/harness"
+	"sompi/internal/serve"
+)
+
+const (
+	smokeHours = 240
+	smokeSeed  = 7
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("replay-smoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("replay-smoke: PASS")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "sompi-replay-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	sompid := filepath.Join(tmp, "sompid")
+	replayBin := filepath.Join(tmp, "sompi-replay")
+	for bin, pkg := range map[string]string{sompid: "./cmd/sompid", replayBin: "./cmd/sompi-replay"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building %s: %w", pkg, err)
+		}
+	}
+
+	capDir := filepath.Join(tmp, "capture")
+	captured, err := captureStage(sompid, capDir)
+	if err != nil {
+		return fmt.Errorf("capture stage: %w", err)
+	}
+	if err := twinDiffStage(tmp, sompid, replayBin, capDir, captured); err != nil {
+		return fmt.Errorf("twin-diff stage: %w", err)
+	}
+	if err := sustainedLoadStage(tmp, sompid, replayBin); err != nil {
+		return fmt.Errorf("sustained-load stage: %w", err)
+	}
+	return nil
+}
+
+// planBody is the deterministic plan request every stage reuses
+// (workers=1 keeps search-effort counters reproducible across twins).
+func planBody() []byte {
+	b, _ := json.Marshal(serve.PlanRequest{
+		App: "BT", DeadlineHours: 60,
+		Workers: 1, Kappa: 2, GridLevels: 3, MaxGroups: 3,
+	})
+	return b
+}
+
+// captureStage boots a capturing sompid, drives one of everything, and
+// verifies SIGTERM seals the log into complete segments.
+func captureStage(sompid, capDir string) (int, error) {
+	cmd, base, err := startSompid(sompid, "-capture-log", capDir, "-capture-segment", "4")
+	if err != nil {
+		return 0, err
+	}
+	defer cmd.Process.Kill()
+
+	plan := planBody()
+	mc, _ := json.Marshal(serve.MonteCarloRequest{
+		App: "BT", DeadlineHours: 60, Runs: 4, Seed: 11, Workers: 1,
+	})
+	tick, _ := json.Marshal([]serve.PriceTick{{
+		Type: cloud.M1Medium.Name, Zone: cloud.ZoneA, Prices: []float64{0.05, 0.06},
+	}})
+
+	// The first plan request doubles as the evaluate stage's input: its
+	// served plan is re-posted to /v1/evaluate, so the capture carries a
+	// structurally valid evaluate body.
+	resp, err := http.Post(base+"/v1/plan", "application/json", bytes.NewReader(plan))
+	if err != nil {
+		return 0, fmt.Errorf("first plan: %w", err)
+	}
+	servedPlan, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("first plan: %d %s", resp.StatusCode, servedPlan)
+	}
+	var pr serve.PlanResponse
+	if err := json.Unmarshal(servedPlan, &pr); err != nil {
+		return 0, fmt.Errorf("first plan body: %w", err)
+	}
+	eval, _ := json.Marshal(serve.EvaluateRequest{App: "BT", Plan: pr.Plan})
+
+	traffic := []struct {
+		method, path string
+		body         []byte
+	}{
+		{"POST", "/v1/plan", plan}, // identical: the twin replay must see a cache hit
+		{"POST", "/v1/plan?explain=1", plan},
+		{"POST", "/v1/prices?sync=1", tick},
+		{"POST", "/v1/evaluate", eval},
+		{"POST", "/v1/montecarlo", mc},
+		{"GET", "/v1/sessions", nil},
+		{"GET", "/v1/strategies", nil},
+	}
+	for i, tr := range traffic {
+		req, err := http.NewRequest(tr.method, base+tr.path, bytes.NewReader(tr.body))
+		if err != nil {
+			return 0, err
+		}
+		if tr.body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, fmt.Errorf("traffic %d %s %s: %w", i, tr.method, tr.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("traffic %d %s %s: %d %s", i, tr.method, tr.path, resp.StatusCode, body)
+		}
+	}
+
+	if err := stopGracefully(cmd); err != nil {
+		return 0, err
+	}
+
+	// SIGTERM must have sealed everything: only final-named segments.
+	entries, err := os.ReadDir(capDir)
+	if err != nil {
+		return 0, err
+	}
+	segments := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".part") {
+			return 0, fmt.Errorf("capture log still has an unsealed segment %s after SIGTERM", e.Name())
+		}
+		segments++
+	}
+	records, err := harness.Load(capDir)
+	if err != nil {
+		return 0, err
+	}
+	requests := len(traffic) + 1 // the first plan request is captured too
+	if len(records) != requests {
+		return 0, fmt.Errorf("captured %d records for %d requests", len(records), requests)
+	}
+	if segments < 2 {
+		return 0, fmt.Errorf("%d requests at -capture-segment 4 produced %d segments, want rotation", requests, segments)
+	}
+	for i, rec := range records {
+		if rec.Seq != i || rec.RequestID == "" || rec.Status != http.StatusOK {
+			return 0, fmt.Errorf("capture record %d malformed: %+v", i, rec)
+		}
+	}
+	fmt.Printf("replay-smoke: captured %d records across %d sealed segments\n", len(records), segments)
+	return len(records), nil
+}
+
+// twinDiffStage replays the capture against an in-memory and a durable
+// sompid at the same market seed: rules must pass with zero diffs, and
+// an impossible budget must trip the distinct rules exit code.
+func twinDiffStage(tmp, sompid, replayBin, capDir string, captured int) error {
+	mem, memBase, err := startSompid(sompid)
+	if err != nil {
+		return err
+	}
+	defer mem.Process.Kill()
+	disk, diskBase, err := startSompid(sompid, "-data-dir", filepath.Join(tmp, "twin-data"))
+	if err != nil {
+		return err
+	}
+	defer disk.Process.Kill()
+
+	// The passing gate: twin equivalence (zero plan-byte diffs, zero
+	// field diffs), a latency budget loose enough for CI hardware, and a
+	// hit-rate floor the repeated identical plan must clear.
+	rules := filepath.Join(tmp, "rules.json")
+	if err := os.WriteFile(rules, []byte(`{
+  "max_plan_diffs": 0,
+  "max_field_diffs": 0,
+  "max_transport_errors": 0,
+  "min_cache_hit_rate": 0.1,
+  "endpoints": {
+    "plan":       {"p99_ms": 60000, "max_error_rate": 0},
+    "prices":     {"p99_ms": 60000, "max_error_rate": 0},
+    "montecarlo": {"p99_ms": 60000, "max_error_rate": 0}
+  }
+}
+`), 0o644); err != nil {
+		return err
+	}
+	report := filepath.Join(tmp, "report.json")
+	out, code, err := runReplay(replayBin,
+		"-log", capDir,
+		"-target", "mem="+memBase, "-target", "disk="+diskBase,
+		"-rules", rules, "-out", report)
+	if err != nil {
+		return err
+	}
+	if code != harness.ExitOK {
+		return fmt.Errorf("twin-diff replay exited %d, want %d:\n%s", code, harness.ExitOK, out)
+	}
+	var rep harness.Report
+	data, err := os.ReadFile(report)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("report.json: %w", err)
+	}
+	if rep.Records != captured {
+		return fmt.Errorf("report covers %d records, capture had %d", rep.Records, captured)
+	}
+	if rep.PlanDiffs != 0 || rep.FieldDiffs != 0 || rep.TransportErrors != 0 {
+		return fmt.Errorf("twins diverged: %d plan diffs, %d field diffs, %d transport errors\n%s",
+			rep.PlanDiffs, rep.FieldDiffs, rep.TransportErrors, out)
+	}
+	hit := false
+	for _, t := range rep.Targets {
+		if rate, ok := t.HitRate(); ok && rate > 0 {
+			hit = true
+		}
+	}
+	if !hit {
+		return fmt.Errorf("replayed identical plans produced no cache hit on either twin:\n%s", out)
+	}
+	fmt.Printf("replay-smoke: twin-diff mem vs disk over %d records: 0 plan diffs, 0 field diffs, rules passed\n", rep.Records)
+
+	// The gate must be able to fail: a sub-microsecond p99 budget no
+	// real replay can meet has to exit with the rules code, nothing else.
+	badRules := filepath.Join(tmp, "bad-rules.json")
+	if err := os.WriteFile(badRules, []byte(`{"endpoints":{"plan":{"p99_ms":0.0001}}}`), 0o644); err != nil {
+		return err
+	}
+	out, code, err = runReplay(replayBin,
+		"-log", capDir,
+		"-target", "mem="+memBase, "-target", "disk="+diskBase,
+		"-rules", badRules)
+	if err != nil {
+		return err
+	}
+	if code != harness.ExitRules {
+		return fmt.Errorf("violated rules file exited %d, want %d:\n%s", code, harness.ExitRules, out)
+	}
+	if !strings.Contains(out, "RULE VIOLATION p99_ms[plan]") {
+		return fmt.Errorf("violation output names no p99_ms[plan] rule:\n%s", out)
+	}
+	fmt.Printf("replay-smoke: impossible latency budget tripped exit code %d as designed\n", harness.ExitRules)
+
+	if err := stopGracefully(mem); err != nil {
+		return err
+	}
+	return stopGracefully(disk)
+}
+
+// sustainedLoadStage synthesizes a mixed-load capture, replays it full
+// speed at concurrency 4 against one sompid, and checks -append-bench
+// merges the throughput summary into a BENCH_serve.json-style file.
+func sustainedLoadStage(tmp, sompid, replayBin string) error {
+	loadDir := filepath.Join(tmp, "load-capture")
+	w, err := harness.OpenWriter(loadDir, 256)
+	if err != nil {
+		return err
+	}
+	plans := [][]byte{planBody()}
+	for _, dl := range []float64{72, 90} {
+		b, _ := json.Marshal(serve.PlanRequest{
+			App: "BT", DeadlineHours: dl,
+			Workers: 1, Kappa: 2, GridLevels: 3, MaxGroups: 3,
+		})
+		plans = append(plans, b)
+	}
+	tick, _ := json.Marshal([]serve.PriceTick{{
+		Type: cloud.M1Small.Name, Zone: cloud.ZoneB, Prices: []float64{0.1},
+	}})
+	const rounds = 40
+	for i := 0; i < rounds; i++ {
+		recs := []harness.Record{
+			{Endpoint: "plan", Method: "POST", Path: "/v1/plan", Body: string(plans[i%len(plans)]), Status: 200},
+			{Endpoint: "prices", Method: "POST", Path: "/v1/prices", Body: string(tick), Status: 200},
+		}
+		if i%4 == 0 {
+			recs = append(recs, harness.Record{Endpoint: "strategies", Method: "GET", Path: "/v1/strategies", Status: 200})
+		}
+		for _, rec := range recs {
+			if err := w.Append(rec); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+
+	cmd, base, err := startSompid(sompid)
+	if err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+
+	// Seed the bench copy with an existing key: the merge must keep it.
+	bench := filepath.Join(tmp, "BENCH_serve.json")
+	if err := os.WriteFile(bench, []byte(`{"existing_suite":{"note":"must survive"}}`), 0o644); err != nil {
+		return err
+	}
+	out, code, err := runReplay(replayBin,
+		"-log", loadDir,
+		"-target", "mem="+base,
+		"-concurrency", "4",
+		"-append-bench", bench)
+	if err != nil {
+		return err
+	}
+	if code != harness.ExitOK {
+		return fmt.Errorf("sustained-load replay exited %d:\n%s", code, out)
+	}
+
+	data, err := os.ReadFile(bench)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Existing json.RawMessage `json:"existing_suite"`
+		Replay   struct {
+			Records   int     `json:"records"`
+			QPS       float64 `json:"qps"`
+			Endpoints map[string]struct {
+				QPS   float64 `json:"qps"`
+				P99MS float64 `json:"p99_ms"`
+			} `json:"endpoints"`
+		} `json:"replay"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("bench file after append: %w (%s)", err, data)
+	}
+	if doc.Existing == nil {
+		return fmt.Errorf("-append-bench dropped pre-existing keys: %s", data)
+	}
+	if doc.Replay.Records == 0 || doc.Replay.QPS <= 0 {
+		return fmt.Errorf("replay summary empty: %s", data)
+	}
+	for _, ep := range []string{"plan", "prices"} {
+		e, ok := doc.Replay.Endpoints[ep]
+		if !ok || e.QPS <= 0 || e.P99MS <= 0 {
+			return fmt.Errorf("replay summary missing %s throughput: %s", ep, data)
+		}
+	}
+	fmt.Printf("replay-smoke: sustained load %d records at %.0f qps (plan p99 %.1fms, ingest p99 %.1fms), bench merge ok\n",
+		doc.Replay.Records, doc.Replay.QPS,
+		doc.Replay.Endpoints["plan"].P99MS, doc.Replay.Endpoints["prices"].P99MS)
+	return stopGracefully(cmd)
+}
+
+// runReplay executes the sompi-replay binary, returning its combined
+// output and exit code (only unexpected failures are errors).
+func runReplay(bin string, args ...string) (string, int, error) {
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0, nil
+	}
+	if exit, ok := err.(*exec.ExitError); ok {
+		return string(out), exit.ExitCode(), nil
+	}
+	return string(out), -1, fmt.Errorf("running sompi-replay: %w\n%s", err, out)
+}
+
+// startSompid boots the built binary and returns the process plus its
+// announced base URL (same contract as serve-smoke's helper).
+func startSompid(bin string, extra ...string) (*exec.Cmd, string, error) {
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-hours", fmt.Sprint(smokeHours),
+		"-seed", fmt.Sprint(smokeSeed)}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("starting sompid: %w", err)
+	}
+	sc := bufio.NewScanner(stdout)
+	base := ""
+	for lines := 0; base == "" && lines < 20 && sc.Scan(); lines++ {
+		banner := sc.Text()
+		if i := strings.Index(banner, "http://"); i >= 0 {
+			base = strings.Fields(banner[i:])[0]
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		return nil, "", fmt.Errorf("sompid never printed a listen banner on stdout")
+	}
+	go io.Copy(io.Discard, stdout)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, base, nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	return nil, "", fmt.Errorf("sompid never became healthy")
+}
+
+// stopGracefully SIGTERMs a sompid and waits for a clean exit.
+func stopGracefully(cmd *exec.Cmd) error {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("sompid exited uncleanly after SIGTERM: %w", err)
+		}
+		return nil
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("sompid did not exit within 15s of SIGTERM")
+	}
+}

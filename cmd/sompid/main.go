@@ -57,23 +57,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sompid: ")
 	var (
-		addr      = flag.String("addr", ":8377", "listen address (use :0 for an ephemeral port)")
-		seed      = flag.Uint64("seed", 42, "market seed for the synthesized market")
-		hours     = flag.Float64("hours", 720, "hours of synthesized price history")
-		traces    = flag.String("traces", "", "load the market from this cmd/tracegen CSV directory instead of synthesizing")
-		window    = flag.Float64("window", 0, "re-optimization window T_m in hours (0 = paper default)")
-		history   = flag.Float64("history", 0, "default training history in hours (0 = default 96)")
-		cache     = flag.Int("cache", 256, "plan cache entries")
-		timeout   = flag.Duration("timeout", 60*time.Second, "per-request timeout for plan/evaluate/montecarlo")
-		retain    = flag.Float64("retain", 0, "per-shard price retention in hours (0 = unbounded): a long-lived feed keeps only this much trailing history per (type, zone) shard, compacting older samples")
-		logFormat = flag.String("log-format", "text", "structured log encoding: text or ndjson")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
-		traceRing = flag.Int("trace-ring", 0, "span ring capacity for /debug/trace (0 = default 4096)")
-		dataDir   = flag.String("data-dir", "", "durability directory for the WAL + snapshots (empty = in-memory only)")
-		fsync     = flag.Bool("fsync", true, "fsync every WAL append (with -data-dir); off trades the tail since the last sync for latency")
-		snapEvery = flag.Int("snapshot-every", 0, "cut a snapshot every N WAL appends (with -data-dir; 0 = default 4096)")
-		ingestQ   = flag.Int("ingest-queue", 0, "per-shard ingest queue capacity in batches; full queues answer 429 (0 = default 1024)")
-		reoptWork = flag.Int("reopt-workers", 0, "session re-optimization worker pool size (0 = default 4)")
+		addr       = flag.String("addr", ":8377", "listen address (use :0 for an ephemeral port)")
+		seed       = flag.Uint64("seed", 42, "market seed for the synthesized market")
+		hours      = flag.Float64("hours", 720, "hours of synthesized price history")
+		traces     = flag.String("traces", "", "load the market from this cmd/tracegen CSV directory instead of synthesizing")
+		window     = flag.Float64("window", 0, "re-optimization window T_m in hours (0 = paper default)")
+		history    = flag.Float64("history", 0, "default training history in hours (0 = default 96)")
+		cache      = flag.Int("cache", 256, "plan cache entries")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-request timeout for plan/evaluate/montecarlo")
+		retain     = flag.Float64("retain", 0, "per-shard price retention in hours (0 = unbounded): a long-lived feed keeps only this much trailing history per (type, zone) shard, compacting older samples")
+		logFormat  = flag.String("log-format", "text", "structured log encoding: text or ndjson")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		traceRing  = flag.Int("trace-ring", 0, "span ring capacity for /debug/trace (0 = default 4096)")
+		dataDir    = flag.String("data-dir", "", "durability directory for the WAL + snapshots (empty = in-memory only)")
+		fsync      = flag.Bool("fsync", true, "fsync every WAL append (with -data-dir); off trades the tail since the last sync for latency")
+		snapEvery  = flag.Int("snapshot-every", 0, "cut a snapshot every N WAL appends (with -data-dir; 0 = default 4096)")
+		ingestQ    = flag.Int("ingest-queue", 0, "per-shard ingest queue capacity in batches; full queues answer 429 (0 = default 1024)")
+		reoptWork  = flag.Int("reopt-workers", 0, "session re-optimization worker pool size (0 = default 4)")
+		captureLog = flag.String("capture-log", "", "capture every v1 request to a segmented NDJSON log under this directory for cmd/sompi-replay (empty = capture off)")
+		captureSeg = flag.Int("capture-segment", 0, "records per capture segment before it is sealed (0 = default 4096)")
 	)
 	flag.Parse()
 
@@ -114,17 +116,19 @@ func main() {
 	}
 
 	s, err := serve.New(serve.Config{
-		Market:         m,
-		WindowHours:    *window,
-		HistoryHours:   *history,
-		CacheSize:      *cache,
-		RequestTimeout: *timeout,
-		TraceRing:      *traceRing,
-		Logger:         logger,
-		Store:          st,
-		SnapshotEvery:  *snapEvery,
-		IngestQueue:    *ingestQ,
-		ReoptWorkers:   *reoptWork,
+		Market:                m,
+		WindowHours:           *window,
+		HistoryHours:          *history,
+		CacheSize:             *cache,
+		RequestTimeout:        *timeout,
+		TraceRing:             *traceRing,
+		Logger:                logger,
+		Store:                 st,
+		SnapshotEvery:         *snapEvery,
+		IngestQueue:           *ingestQ,
+		ReoptWorkers:          *reoptWork,
+		CaptureLog:            *captureLog,
+		CaptureSegmentRecords: *captureSeg,
 	})
 	if err != nil {
 		log.Fatalf("configuring service: %v", err)
@@ -140,6 +144,7 @@ func main() {
 		"log_format", *logFormat, "log_level", *logLevel, "trace_ring", *traceRing,
 		"data_dir", *dataDir, "fsync", *fsync, "snapshot_every", *snapEvery,
 		"ingest_queue", *ingestQ, "reopt_workers", *reoptWork,
+		"capture_log", *captureLog,
 		"market_version", m.Version(), "markets", m.NumMarkets(),
 		"frontier_hours", m.MinDuration())
 

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// EndpointBench is one endpoint's throughput summary in a bench file.
+type EndpointBench struct {
+	QPS   float64 `json:"qps"`
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// BenchSummary is the replay throughput record AppendBench merges into
+// a BENCH_serve.json-style document under the "replay" key.
+type BenchSummary struct {
+	Records     int                      `json:"records"`
+	WallSeconds float64                  `json:"wall_seconds"`
+	QPS         float64                  `json:"qps"`
+	Endpoints   map[string]EndpointBench `json:"endpoints"`
+	PlanDiffs   int                      `json:"plan_diffs"`
+	FieldDiffs  int                      `json:"field_diffs"`
+}
+
+// Summarize folds a replay report into its bench summary. With twin
+// targets the first (the baseline) is summarized.
+func (rep *Report) Summarize() BenchSummary {
+	s := BenchSummary{
+		Records:     rep.Records,
+		WallSeconds: benchRound(rep.WallSeconds),
+		Endpoints:   map[string]EndpointBench{},
+		PlanDiffs:   rep.PlanDiffs,
+		FieldDiffs:  rep.FieldDiffs,
+	}
+	if rep.WallSeconds > 0 {
+		s.QPS = benchRound(float64(rep.Records) / rep.WallSeconds)
+	}
+	if len(rep.Targets) > 0 {
+		for name, ep := range rep.Targets[0].Endpoints {
+			s.Endpoints[name] = EndpointBench{
+				QPS: benchRound(ep.QPS), P50MS: benchRound(ep.P50MS), P99MS: benchRound(ep.P99MS),
+			}
+		}
+	}
+	return s
+}
+
+// AppendBench merges the replay's throughput summary into a
+// BENCH_serve.json-style document (one JSON object) under "replay",
+// preserving every other key. A missing file starts a fresh document.
+func AppendBench(path string, rep *Report) error {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("harness: bench file %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	raw, err := json.Marshal(rep.Summarize())
+	if err != nil {
+		return err
+	}
+	doc["replay"] = raw
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func benchRound(v float64) float64 { return math.Round(v*1000) / 1000 }

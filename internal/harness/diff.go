@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultIgnore is the ignore-rule set every diff starts from: fields
+// that legitimately differ between a capture and its replay, or between
+// twin targets, without signaling a behavior change. Request ids are
+// minted per process; date/timestamp fields track wall time. Cache
+// headers (X-Sompid-Cache, X-Request-Id) are excluded by construction —
+// the differ compares bodies, never headers — but the id also appears
+// inside id-bearing response bodies (trace spans, error texts echoing
+// the id), which is what these field rules cover.
+// duration_ns and total_ns cover the explain trail's per-stage and
+// total wall-clock timings.
+var DefaultIgnore = []string{"request_id", "trace_id", "span_id", "date", "timestamp", "duration_ns", "total_ns"}
+
+// FieldDiff is one field-level divergence between two JSON documents.
+type FieldDiff struct {
+	// Path is the dotted field path ("estimate.cost", "plan.groups[0].bid");
+	// empty means the document root.
+	Path string `json:"path"`
+	// A and B are the two sides' values at Path, rendered as JSON
+	// (clipped); "<absent>" marks a field present on one side only.
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// ignoreSet compiles ignore rules for matching. A rule matches a node
+// when it equals the node's leaf field name or its full dotted path
+// (array indices stripped for path comparison, so "groups.bid" matches
+// every element's bid).
+type ignoreSet struct{ rules map[string]bool }
+
+func newIgnoreSet(rules []string) ignoreSet {
+	s := ignoreSet{rules: make(map[string]bool, len(rules))}
+	for _, r := range rules {
+		if r = strings.TrimSpace(r); r != "" {
+			s.rules[r] = true
+		}
+	}
+	return s
+}
+
+func (s ignoreSet) matches(path, leaf string) bool {
+	if s.rules[leaf] {
+		return true
+	}
+	return s.rules[stripIndices(path)]
+}
+
+// stripIndices removes [i] array indices from a dotted path.
+func stripIndices(path string) string {
+	if !strings.ContainsRune(path, '[') {
+		return path
+	}
+	var b strings.Builder
+	skip := false
+	for _, r := range path {
+		switch {
+		case r == '[':
+			skip = true
+		case r == ']':
+			skip = false
+		case !skip:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// DiffJSON compares two JSON documents field-by-field under the given
+// ignore rules, returning every divergence up to max (0 = unlimited).
+// Non-JSON input degrades to a whole-body comparison, so the differ is
+// total over arbitrary response bytes.
+func DiffJSON(a, b []byte, ignore []string, max int) []FieldDiff {
+	var va, vb any
+	errA := json.Unmarshal(a, &va)
+	errB := json.Unmarshal(b, &vb)
+	if errA != nil || errB != nil {
+		if string(a) == string(b) {
+			return nil
+		}
+		return []FieldDiff{{Path: "", A: clipValue(string(a)), B: clipValue(string(b))}}
+	}
+	d := &differ{ignore: newIgnoreSet(ignore), max: max}
+	d.walk("", "", va, vb)
+	return d.out
+}
+
+type differ struct {
+	ignore ignoreSet
+	max    int
+	out    []FieldDiff
+}
+
+func (d *differ) full() bool { return d.max > 0 && len(d.out) >= d.max }
+
+func (d *differ) add(path string, a, b any) {
+	if d.full() {
+		return
+	}
+	d.out = append(d.out, FieldDiff{Path: path, A: renderValue(a), B: renderValue(b)})
+}
+
+// walk recursively compares two values. leaf is the node's own field
+// name (empty at the root and for array elements).
+func (d *differ) walk(path, leaf string, a, b any) {
+	if d.full() || d.ignore.matches(path, leaf) {
+		return
+	}
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok {
+			d.add(path, a, b)
+			return
+		}
+		keys := make([]string, 0, len(av)+len(bv))
+		for k := range av {
+			keys = append(keys, k)
+		}
+		for k := range bv {
+			if _, dup := av[k]; !dup {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sub := k
+			if path != "" {
+				sub = path + "." + k
+			}
+			x, inA := av[k]
+			y, inB := bv[k]
+			switch {
+			case !inA:
+				if !d.ignore.matches(sub, k) {
+					d.add(sub, absent{}, y)
+				}
+			case !inB:
+				if !d.ignore.matches(sub, k) {
+					d.add(sub, x, absent{})
+				}
+			default:
+				d.walk(sub, k, x, y)
+			}
+		}
+	case []any:
+		bv, ok := b.([]any)
+		if !ok {
+			d.add(path, a, b)
+			return
+		}
+		if len(av) != len(bv) {
+			d.add(path, fmt.Sprintf("<%d elements>", len(av)), fmt.Sprintf("<%d elements>", len(bv)))
+			return
+		}
+		for i := range av {
+			d.walk(path+"["+strconv.Itoa(i)+"]", leaf, av[i], bv[i])
+		}
+	default:
+		if !equalScalar(a, b) {
+			d.add(path, a, b)
+		}
+	}
+}
+
+// absent marks a field present on only one side.
+type absent struct{}
+
+func equalScalar(a, b any) bool {
+	if af, ok := a.(float64); ok {
+		bf, ok := b.(float64)
+		return ok && af == bf
+	}
+	return a == b
+}
+
+func renderValue(v any) string {
+	if _, ok := v.(absent); ok {
+		return "<absent>"
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	return clipValue(string(b))
+}
+
+// clipValue bounds a rendered value for reports.
+func clipValue(s string) string {
+	const max = 160
+	if len(s) > max {
+		return s[:max] + "..."
+	}
+	return s
+}

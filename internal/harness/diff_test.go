@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffJSONFindsFieldDivergence(t *testing.T) {
+	a := []byte(`{"estimate":{"cost":1.25,"hours":4},"groups":[{"bid":0.10},{"bid":0.20}]}`)
+	b := []byte(`{"estimate":{"cost":1.30,"hours":4},"groups":[{"bid":0.10},{"bid":0.25}]}`)
+	diffs := DiffJSON(a, b, nil, 0)
+	if len(diffs) != 2 {
+		t.Fatalf("got %d diffs %v, want 2", len(diffs), diffs)
+	}
+	if diffs[0].Path != "estimate.cost" || diffs[0].A != "1.25" || diffs[0].B != "1.3" {
+		t.Fatalf("first diff %+v", diffs[0])
+	}
+	if diffs[1].Path != "groups[1].bid" {
+		t.Fatalf("second diff %+v", diffs[1])
+	}
+}
+
+func TestDiffJSONIgnoreRules(t *testing.T) {
+	a := []byte(`{"request_id":"r-1","plan":{"cost":5,"trace":{"span_id":"a"}},"stages":[{"name":"x","duration_ns":10}]}`)
+	b := []byte(`{"request_id":"r-2","plan":{"cost":5,"trace":{"span_id":"b"}},"stages":[{"name":"x","duration_ns":99}]}`)
+	// DefaultIgnore must absorb the id, span and timing churn: the two
+	// documents are behaviorally identical.
+	if diffs := DiffJSON(a, b, DefaultIgnore, 0); len(diffs) != 0 {
+		t.Fatalf("DefaultIgnore leaked diffs: %v", diffs)
+	}
+	// Without ignore rules all three surface.
+	if diffs := DiffJSON(a, b, nil, 0); len(diffs) != 3 {
+		t.Fatalf("got %d raw diffs, want 3: %v", len(DiffJSON(a, b, nil, 0)), diffs)
+	}
+}
+
+func TestDiffJSONDottedPathRule(t *testing.T) {
+	a := []byte(`{"groups":[{"bid":1,"n":2}],"bid":7}`)
+	b := []byte(`{"groups":[{"bid":9,"n":2}],"bid":8}`)
+	// A dotted-path rule with indices stripped matches every element's
+	// field but not the same leaf name elsewhere.
+	diffs := DiffJSON(a, b, []string{"groups.bid"}, 0)
+	if len(diffs) != 1 || diffs[0].Path != "bid" {
+		t.Fatalf("got %v, want only the top-level bid diff", diffs)
+	}
+}
+
+func TestDiffJSONAbsentAndShape(t *testing.T) {
+	a := []byte(`{"x":1,"only_a":true,"arr":[1,2]}`)
+	b := []byte(`{"x":1,"arr":[1,2,3]}`)
+	diffs := DiffJSON(a, b, nil, 0)
+	if len(diffs) != 2 {
+		t.Fatalf("got %v, want absent-field and array-length diffs", diffs)
+	}
+	byPath := map[string]FieldDiff{}
+	for _, d := range diffs {
+		byPath[d.Path] = d
+	}
+	if d := byPath["only_a"]; d.B != "<absent>" {
+		t.Fatalf("only_a diff %+v", d)
+	}
+	if d := byPath["arr"]; !strings.Contains(d.A, "2 elements") || !strings.Contains(d.B, "3 elements") {
+		t.Fatalf("arr diff %+v", d)
+	}
+	// An ignored field that is absent on one side is still ignored.
+	if diffs := DiffJSON(a, b, []string{"only_a", "arr"}, 0); len(diffs) != 0 {
+		t.Fatalf("ignore rules missed absent/shape diffs: %v", diffs)
+	}
+}
+
+func TestDiffJSONNonJSONFallback(t *testing.T) {
+	if diffs := DiffJSON([]byte("ok"), []byte("ok"), nil, 0); len(diffs) != 0 {
+		t.Fatalf("identical non-JSON bodies diffed: %v", diffs)
+	}
+	diffs := DiffJSON([]byte("ok"), []byte("meh"), nil, 0)
+	if len(diffs) != 1 || diffs[0].Path != "" {
+		t.Fatalf("non-JSON divergence %v, want one whole-body diff", diffs)
+	}
+}
+
+func TestDiffJSONMaxBound(t *testing.T) {
+	a := []byte(`{"a":1,"b":1,"c":1,"d":1}`)
+	b := []byte(`{"a":2,"b":2,"c":2,"d":2}`)
+	if diffs := DiffJSON(a, b, nil, 2); len(diffs) != 2 {
+		t.Fatalf("max=2 returned %d diffs", len(diffs))
+	}
+}

@@ -1,0 +1,122 @@
+// Package harness is the sompi-replay subsystem: capture, replay and
+// twin-diff of sompid production traffic with latency SLO regression
+// gates.
+//
+// The flow has three stages. sompid, started with -capture-log DIR,
+// appends one NDJSON Record per v1 request to a segmented capture log
+// (Writer). cmd/sompi-replay loads a capture log (Load) and replays it
+// against one or two live sompid targets at a configurable rate
+// multiplier and concurrency (Replay), diffing twin responses
+// field-by-field under ignore rules and folding per-endpoint latency
+// into obs histograms. A Rules file then maps the resulting Report onto
+// regression verdicts (Evaluate) with distinct exit codes for CI: a
+// latency budget, a cache hit-rate floor, and a zero-plan-byte-diff
+// gate between twin targets.
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrBadRecord reports a capture-log line that does not decode into a
+// valid Record. The decoder returns it — never panics — so replay can
+// report the offending line and segment.
+var ErrBadRecord = errors.New("harness: malformed capture record")
+
+// MaxRecordBytes bounds one encoded capture record (one NDJSON line).
+// Request bodies are small JSON documents; a line beyond this is
+// corruption or an abuse of the log, not a legitimate capture.
+const MaxRecordBytes = 1 << 22
+
+// Record is one captured request/response pair: everything replay needs
+// to re-issue the request, plus the response identity (status and body
+// hash) the capture-time server produced. One Record is one NDJSON line
+// in the capture log.
+type Record struct {
+	// Seq is the record's position in the capture stream, starting at 0
+	// and strictly increasing across segment boundaries.
+	Seq int `json:"seq"`
+	// TimeMS is the request's start time in milliseconds relative to the
+	// capture log's start — the pacing clock for rate-scaled replay.
+	TimeMS float64 `json:"t_ms"`
+	// Endpoint is the serve-side endpoint label ("plan", "prices", ...),
+	// the key latency reports and rules files aggregate by.
+	Endpoint string `json:"endpoint"`
+	// Method and Path re-issue the request; Path keeps the query string
+	// (?explain=1, ?sync=1) verbatim.
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	// RequestID is the X-Request-Id the serve middleware echoed —
+	// captured so replay can re-send it (both twin targets then see the
+	// same id) and diffing can ignore it by default.
+	RequestID string `json:"request_id,omitempty"`
+	// Body is the request body, verbatim (empty for GETs).
+	Body string `json:"body,omitempty"`
+	// Status and BodySHA256 identify the captured response: the hex
+	// SHA-256 of the body keeps the log compact while still letting
+	// replay detect capture-vs-replay drift.
+	Status     int    `json:"status"`
+	BodySHA256 string `json:"body_sha256,omitempty"`
+}
+
+// EncodeRecord renders a record as one NDJSON line (with the trailing
+// newline).
+func EncodeRecord(rec Record) ([]byte, error) {
+	if err := rec.validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeCaptureRecord parses one capture-log line. It never panics:
+// non-JSON input, non-object lines, unknown fields, out-of-range values
+// and oversized lines all return ErrBadRecord-wrapped errors, so a
+// corrupt segment fails typed instead of poisoning a replay run.
+func DecodeCaptureRecord(line []byte) (Record, error) {
+	if len(line) > MaxRecordBytes {
+		return Record{}, fmt.Errorf("%w: line is %d bytes, limit %d", ErrBadRecord, len(line), MaxRecordBytes)
+	}
+	trimmed := strings.TrimSpace(string(line))
+	if !strings.HasPrefix(trimmed, "{") {
+		return Record{}, fmt.Errorf("%w: line is not a JSON object", ErrBadRecord)
+	}
+	dec := json.NewDecoder(strings.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	var rec Record
+	if err := dec.Decode(&rec); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	// A second document on the same line is framing corruption.
+	if dec.More() {
+		return Record{}, fmt.Errorf("%w: trailing data after record", ErrBadRecord)
+	}
+	if err := rec.validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// validate enforces the invariants replay depends on.
+func (r Record) validate() error {
+	switch {
+	case r.Seq < 0:
+		return fmt.Errorf("%w: negative seq %d", ErrBadRecord, r.Seq)
+	case math.IsNaN(r.TimeMS) || math.IsInf(r.TimeMS, 0) || r.TimeMS < 0:
+		return fmt.Errorf("%w: bad timestamp %v", ErrBadRecord, r.TimeMS)
+	case r.Method == "":
+		return fmt.Errorf("%w: empty method", ErrBadRecord)
+	case r.Path == "" || !strings.HasPrefix(r.Path, "/"):
+		return fmt.Errorf("%w: bad path %q", ErrBadRecord, r.Path)
+	case r.Status < 100 || r.Status > 599:
+		return fmt.Errorf("%w: status %d out of range", ErrBadRecord, r.Status)
+	}
+	return nil
+}

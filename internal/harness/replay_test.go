@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeSompid builds a stand-in target: plan responses carry the
+// server's tag in a field plus the echoed request id, prices answers
+// flip the cache header on repeat bodies.
+func fakeSompid(tag string) (*httptest.Server, *atomic.Int64) {
+	var hits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		n := hits.Add(1)
+		cache := "miss"
+		if n > 1 {
+			cache = "hit"
+		}
+		w.Header().Set("X-Sompid-Cache", cache)
+		fmt.Fprintf(w, `{"tag":%q,"request_id":%q,"cost":1.5,"echo_len":%d}`, tag, r.Header.Get("X-Request-Id"), len(body))
+	})
+	mux.HandleFunc("GET /v1/strategies", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"strategies":["paper"]}`)
+	})
+	mux.HandleFunc("POST /v1/montecarlo", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	return httptest.NewServer(mux), &hits
+}
+
+func captureFixture() []Record {
+	return []Record{
+		{Seq: 0, TimeMS: 0, Endpoint: "plan", Method: "POST", Path: "/v1/plan", RequestID: "cap-1", Body: `{"deadline":24}`, Status: 200},
+		{Seq: 1, TimeMS: 1, Endpoint: "plan", Method: "POST", Path: "/v1/plan", RequestID: "cap-2", Body: `{"deadline":24}`, Status: 200},
+		{Seq: 2, TimeMS: 2, Endpoint: "strategies", Method: "GET", Path: "/v1/strategies", Status: 200},
+		{Seq: 3, TimeMS: 3, Endpoint: "montecarlo", Method: "POST", Path: "/v1/montecarlo", Body: `{}`, Status: 200},
+	}
+}
+
+func TestReplaySingleTarget(t *testing.T) {
+	ts, _ := fakeSompid("a")
+	defer ts.Close()
+
+	rep, err := Replay(context.Background(), captureFixture(), Options{
+		Targets: []Target{{Name: "mem", URL: ts.URL}},
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.Records != 4 || len(rep.Targets) != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	eps := rep.Targets[0].Endpoints
+	plan := eps["plan"]
+	if plan == nil || plan.Requests != 2 {
+		t.Fatalf("plan endpoint %+v", plan)
+	}
+	if plan.CacheLookups != 2 || plan.CacheHits != 1 {
+		t.Fatalf("cache header not folded in: %+v", plan)
+	}
+	if rate, ok := rep.Targets[0].HitRate(); !ok || rate != 0.5 {
+		t.Fatalf("HitRate = %v, %v; want 0.5", rate, ok)
+	}
+	if plan.P50MS <= 0 || plan.P99MS < plan.P50MS {
+		t.Fatalf("latency percentiles unresolved: %+v", plan)
+	}
+	// montecarlo answered 500 where the capture saw 200: one error and
+	// one status mismatch, but no transport error.
+	mc := eps["montecarlo"]
+	if mc.Errors != 1 || mc.StatusMismatches != 1 || rep.TransportErrors != 0 {
+		t.Fatalf("montecarlo %+v, transport %d", mc, rep.TransportErrors)
+	}
+	// A single target can never twin-diff.
+	if rep.FieldDiffs != 0 || rep.PlanDiffs != 0 {
+		t.Fatalf("single-target diffs: %+v", rep)
+	}
+}
+
+func TestReplayTwinDiff(t *testing.T) {
+	a, _ := fakeSompid("twin")
+	defer a.Close()
+	b, _ := fakeSompid("twin")
+	defer b.Close()
+
+	rep, err := Replay(context.Background(), captureFixture(), Options{
+		Targets: []Target{{Name: "mem", URL: a.URL}, {Name: "disk", URL: b.URL}},
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	// Identical twins: the id is re-sent to both, so even the id-bearing
+	// field matches — zero field diffs, zero plan-byte diffs.
+	if rep.FieldDiffs != 0 || rep.PlanDiffs != 0 {
+		t.Fatalf("identical twins diverged: %+v samples %v", rep, rep.DiffSamples)
+	}
+}
+
+func TestReplayTwinDivergence(t *testing.T) {
+	a, _ := fakeSompid("mem")
+	defer a.Close()
+	b, _ := fakeSompid("disk") // tag differs: plan bodies diverge
+	defer b.Close()
+
+	records := append(captureFixture(),
+		Record{Seq: 4, TimeMS: 4, Endpoint: "plan", Method: "POST", Path: "/v1/plan?explain=1", Body: `{"deadline":24}`, Status: 200},
+	)
+	rep, err := Replay(context.Background(), records, Options{
+		Targets: []Target{{Name: "mem", URL: a.URL}, {Name: "disk", URL: b.URL}},
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	// All 3 plan records diverge on the tag field, but only the 2
+	// unexplained ones count toward the plan-byte gate.
+	if rep.FieldDiffs != 3 {
+		t.Fatalf("FieldDiffs = %d, want 3: %+v", rep.FieldDiffs, rep.DiffSamples)
+	}
+	if rep.PlanDiffs != 2 {
+		t.Fatalf("PlanDiffs = %d, want 2 (explain=1 must be exempt)", rep.PlanDiffs)
+	}
+	if len(rep.DiffSamples) == 0 || rep.DiffSamples[0].Fields[0].Path != "tag" {
+		t.Fatalf("diff samples %+v", rep.DiffSamples)
+	}
+	// An ignore rule for the diverging field silences the field diffs;
+	// the plan-byte gate still sees the raw bytes differ.
+	rep2, err := Replay(context.Background(), records, Options{
+		Targets: []Target{{Name: "mem", URL: a.URL}, {Name: "disk", URL: b.URL}},
+		Ignore:  []string{"tag"},
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep2.FieldDiffs != 0 || rep2.PlanDiffs != 2 {
+		t.Fatalf("ignored rerun: field %d plan %d, want 0 and 2", rep2.FieldDiffs, rep2.PlanDiffs)
+	}
+}
+
+func TestReplayTransportErrors(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused for every record
+
+	rep, err := Replay(context.Background(), captureFixture()[:2], Options{
+		Targets: []Target{{Name: "gone", URL: dead.URL}},
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if rep.TransportErrors != 2 {
+		t.Fatalf("TransportErrors = %d, want 2", rep.TransportErrors)
+	}
+}
+
+func TestReplayValidatesTargets(t *testing.T) {
+	if _, err := Replay(context.Background(), captureFixture(), Options{}); err == nil {
+		t.Fatal("zero targets accepted")
+	}
+	three := Options{Targets: []Target{{URL: "x"}, {URL: "y"}, {URL: "z"}}}
+	if _, err := Replay(context.Background(), captureFixture(), three); err == nil {
+		t.Fatal("three targets accepted")
+	}
+	one := Options{Targets: []Target{{URL: "http://127.0.0.1:0"}}}
+	if _, err := Replay(context.Background(), nil, one); err == nil {
+		t.Fatal("empty record set accepted")
+	}
+}

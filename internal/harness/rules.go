@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Exit codes for cmd/sompi-replay, modeled on the replayer convention
+// so CI pipelines can react programmatically. Precedence when several
+// apply: usage > runtime > rules > diffs.
+const (
+	// ExitOK: replay completed, no twin differences, every rule passed.
+	ExitOK = 0
+	// ExitDiffs: twin targets diverged (field or plan-byte diffs) but no
+	// explicit rule was violated.
+	ExitDiffs = 1
+	// ExitRules: one or more regression rules tripped.
+	ExitRules = 2
+	// ExitUsage: bad arguments or an unreadable rules file.
+	ExitUsage = 3
+	// ExitRuntime: the replay itself failed (capture unreadable, target
+	// unreachable for every record, I/O error).
+	ExitRuntime = 4
+)
+
+// EndpointRule is one endpoint's latency SLO budget in milliseconds
+// (histogram-estimated percentiles; 0 disables that percentile's gate)
+// plus an error-rate ceiling.
+type EndpointRule struct {
+	P50MS float64 `json:"p50_ms,omitempty"`
+	P90MS float64 `json:"p90_ms,omitempty"`
+	P99MS float64 `json:"p99_ms,omitempty"`
+	// MaxErrorRate is the endpoint's tolerated Errors/Requests fraction.
+	// Omitted (null in JSON, NaN here) means no gate; an explicit 0
+	// means zero tolerance.
+	MaxErrorRate *float64 `json:"max_error_rate,omitempty"`
+}
+
+// Rules is the regression-gate rule file: what a replay run must
+// satisfy for CI to stay green.
+type Rules struct {
+	// MaxPlanDiffs bounds plan-byte diffs between twin targets; the
+	// twin-equivalence default is 0.
+	MaxPlanDiffs int `json:"max_plan_diffs"`
+	// MaxFieldDiffs bounds records with any non-ignored field diff.
+	MaxFieldDiffs int `json:"max_field_diffs"`
+	// MinCacheHitRate is the plan-cache hit-rate floor over the whole
+	// run (0 disables). A floor with no observed cache lookups is a
+	// violation: the traffic cannot demonstrate the property.
+	MinCacheHitRate float64 `json:"min_cache_hit_rate,omitempty"`
+	// MaxStatusMismatchRate bounds capture-vs-replay status drift per
+	// target across all endpoints (nil disables, 0 = none tolerated).
+	MaxStatusMismatchRate *float64 `json:"max_status_mismatch_rate,omitempty"`
+	// MaxTransportErrors bounds requests that never got a response.
+	MaxTransportErrors int `json:"max_transport_errors"`
+	// Endpoints maps endpoint labels ("plan", "prices", ...) to their
+	// latency budgets.
+	Endpoints map[string]EndpointRule `json:"endpoints,omitempty"`
+	// Ignore appends diff ignore rules from the rules file, so a team
+	// can pin noisy fields next to the budgets that tolerate them.
+	Ignore []string `json:"ignore,omitempty"`
+}
+
+// Violation is one tripped rule.
+type Violation struct {
+	Rule     string  `json:"rule"`
+	Target   string  `json:"target,omitempty"`
+	Endpoint string  `json:"endpoint,omitempty"`
+	Got      float64 `json:"got"`
+	Limit    float64 `json:"limit"`
+}
+
+func (v Violation) String() string {
+	where := v.Rule
+	if v.Endpoint != "" {
+		where += "[" + v.Endpoint + "]"
+	}
+	if v.Target != "" {
+		where += "@" + v.Target
+	}
+	return fmt.Sprintf("%s: got %g, limit %g", where, v.Got, v.Limit)
+}
+
+// LoadRules reads and strictly decodes a rules file.
+func LoadRules(path string) (Rules, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Rules{}, fmt.Errorf("harness: rules file: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var r Rules
+	if err := dec.Decode(&r); err != nil {
+		return Rules{}, fmt.Errorf("harness: rules file %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Evaluate checks a report against the rules, returning every violation
+// in deterministic order (rule, then target, then endpoint).
+func (r Rules) Evaluate(rep *Report) []Violation {
+	var out []Violation
+	if rep.PlanDiffs > r.MaxPlanDiffs {
+		out = append(out, Violation{Rule: "max_plan_diffs", Got: float64(rep.PlanDiffs), Limit: float64(r.MaxPlanDiffs)})
+	}
+	if rep.FieldDiffs > r.MaxFieldDiffs {
+		out = append(out, Violation{Rule: "max_field_diffs", Got: float64(rep.FieldDiffs), Limit: float64(r.MaxFieldDiffs)})
+	}
+	if rep.TransportErrors > r.MaxTransportErrors {
+		out = append(out, Violation{Rule: "max_transport_errors", Got: float64(rep.TransportErrors), Limit: float64(r.MaxTransportErrors)})
+	}
+	for _, t := range rep.Targets {
+		if r.MinCacheHitRate > 0 {
+			rate, ok := t.HitRate()
+			if !ok || rate < r.MinCacheHitRate {
+				out = append(out, Violation{Rule: "min_cache_hit_rate", Target: t.Name, Got: rate, Limit: r.MinCacheHitRate})
+			}
+		}
+		if r.MaxStatusMismatchRate != nil {
+			requests, mismatches := 0, 0
+			for _, ep := range t.Endpoints {
+				requests += ep.Requests
+				mismatches += ep.StatusMismatches
+			}
+			if requests > 0 {
+				rate := float64(mismatches) / float64(requests)
+				if rate > *r.MaxStatusMismatchRate {
+					out = append(out, Violation{Rule: "max_status_mismatch_rate", Target: t.Name, Got: rate, Limit: *r.MaxStatusMismatchRate})
+				}
+			}
+		}
+		names := make([]string, 0, len(r.Endpoints))
+		for name := range r.Endpoints {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rule := r.Endpoints[name]
+			ep, ok := t.Endpoints[name]
+			if !ok {
+				continue // the capture held no such traffic; nothing to judge
+			}
+			check := func(kind string, got, limit float64) {
+				if limit > 0 && got > limit {
+					out = append(out, Violation{Rule: kind, Target: t.Name, Endpoint: name, Got: round3(got), Limit: limit})
+				}
+			}
+			check("p50_ms", ep.P50MS, rule.P50MS)
+			check("p90_ms", ep.P90MS, rule.P90MS)
+			check("p99_ms", ep.P99MS, rule.P99MS)
+			if rule.MaxErrorRate != nil && ep.Requests > 0 {
+				rate := float64(ep.Errors) / float64(ep.Requests)
+				if rate > *rule.MaxErrorRate {
+					out = append(out, Violation{Rule: "max_error_rate", Target: t.Name, Endpoint: name, Got: rate, Limit: *rule.MaxErrorRate})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }

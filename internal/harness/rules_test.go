@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func reportForRules() *Report {
+	fast := &EndpointReport{Requests: 100, P50MS: 2, P90MS: 6, P99MS: 12, CacheLookups: 100, CacheHits: 80}
+	slow := &EndpointReport{Requests: 50, Errors: 5, StatusMismatches: 2, P50MS: 40, P90MS: 90, P99MS: 400}
+	return &Report{
+		Records: 150,
+		Targets: []TargetReport{{
+			Name:      "mem",
+			Endpoints: map[string]*EndpointReport{"plan": fast, "montecarlo": slow},
+		}},
+	}
+}
+
+func TestRulesEvaluatePasses(t *testing.T) {
+	rules := Rules{
+		MaxPlanDiffs:    0,
+		MaxFieldDiffs:   0,
+		MinCacheHitRate: 0.5,
+		Endpoints: map[string]EndpointRule{
+			"plan":       {P50MS: 5, P99MS: 50},
+			"montecarlo": {P99MS: 500},
+		},
+	}
+	if v := rules.Evaluate(reportForRules()); len(v) != 0 {
+		t.Fatalf("clean report tripped rules: %v", v)
+	}
+}
+
+func TestRulesEvaluateViolations(t *testing.T) {
+	zero := 0.0
+	rules := Rules{
+		MaxPlanDiffs:          0,
+		MaxFieldDiffs:         1,
+		MinCacheHitRate:       0.9,
+		MaxStatusMismatchRate: &zero,
+		Endpoints: map[string]EndpointRule{
+			"montecarlo": {P99MS: 100, MaxErrorRate: &zero},
+			"plan":       {P50MS: 1},
+			"sessions":   {P99MS: 1}, // no such traffic: must not trip
+		},
+	}
+	rep := reportForRules()
+	rep.PlanDiffs = 3
+	rep.FieldDiffs = 2
+	rep.TransportErrors = 1
+
+	got := rules.Evaluate(rep)
+	want := []string{
+		"max_plan_diffs",           // 3 > 0
+		"max_field_diffs",          // 2 > 1
+		"max_transport_errors",     // 1 > 0
+		"min_cache_hit_rate",       // 0.8 < 0.9
+		"max_status_mismatch_rate", // 2/150 > 0
+		"p99_ms",                   // montecarlo 400 > 100
+		"max_error_rate",           // montecarlo 5/50 > 0
+		"p50_ms",                   // plan 2 > 1
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d violations %v, want %d", len(got), got, len(want))
+	}
+	for i, v := range got {
+		if v.Rule != want[i] {
+			t.Fatalf("violation %d = %s, want %s (order must be deterministic); all: %v", i, v.Rule, want[i], got)
+		}
+	}
+}
+
+func TestRulesHitRateFloorNeedsLookups(t *testing.T) {
+	// A hit-rate floor over traffic that never exercised the cache is a
+	// violation: the run cannot demonstrate the property it gates.
+	rep := &Report{Targets: []TargetReport{{
+		Name:      "mem",
+		Endpoints: map[string]*EndpointReport{"prices": {Requests: 10}},
+	}}}
+	rules := Rules{MinCacheHitRate: 0.1}
+	v := rules.Evaluate(rep)
+	if len(v) != 1 || v[0].Rule != "min_cache_hit_rate" {
+		t.Fatalf("got %v, want the unprovable hit-rate floor to trip", v)
+	}
+}
+
+func TestLoadRulesStrict(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "rules.json")
+	if err := os.WriteFile(good, []byte(`{"max_plan_diffs":0,"endpoints":{"plan":{"p99_ms":250}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadRules(good)
+	if err != nil {
+		t.Fatalf("LoadRules: %v", err)
+	}
+	if r.Endpoints["plan"].P99MS != 250 {
+		t.Fatalf("loaded %+v", r)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"max_pln_diffs":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRules(bad); err == nil {
+		t.Fatal("LoadRules accepted an unknown field (typo squatting a gate)")
+	}
+	if _, err := LoadRules(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("LoadRules accepted a missing file")
+	}
+}

@@ -1,0 +1,282 @@
+package harness
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultSegmentRecords is how many records an active capture segment
+// holds before it is sealed and a new one opened.
+const DefaultSegmentRecords = 4096
+
+// partSuffix marks the active (still-growing) segment. Sealing renames
+// the .part file to its final name after an fsync, so a final-named
+// segment is always complete: the same tmp→fsync→rename discipline the
+// store package uses for snapshots.
+const partSuffix = ".part"
+
+// segName renders a segment's final file name.
+func segName(seq uint64) string { return fmt.Sprintf("capture-%06d.ndjson", seq) }
+
+// Writer appends capture records to a segmented NDJSON log in a
+// directory:
+//
+//	capture-%06d.ndjson       sealed segments, complete and immutable
+//	capture-%06d.ndjson.part  the active segment
+//
+// Append is safe for concurrent use (the serve middleware calls it from
+// every request goroutine). Writes go through a buffered writer that is
+// flushed per append — capture is an observability aid, so an append is
+// cheap by design and the active segment is only guaranteed on disk
+// once sealed (rotation or Close). A SIGKILL therefore loses at most
+// the active segment's tail, never a sealed one.
+type Writer struct {
+	mu      sync.Mutex
+	dir     string
+	seq     uint64 // active segment sequence number
+	f       *os.File
+	w       *bufio.Writer
+	recs    int // records in the active segment
+	nextSeq int // global record sequence number
+	segRecs int
+	start   time.Time
+	closed  bool
+	// onAppend observes each append's duration in seconds (the serve
+	// metrics hook); nil disables.
+	onAppend func(seconds float64)
+}
+
+// OpenWriter opens (or creates) a capture directory and starts a fresh
+// active segment numbered above every existing segment — sealed or
+// abandoned — so a restarted capture never overwrites prior traffic.
+// segRecs bounds records per segment; <= 0 means DefaultSegmentRecords.
+func OpenWriter(dir string, segRecs int) (*Writer, error) {
+	if segRecs <= 0 {
+		segRecs = DefaultSegmentRecords
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: creating capture dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("harness: reading capture dir: %w", err)
+	}
+	var next uint64
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), partSuffix)
+		var seq uint64
+		if _, err := fmt.Sscanf(name, "capture-%d.ndjson", &seq); err == nil && seq >= next {
+			next = seq + 1
+		}
+	}
+	w := &Writer{dir: dir, seq: next, segRecs: segRecs, start: time.Now()}
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// SetAppendObserver installs the per-append latency hook. Must be
+// called before traffic starts.
+func (w *Writer) SetAppendObserver(fn func(seconds float64)) { w.onAppend = fn }
+
+// Start reports when the capture began — the zero point of every
+// record's TimeMS.
+func (w *Writer) Start() time.Time { return w.start }
+
+// Dir reports the capture directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// ActiveSegment reports the sequence number of the segment appends
+// currently go to.
+func (w *Writer) ActiveSegment() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+func (w *Writer) openSegmentLocked() error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.seq)+partSuffix),
+		os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("harness: opening capture segment: %w", err)
+	}
+	w.f = f
+	w.w = bufio.NewWriter(f)
+	w.recs = 0
+	return nil
+}
+
+// sealLocked finalizes the active segment: flush, fsync, rename to the
+// final name, fsync the directory so the rename is durable.
+func (w *Writer) sealLocked() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	part := filepath.Join(w.dir, segName(w.seq)+partSuffix)
+	if err := os.Rename(part, filepath.Join(w.dir, segName(w.seq))); err != nil {
+		return err
+	}
+	return syncDir(w.dir)
+}
+
+// Append stamps the record's Seq and TimeMS (relative to Start) and
+// writes it to the active segment, rotating when the segment is full.
+func (w *Writer) Append(rec Record) error {
+	begin := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("harness: capture writer is closed")
+	}
+	rec.Seq = w.nextSeq
+	rec.TimeMS = float64(begin.Sub(w.start)) / float64(time.Millisecond)
+	line, err := EncodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.w.Write(line); err != nil {
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	w.nextSeq++
+	w.recs++
+	if w.recs >= w.segRecs {
+		if err := w.sealLocked(); err != nil {
+			return err
+		}
+		w.seq++
+		if err := w.openSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	if w.onAppend != nil {
+		w.onAppend(time.Since(begin).Seconds())
+	}
+	return nil
+}
+
+// Records reports how many records have been appended.
+func (w *Writer) Records() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq
+}
+
+// Close seals the active segment. An empty active segment is removed
+// instead of sealed, so a capture directory never accumulates empty
+// files across restarts.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.recs == 0 {
+		w.f.Close()
+		return os.Remove(filepath.Join(w.dir, segName(w.seq)+partSuffix))
+	}
+	return w.sealLocked()
+}
+
+// syncDir fsyncs a directory so renames inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Load reads a capture log from path — a single NDJSON file or a
+// capture directory — returning records in capture order. In a
+// directory, sealed segments are read in sequence order; an abandoned
+// .part segment (the active segment of a SIGKILLed capture) is read
+// last, tolerating a torn final line exactly like the WAL tolerates a
+// torn tail. Blank lines are skipped; any other undecodable line is an
+// error naming the file.
+func Load(path string) ([]Record, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: capture log: %w", err)
+	}
+	if !info.IsDir() {
+		return loadFile(path, false)
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: capture dir: %w", err)
+	}
+	var sealed, parts []string
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "capture-") && strings.HasSuffix(name, ".ndjson"):
+			sealed = append(sealed, name)
+		case strings.HasPrefix(name, "capture-") && strings.HasSuffix(name, partSuffix):
+			parts = append(parts, name)
+		}
+	}
+	sort.Strings(sealed)
+	sort.Strings(parts)
+	var out []Record
+	for _, name := range sealed {
+		recs, err := loadFile(filepath.Join(path, name), false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	for _, name := range parts {
+		recs, err := loadFile(filepath.Join(path, name), true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: %s holds no capture records", path)
+	}
+	return out, nil
+}
+
+func loadFile(path string, tolerateTorn bool) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: reading %s: %w", path, err)
+	}
+	var out []Record
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		rec, err := DecodeCaptureRecord([]byte(line))
+		if err != nil {
+			// The final line of an abandoned active segment may be torn
+			// mid-record by a crash; everything before it is intact.
+			if tolerateTorn && i == len(lines)-1 {
+				break
+			}
+			return nil, fmt.Errorf("%s line %d: %w", path, i+1, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

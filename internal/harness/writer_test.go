@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriterRotatesAndLoadsInOrder(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 3)
+	if err != nil {
+		t.Fatalf("OpenWriter: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		rec := Record{Endpoint: "plan", Method: "POST", Path: "/v1/plan", Status: 200, Body: `{"i":1}`}
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if got := w.Records(); got != 8 {
+		t.Fatalf("Records() = %d, want 8", got)
+	}
+	// 8 records at 3/segment: two sealed segments plus a 2-record active one.
+	sealed, parts := listSegments(t, dir)
+	if len(sealed) != 2 || len(parts) != 1 {
+		t.Fatalf("before close: %d sealed, %d part segments; want 2 and 1", len(sealed), len(parts))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	sealed, parts = listSegments(t, dir)
+	if len(sealed) != 3 || len(parts) != 0 {
+		t.Fatalf("after close: %d sealed, %d part segments; want 3 and 0", len(sealed), len(parts))
+	}
+
+	recs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("loaded %d records, want 8", len(recs))
+	}
+	last := -1.0
+	for i, r := range recs {
+		if r.Seq != i {
+			t.Fatalf("record %d has seq %d: capture order lost across segments", i, r.Seq)
+		}
+		if r.TimeMS < last {
+			t.Fatalf("record %d: t_ms %v went backwards from %v", i, r.TimeMS, last)
+		}
+		last = r.TimeMS
+	}
+}
+
+func TestWriterCloseRemovesEmptyActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 2)
+	if err != nil {
+		t.Fatalf("OpenWriter: %v", err)
+	}
+	// Exactly segRecs appends: rotation seals segment 0 and opens an
+	// empty segment 1, which Close must remove rather than seal.
+	for i := 0; i < 2; i++ {
+		if err := w.Append(Record{Method: "GET", Path: "/healthz", Status: 200}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	sealed, parts := listSegments(t, dir)
+	if len(sealed) != 1 || len(parts) != 0 {
+		t.Fatalf("%d sealed, %d part segments; want exactly 1 sealed", len(sealed), len(parts))
+	}
+}
+
+func TestWriterRestartNumbersAboveExisting(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, 1)
+	if err != nil {
+		t.Fatalf("OpenWriter: %v", err)
+	}
+	if err := w.Append(Record{Method: "GET", Path: "/healthz", Status: 200}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	w2, err := OpenWriter(dir, 1)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := w2.Append(Record{Method: "GET", Path: "/healthz", Status: 200}); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	sealed, _ := listSegments(t, dir)
+	if len(sealed) != 2 {
+		t.Fatalf("restart overwrote a prior segment: %v", sealed)
+	}
+}
+
+func TestLoadToleratesTornPartTail(t *testing.T) {
+	dir := t.TempDir()
+	good, err := EncodeRecord(Record{Seq: 0, Endpoint: "plan", Method: "POST", Path: "/v1/plan", Status: 200})
+	if err != nil {
+		t.Fatalf("EncodeRecord: %v", err)
+	}
+	// An abandoned active segment whose final line was torn mid-record
+	// by a crash: the intact prefix must load, the tail must be dropped.
+	torn := string(good) + `{"seq":1,"endpoint":"plan","met`
+	if err := os.WriteFile(filepath.Join(dir, "capture-000000.ndjson.part"), []byte(torn), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	recs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load with torn .part tail: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 0 {
+		t.Fatalf("loaded %+v, want just the intact record", recs)
+	}
+
+	// The same corruption in a sealed segment is an error: sealing
+	// guarantees completeness, so a torn line there is real corruption.
+	if err := os.WriteFile(filepath.Join(dir, "capture-000001.ndjson"), []byte(torn), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("Load accepted a torn line inside a sealed segment")
+	}
+}
+
+func TestLoadSingleFileAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "log.ndjson")
+	line, err := EncodeRecord(Record{Endpoint: "prices", Method: "POST", Path: "/v1/prices", Status: 200})
+	if err != nil {
+		t.Fatalf("EncodeRecord: %v", err)
+	}
+	if err := os.WriteFile(file, append([]byte("\n"), line...), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	recs, err := Load(file)
+	if err != nil {
+		t.Fatalf("Load(file): %v", err)
+	}
+	if len(recs) != 1 || recs[0].Endpoint != "prices" {
+		t.Fatalf("loaded %+v", recs)
+	}
+	if _, err := Load(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("Load of a missing path succeeded")
+	}
+	empty := t.TempDir()
+	if _, err := Load(empty); err == nil {
+		t.Fatal("Load of an empty directory succeeded")
+	}
+}
+
+func listSegments(t *testing.T, dir string) (sealed, parts []string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), partSuffix):
+			parts = append(parts, e.Name())
+		case strings.HasSuffix(e.Name(), ".ndjson"):
+			sealed = append(sealed, e.Name())
+		}
+	}
+	return sealed, parts
+}

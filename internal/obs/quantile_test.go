@@ -1,0 +1,138 @@
+package obs_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sompi/internal/obs"
+)
+
+// bucketOf returns the index of the bucket holding v: the first bound
+// >= v, or len(bounds) for the overflow bucket. This mirrors
+// Histogram.Observe's placement rule (upper bounds are inclusive).
+func bucketOf(bounds []float64, v float64) int {
+	i := 0
+	for i < len(bounds) && v > bounds[i] {
+		i++
+	}
+	return i
+}
+
+// exactQuantile is the nearest-rank quantile of a sorted sample: the
+// k-th smallest value with k = ceil(q*n), clamped to [1, n].
+func exactQuantile(sorted []float64, q float64) float64 {
+	k := int(math.Ceil(q * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[k-1]
+}
+
+// checkQuantileProperty asserts the histogram estimate for q lands in
+// the same bucket as the exact nearest-rank sample quantile — i.e. the
+// estimate is within one bucket boundary of the truth. For samples in
+// the overflow bucket the documented contract is the largest finite
+// bound.
+func checkQuantileProperty(t *testing.T, samples []float64, q float64) {
+	t.Helper()
+	bounds := obs.DefaultLatencyBounds
+	h := obs.NewHistogram(nil)
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+
+	exact := exactQuantile(sorted, q)
+	est := h.Quantile(q)
+	b := bucketOf(bounds, exact)
+
+	if b == len(bounds) { // overflow: estimate must be the largest finite bound
+		if est != bounds[len(bounds)-1] {
+			t.Fatalf("q=%.2f n=%d: exact %.6g is in overflow, estimate %.6g != last bound %.6g",
+				q, len(samples), exact, est, bounds[len(bounds)-1])
+		}
+		return
+	}
+	lo := 0.0
+	if b > 0 {
+		lo = bounds[b-1]
+	}
+	hi := bounds[b]
+	if est < lo || est > hi {
+		t.Fatalf("q=%.2f n=%d: estimate %.6g outside exact quantile's bucket (%.6g, %.6g], exact %.6g",
+			q, len(samples), est, lo, hi, exact)
+	}
+}
+
+// TestQuantileWithinOneBucketOfExact is the property test the replay
+// harness's latency gates rest on: for arbitrary latency samples, the
+// histogram-derived p50/p90/p99 never strays further from the exact
+// sorted-sample quantile than one bucket boundary.
+func TestQuantileWithinOneBucketOfExact(t *testing.T) {
+	quantiles := []float64{0.50, 0.90, 0.99}
+	rng := rand.New(rand.NewSource(9))
+
+	gens := map[string]func(n int) []float64{
+		// Uniform over the full finite bucket range.
+		"uniform": func(n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = rng.Float64() * 60
+			}
+			return out
+		},
+		// Log-uniform: every bucket of the ~2.5x ladder gets traffic.
+		"loguniform": func(n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = math.Exp(math.Log(0.0001) + rng.Float64()*(math.Log(80)-math.Log(0.0001)))
+			}
+			return out
+		},
+		// Exponential around a few ms — the realistic serve-latency shape.
+		"exponential": func(n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = rng.ExpFloat64() * 0.004
+			}
+			return out
+		},
+		// Heavy tail past the 60s bound to exercise the overflow contract.
+		"overflow": func(n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = 30 + rng.Float64()*120
+			}
+			return out
+		},
+	}
+
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 40; trial++ {
+				n := 1 + rng.Intn(500)
+				samples := gen(n)
+				for _, q := range quantiles {
+					checkQuantileProperty(t, samples, q)
+				}
+			}
+		})
+	}
+}
+
+// TestQuantileSingleObservation pins the degenerate cases the property
+// loop can race past: one sample, and identical samples.
+func TestQuantileSingleObservation(t *testing.T) {
+	for _, v := range []float64{0.0001, 0.003, 0.7, 59, 1000} {
+		samples := []float64{v, v, v}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			checkQuantileProperty(t, samples, q)
+		}
+	}
+}

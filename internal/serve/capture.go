@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+	"io"
+	"net/http"
+
+	"sompi/internal/harness"
+)
+
+// maxCaptureBody bounds a request body the capture log will record.
+// Bigger requests (a firehose NDJSON price feed) are still served
+// normally — the body is streamed through untouched — but the request
+// is not captured, and sompid_capture_skipped_total counts it. The
+// bound keeps capture from buffering unbounded feeds in memory.
+const maxCaptureBody = 4 << 20
+
+// captureRecorder wraps statusRecorder with a running SHA-256 of the
+// response body, so the capture record can carry the response identity
+// without storing the bytes.
+type captureRecorder struct {
+	statusRecorder
+	sum hash.Hash
+}
+
+func (r *captureRecorder) Write(b []byte) (int, error) {
+	r.sum.Write(b)
+	return r.statusRecorder.ResponseWriter.Write(b)
+}
+
+// captureBody swallows the request body for capture, handing the
+// handler an equivalent reader. ok is false when the body exceeds the
+// capture bound — the returned reader then replays what was buffered
+// followed by the rest of the original stream, so serving is unaffected.
+func captureBody(r *http.Request) (body []byte, rd io.ReadCloser, ok bool, err error) {
+	if r.Body == nil || r.Body == http.NoBody {
+		return nil, r.Body, true, nil
+	}
+	buf, err := io.ReadAll(io.LimitReader(r.Body, maxCaptureBody+1))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if len(buf) > maxCaptureBody {
+		rest := r.Body
+		return nil, readCloser{io.MultiReader(bytes.NewReader(buf), rest), rest}, false, nil
+	}
+	r.Body.Close()
+	return buf, readCloser{bytes.NewReader(buf), nil}, true, nil
+}
+
+type readCloser struct {
+	io.Reader
+	orig io.Closer
+}
+
+func (rc readCloser) Close() error {
+	if rc.orig != nil {
+		return rc.orig.Close()
+	}
+	return nil
+}
+
+// captureRequest appends one capture record for a finished request.
+// Failures degrade to a counter — capture is observability, it must
+// never fail a request that already served.
+func (s *Server) captureRequest(ep endpoint, r *http.Request, reqID string, body []byte, status int, sum hash.Hash) {
+	rec := harness.Record{
+		Endpoint:   endpointNames[ep],
+		Method:     r.Method,
+		Path:       r.URL.RequestURI(),
+		RequestID:  reqID,
+		Body:       string(body),
+		Status:     status,
+		BodySHA256: hex.EncodeToString(sum.Sum(nil)),
+	}
+	if err := s.capture.Append(rec); err != nil {
+		s.met.captureErrors.Add(1)
+		s.log.Error("capture append failed", "error", err.Error())
+		return
+	}
+	s.met.captureRecords.Add(1)
+}
+
+// newCaptureSum returns the response-body hash state for one request.
+func newCaptureSum() hash.Hash { return sha256.New() }

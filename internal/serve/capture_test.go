@@ -1,0 +1,154 @@
+package serve_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sompi/internal/harness"
+	"sompi/internal/serve"
+)
+
+// readAll drains and closes a response body.
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return b
+}
+
+// TestCaptureLogRecordsTraffic drives a capture-enabled server and
+// checks the log against the live responses: one record per request in
+// order, the echoed X-Request-Id (client-supplied or minted) recorded,
+// the body verbatim, and the response identified by status and body
+// hash. The tiny segment size forces rotation mid-test, so the loaded
+// stream also proves ordering across sealed segments and the still-
+// active .part one.
+func TestCaptureLogRecordsTraffic(t *testing.T) {
+	dir := t.TempDir()
+	ts := newTestServer(t, serve.Config{CaptureLog: dir, CaptureSegmentRecords: 2})
+
+	planBody, err := json.Marshal(smallPlan(60))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+
+	// Request 0: plan with a client-supplied request id.
+	req, err := http.NewRequest("POST", ts.URL+"/v1/plan", bytes.NewReader(planBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", "capture-test-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("plan request: %v", err)
+	}
+	firstBody := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan status %d: %s", resp.StatusCode, firstBody)
+	}
+
+	// Request 1: the same plan again (a cache hit server-side; the id is
+	// minted by the middleware this time). Request 2: a GET.
+	_, hdr, secondBody := postJSON(t, ts.URL+"/v1/plan", smallPlan(60))
+	mintedID := hdr.Get("X-Request-Id")
+	if mintedID == "" {
+		t.Fatal("middleware stopped echoing X-Request-Id")
+	}
+	stratBody := getBody(t, ts.URL+"/v1/strategies")
+
+	recs, err := harness.Load(dir)
+	if err != nil {
+		t.Fatalf("loading capture log: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("captured %d records, want 3: %+v", len(recs), recs)
+	}
+
+	sum := func(b []byte) string {
+		h := sha256.Sum256(b)
+		return hex.EncodeToString(h[:])
+	}
+	checks := []struct {
+		endpoint, method, path, reqID, body, bodySum string
+	}{
+		{"plan", "POST", "/v1/plan", "capture-test-1", string(planBody), sum(firstBody)},
+		{"plan", "POST", "/v1/plan", mintedID, string(planBody), sum(secondBody)},
+		{"strategies", "GET", "/v1/strategies", "", "", sum(stratBody)},
+	}
+	for i, want := range checks {
+		got := recs[i]
+		if got.Seq != i {
+			t.Errorf("record %d: seq %d", i, got.Seq)
+		}
+		if got.Endpoint != want.endpoint || got.Method != want.method || got.Path != want.path {
+			t.Errorf("record %d: %s %s %s, want %s %s %s", i, got.Method, got.Path, got.Endpoint, want.method, want.path, want.endpoint)
+		}
+		if want.reqID != "" && got.RequestID != want.reqID {
+			t.Errorf("record %d: request id %q, want the echoed %q", i, got.RequestID, want.reqID)
+		}
+		if got.RequestID == "" {
+			t.Errorf("record %d: no request id captured", i)
+		}
+		if got.Body != want.body {
+			t.Errorf("record %d: body %q, want %q", i, got.Body, want.body)
+		}
+		if got.Status != http.StatusOK {
+			t.Errorf("record %d: status %d", i, got.Status)
+		}
+		if got.BodySHA256 != want.bodySum {
+			t.Errorf("record %d: body hash %s, want %s (capture hashed different bytes than the client saw)", i, got.BodySHA256, want.bodySum)
+		}
+	}
+
+	// The capture families on /metrics track the log.
+	text := string(getBody(t, ts.URL+"/metrics"))
+	if v := metricValue(t, []byte(text), "sompid_capture_records_total"); v != 3 {
+		t.Errorf("sompid_capture_records_total = %v, want 3", v)
+	}
+	if v := metricValue(t, []byte(text), "sompid_capture_active_segment"); v != 1 {
+		t.Errorf("sompid_capture_active_segment = %v, want 1 after rotating a 2-record segment", v)
+	}
+}
+
+// TestCaptureSkipsOversizedBodies proves the capture bound never fails
+// a request: a body past the bound is served normally (streamed through
+// untouched) but lands in sompid_capture_skipped_total instead of the
+// log.
+func TestCaptureSkipsOversizedBodies(t *testing.T) {
+	dir := t.TempDir()
+	ts := newTestServer(t, serve.Config{CaptureLog: dir, CaptureSegmentRecords: 8})
+
+	// 4 MiB + slack of newline-delimited garbage: the prices handler
+	// reads it all (and rejects it), so the pass-through reader is fully
+	// exercised.
+	big := strings.Repeat("not json\n", (4<<20)/9+64)
+	resp, err := http.Post(ts.URL+"/v1/prices", "application/x-ndjson", strings.NewReader(big))
+	if err != nil {
+		t.Fatalf("oversized request: %v", err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized garbage body answered %d, want 400", resp.StatusCode)
+	}
+
+	text := string(getBody(t, ts.URL+"/metrics"))
+	if v := metricValue(t, []byte(text), "sompid_capture_skipped_total"); v != 1 {
+		t.Errorf("sompid_capture_skipped_total = %v, want 1", v)
+	}
+	if v := metricValue(t, []byte(text), "sompid_capture_records_total"); v != 0 {
+		t.Errorf("sompid_capture_records_total = %v, want 0 (oversized request must not be captured)", v)
+	}
+	if _, err := harness.Load(dir); err == nil {
+		t.Error("capture log holds records despite every request being skipped")
+	}
+}

@@ -417,6 +417,13 @@ func (s *Server) Close() error {
 	s.runCancel()
 	s.ing.stop()
 	s.sched.stop()
+	// Seal the capture log: traffic is drained, so the active segment is
+	// complete and earns its final (sealed) name.
+	if s.capture != nil {
+		if err := s.capture.Close(); err != nil {
+			s.log.Error("sealing capture log failed", "error", err.Error())
+		}
+	}
 	if s.store == nil {
 		return nil
 	}

@@ -4,9 +4,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"sompi/internal/cloud"
 	"sompi/internal/obs"
@@ -99,6 +103,19 @@ type metrics struct {
 	// range reached before the retained head and was clamped — each one
 	// is a re-optimization that saw less (or wrong) history than asked.
 	windowTruncations atomic.Int64
+
+	// Capture: captureRecords counts requests appended to the capture
+	// log, captureErrors appends that failed (the request still served),
+	// captureSkipped requests whose body exceeded the capture bound,
+	// captureAppend the per-append latency. All render unconditionally —
+	// zeros with capture off — so the family set is deployment-stable.
+	captureRecords atomic.Int64
+	captureErrors  atomic.Int64
+	captureSkipped atomic.Int64
+	captureAppend  *obs.Histogram
+
+	// start anchors sompid_uptime_seconds.
+	start time.Time
 }
 
 // strategyMetrics is one strategy's planning counters.
@@ -125,7 +142,30 @@ func (m *metrics) init(keys []cloud.MarketKey) {
 	m.walFsync = obs.NewHistogram(nil)
 	m.batchSize = obs.NewHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
 	m.schedulerLag = obs.NewHistogram(nil)
+	m.captureAppend = obs.NewHistogram(nil)
+	m.start = time.Now()
 }
+
+// buildVersion resolves the binary's module version once: the main
+// module's version when the build carries one, else the VCS revision,
+// else "devel". Dashboards join it with sompid_build_info to attribute
+// a latency or plan-diff regression to the build that introduced it.
+var buildVersion = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			return s.Value[:12]
+		}
+	}
+	if v == "" || v == "(devel)" {
+		return "devel"
+	}
+	return v
+})
 
 // noteQueueDepth folds one observed per-shard queue depth into the
 // high-water mark.
@@ -210,7 +250,15 @@ func header(w io.Writer, name, typ, help string) {
 // render writes the exposition text. marketVersion, cacheLen, the shard
 // stats and the ingest queue depths are sampled by the caller (they
 // live in the market, cache and ingester, not here).
-func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, cacheLen int, shards []cloud.ShardStat, wal store.Stats, queueDepths map[string]int) {
+func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, cacheLen int, shards []cloud.ShardStat, wal store.Stats, queueDepths map[string]int, captureSeg uint64) {
+	// Build identity first: replay reports and dashboards join on it to
+	// attribute a regression to the binary that served the traffic.
+	header(w, "sompid_build_info", "gauge", "Build identity of the serving binary; always 1.")
+	fmt.Fprintf(w, "sompid_build_info{version=\"%s\",go_version=\"%s\"} 1\n",
+		escapeLabel(buildVersion()), escapeLabel(runtime.Version()))
+	header(w, "sompid_uptime_seconds", "gauge", "Seconds since this process initialized its metrics.")
+	fmt.Fprintf(w, "sompid_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+
 	header(w, "sompid_requests_total", "counter", "Requests served, by endpoint.")
 	for ep := endpoint(0); ep < numEndpoints; ep++ {
 		fmt.Fprintf(w, "sompid_requests_total{endpoint=\"%s\"} %d\n", escapeLabel(endpointNames[ep]), m.requests[ep].Load())
@@ -341,4 +389,15 @@ func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, ca
 	fmt.Fprintf(w, "sompid_active_sessions %d\n", m.activeSessions.Load())
 	header(w, "sompid_sessions_completed_total", "counter", "Tracked sessions that reached a terminal state.")
 	fmt.Fprintf(w, "sompid_sessions_completed_total %d\n", m.completedSessions.Load())
+
+	header(w, "sompid_capture_records_total", "counter", "Requests appended to the traffic capture log.")
+	fmt.Fprintf(w, "sompid_capture_records_total %d\n", m.captureRecords.Load())
+	header(w, "sompid_capture_append_errors_total", "counter", "Capture appends that failed (the request still served).")
+	fmt.Fprintf(w, "sompid_capture_append_errors_total %d\n", m.captureErrors.Load())
+	header(w, "sompid_capture_skipped_total", "counter", "Requests not captured because the body exceeded the capture bound.")
+	fmt.Fprintf(w, "sompid_capture_skipped_total %d\n", m.captureSkipped.Load())
+	header(w, "sompid_capture_append_seconds", "histogram", "Capture-log append latency in seconds.")
+	m.captureAppend.WriteProm(w, "sompid_capture_append_seconds", "")
+	header(w, "sompid_capture_active_segment", "gauge", "Sequence number of the capture segment appends currently go to (0 with capture off).")
+	fmt.Fprintf(w, "sompid_capture_active_segment %d\n", captureSeg)
 }

@@ -445,9 +445,29 @@ func TestExpositionFormat(t *testing.T) {
 		"# TYPE sompid_ingest_batch_size histogram",
 		"# TYPE sompid_scheduler_lag_seconds histogram",
 		"# TYPE sompid_reopt_deduped_total counter",
+		"# TYPE sompid_build_info gauge",
+		"# TYPE sompid_uptime_seconds gauge",
+		"# TYPE sompid_capture_records_total counter",
+		"# TYPE sompid_capture_append_errors_total counter",
+		"# TYPE sompid_capture_skipped_total counter",
+		"# TYPE sompid_capture_append_seconds histogram",
+		"# TYPE sompid_capture_active_segment gauge",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("/metrics missing %q", want)
 		}
+	}
+
+	// Build identity: exactly one sompid_build_info series, value 1, with
+	// non-empty version and go_version labels; uptime moves.
+	info := regexp.MustCompile(`(?m)^sompid_build_info\{version="([^"]+)",go_version="([^"]+)"\} 1$`).FindStringSubmatch(text)
+	if info == nil {
+		t.Fatalf("sompid_build_info series malformed in:\n%s", text)
+	}
+	if info[1] == "" || !strings.HasPrefix(info[2], "go") {
+		t.Fatalf("sompid_build_info labels version=%q go_version=%q", info[1], info[2])
+	}
+	if up := metricValue(t, []byte(text), "sompid_uptime_seconds"); up <= 0 {
+		t.Fatalf("sompid_uptime_seconds = %v, want > 0", up)
 	}
 }

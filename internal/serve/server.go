@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"math"
 	"net/http"
@@ -18,6 +19,7 @@ import (
 	"sompi/internal/app"
 	"sompi/internal/baselines"
 	"sompi/internal/cloud"
+	"sompi/internal/harness"
 	"sompi/internal/model"
 	"sompi/internal/obs"
 	"sompi/internal/opt"
@@ -76,6 +78,15 @@ type Config struct {
 	// none (boundaries accumulate durably but never run — a test and
 	// maintenance hook).
 	ReoptWorkers int
+	// CaptureLog, when set, records every v1 request to a segmented
+	// NDJSON capture log under this directory — one harness.Record per
+	// request (endpoint, method, body, relative timestamp, request id,
+	// response status and body hash) for cmd/sompi-replay to replay and
+	// twin-diff. Empty disables capture.
+	CaptureLog string
+	// CaptureSegmentRecords bounds records per capture segment before
+	// it is sealed; zero means harness.DefaultSegmentRecords.
+	CaptureSegmentRecords int
 }
 
 // Server is the sompid planner service. The market synchronizes itself
@@ -120,6 +131,9 @@ type Server struct {
 	met   metrics
 	col   *obs.Collector
 	log   *obs.Logger
+
+	// capture is the request capture log (nil = capture off).
+	capture *harness.Writer
 
 	// store is the durability subsystem (nil = pure in-memory);
 	// snapshotEvery its snapshot cadence in WAL records. snapping gates
@@ -194,6 +208,15 @@ func New(cfg Config) (*Server, error) {
 		s.market.SetPersistBatch(s.persistTickBatch)
 	}
 
+	if cfg.CaptureLog != "" {
+		w, err := harness.OpenWriter(cfg.CaptureLog, cfg.CaptureSegmentRecords)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening capture log: %w", err)
+		}
+		w.SetAppendObserver(func(seconds float64) { s.met.captureAppend.Observe(seconds) })
+		s.capture = w
+	}
+
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	s.reopts = newReoptCache(s.cache.cap)
 	workers := cfg.ReoptWorkers
@@ -255,11 +278,18 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+func (r *statusRecorder) code() int { return r.status }
+
 // instrument wraps a handler with request-ID propagation, a root span and
 // the per-endpoint request, latency and error counters. The observation
 // is deferred, so a handler that unwinds early on context cancellation
 // (the 499/504 path) — or panics — still lands in the latency histogram
 // and still gets its span ended.
+//
+// With capture enabled, the request body is buffered (up to
+// maxCaptureBody) and the response hashed, and one capture record —
+// carrying the echoed X-Request-Id, so twin-diff replays re-send the
+// same identity — is appended after the handler finishes.
 func (s *Server) instrument(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqID := r.Header.Get("X-Request-Id")
@@ -268,15 +298,46 @@ func (s *Server) instrument(ep endpoint, h http.HandlerFunc) http.HandlerFunc {
 		}
 		w.Header().Set("X-Request-Id", reqID)
 		ctx, sp := obs.StartRoot(r.Context(), s.col, "http."+endpointNames[ep], reqID)
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+
+		var rec interface {
+			http.ResponseWriter
+			code() int
+		}
+		var capBody []byte
+		var capSum hash.Hash
+		capturing := false
+		if s.capture != nil {
+			body, rd, ok, err := captureBody(r)
+			if err != nil {
+				// The body never arrived; serve the error, capture nothing.
+				writeError(w, http.StatusBadRequest, fmt.Errorf("%w: reading body: %v", opt.ErrInvalidConfig, err))
+				sp.End()
+				return
+			}
+			r.Body = rd
+			if ok {
+				capturing = true
+				capBody = body
+				capSum = newCaptureSum()
+				rec = &captureRecorder{statusRecorder{ResponseWriter: w, status: http.StatusOK}, capSum}
+			} else {
+				s.met.captureSkipped.Add(1)
+			}
+		}
+		if rec == nil {
+			rec = &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		}
 		start := time.Now()
 		defer func() {
 			seconds := time.Since(start).Seconds()
-			s.met.observe(ep, seconds, rec.status >= 400)
-			sp.AttrInt("status", int64(rec.status))
+			s.met.observe(ep, seconds, rec.code() >= 400)
+			sp.AttrInt("status", int64(rec.code()))
 			sp.End()
+			if capturing {
+				s.captureRequest(ep, r, reqID, capBody, rec.code(), capSum)
+			}
 			s.log.Debug("request", "endpoint", endpointNames[ep], "request_id", reqID,
-				"status", rec.status, "seconds", seconds)
+				"status", rec.code(), "seconds", seconds)
 		}()
 		h(rec, r.WithContext(ctx))
 	}
@@ -891,7 +952,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		wal = s.store.Stats()
 	}
-	s.met.render(w, s.market.Version(), s.market.MinDuration(), s.cache.len(), s.market.ShardStats(), wal, s.ing.depths())
+	var captureSeg uint64
+	if s.capture != nil {
+		captureSeg = s.capture.ActiveSegment()
+	}
+	s.met.render(w, s.market.Version(), s.market.MinDuration(), s.cache.len(), s.market.ShardStats(), wal, s.ing.depths(), captureSeg)
 }
 
 // handleDebugTrace serves the flight recorder: the most recent completed
