@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve-smoke tournament-smoke replay-smoke fuzz bench obs-bench bench-serve bench-replay check
+.PHONY: all build vet test race serve-smoke tournament-smoke replay-smoke cluster-smoke fuzz bench obs-bench bench-serve bench-replay check
 
 all: check
 
@@ -42,6 +42,14 @@ tournament-smoke:
 replay-smoke:
 	$(GO) run ./cmd/replay-smoke
 
+# 2-node cluster failover gate: boot nodes a+b plus a single-node
+# reference, twin-diff a mixed capture through sompi-replay (zero
+# plan-byte diffs between the cluster and the single node), SIGKILL b
+# mid-session, and require a to promote b's shards and sessions and
+# serve byte-identical plans, with sane merged /cluster views.
+cluster-smoke:
+	$(GO) run ./cmd/cluster-smoke
+
 # Short-budget fuzz pass over the WAL record codec: the decoders must
 # return typed errors, never panic, on arbitrary torn/corrupt input.
 # (go test -fuzz takes one target per invocation.)
@@ -51,7 +59,7 @@ fuzz:
 	$(GO) test ./internal/store -run '^$$' -fuzz 'FuzzDecodeTick' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/harness -run '^$$' -fuzz 'FuzzDecodeCaptureRecord' -fuzztime $(FUZZTIME)
 
-check: build vet race serve-smoke tournament-smoke replay-smoke
+check: build vet race serve-smoke tournament-smoke replay-smoke cluster-smoke
 
 # Regenerate the optimizer benchmark-regression file. Compares the
 # exhaustive serial search against branch-and-bound and the parallel

@@ -1,0 +1,629 @@
+// Command cluster-smoke is the 2-node failover gate behind
+// `make cluster-smoke`. It runs real sompid processes end to end:
+//
+//  1. Topology: boot nodes a and b as a 2-node cluster plus a
+//     single-node reference at the same market seed, and assert the
+//     rendezvous ownership split is disjoint, covering, and
+//     non-degenerate.
+//  2. Twin-diff: synthesize a mixed capture (synchronous ingest across
+//     both owners' shards, repeated plans, listings) with the harness
+//     writer and replay it through sompi-replay against the single
+//     node and the cluster target (`cluster=urlA,urlB`), requiring
+//     exit 0, zero plan-byte diffs, zero field diffs, and the
+//     per-target cache-hit floors.
+//  3. Failover: create a tracked session that the proxy lands on b,
+//     ingest past a window boundary so it re-optimizes, then SIGKILL
+//     b mid-session. Node a must promote b's shards and sessions,
+//     serve the promoted shard's next plan byte-identical to the
+//     uninterrupted single node, list the adopted session, and keep
+//     ingesting — and the merged /cluster/metrics and /cluster/healthz
+//     views must stay sane with a dead member.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sompi/internal/harness"
+	"sompi/internal/serve"
+)
+
+const (
+	smokeHours  = 240
+	smokeSeed   = 7
+	smokeWindow = 2 // hours per session window: 2.5h of ticks crosses a boundary
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cluster-smoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cluster-smoke: PASS")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "sompi-cluster-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	sompid := filepath.Join(tmp, "sompid")
+	replayBin := filepath.Join(tmp, "sompi-replay")
+	for bin, pkg := range map[string]string{sompid: "./cmd/sompid", replayBin: "./cmd/sompi-replay"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building %s: %w", pkg, err)
+		}
+	}
+
+	// Cluster node URLs must be known before either process starts (the
+	// -cluster-node flags carry them), so reserve two ephemeral ports up
+	// front instead of parsing banners.
+	portA, err := freePort()
+	if err != nil {
+		return err
+	}
+	portB, err := freePort()
+	if err != nil {
+		return err
+	}
+	urlA := fmt.Sprintf("http://127.0.0.1:%d", portA)
+	urlB := fmt.Sprintf("http://127.0.0.1:%d", portB)
+	clusterFlags := []string{
+		"-cluster-node", "a=" + urlA,
+		"-cluster-node", "b=" + urlB,
+		"-cluster-probe", "50ms",
+		"-cluster-failover-after", "3",
+	}
+	nodeA, err := startSompid(sompid, append([]string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", portA),
+		"-data-dir", filepath.Join(tmp, "node-a"),
+		"-cluster-self", "a"}, clusterFlags...)...)
+	if err != nil {
+		return err
+	}
+	defer nodeA.Process.Kill()
+	nodeB, err := startSompid(sompid, append([]string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", portB),
+		"-data-dir", filepath.Join(tmp, "node-b"),
+		"-cluster-self", "b"}, clusterFlags...)...)
+	if err != nil {
+		return err
+	}
+	defer nodeB.Process.Kill()
+	ref, refURL, err := startRef(sompid)
+	if err != nil {
+		return err
+	}
+	defer ref.Process.Kill()
+	for _, u := range []string{urlA, urlB, refURL} {
+		if err := waitHealthy(u); err != nil {
+			return err
+		}
+	}
+
+	bShard, err := checkTopology(urlA, urlB)
+	if err != nil {
+		return fmt.Errorf("topology stage: %w", err)
+	}
+	if err := twinDiff(tmp, replayBin, refURL, urlA, urlB); err != nil {
+		return fmt.Errorf("twin-diff stage: %w", err)
+	}
+	if err := failover(nodeB, urlA, urlB, refURL, bShard); err != nil {
+		return fmt.Errorf("failover stage: %w", err)
+	}
+	return nil
+}
+
+// checkTopology asserts the rendezvous split over the default market is
+// disjoint, covering, and gives both nodes work, then returns one shard
+// owned by b (the node the failover stage kills). It also waits until
+// a's failure detector has seen b healthy: failover only arms after
+// that, so killing earlier would never promote.
+func checkTopology(urlA, urlB string) (string, error) {
+	var stA, stB serve.ClusterStatus
+	if err := getJSON(urlA+"/cluster/status", &stA); err != nil {
+		return "", err
+	}
+	if err := getJSON(urlB+"/cluster/status", &stB); err != nil {
+		return "", err
+	}
+	if len(stA.OwnedShards) == 0 || len(stB.OwnedShards) == 0 {
+		return "", fmt.Errorf("degenerate ownership split: a=%d b=%d shards", len(stA.OwnedShards), len(stB.OwnedShards))
+	}
+	owned := map[string]string{}
+	for _, sh := range stA.OwnedShards {
+		owned[sh] = "a"
+	}
+	for _, sh := range stB.OwnedShards {
+		if owned[sh] == "a" {
+			return "", fmt.Errorf("shard %s claimed by both nodes", sh)
+		}
+		owned[sh] = "b"
+	}
+	if len(owned) != 12 {
+		return "", fmt.Errorf("ownership covers %d shards, want 12", len(owned))
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var st serve.ClusterStatus
+		if err := getJSON(urlA+"/cluster/status", &st); err == nil {
+			armed := false
+			for _, p := range st.PeersUp {
+				armed = armed || p == "b"
+			}
+			if armed {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("a's failure detector never saw b healthy")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("cluster-smoke: ownership split a=%d b=%d shards, detector armed\n",
+		len(stA.OwnedShards), len(stB.OwnedShards))
+	return stB.OwnedShards[0], nil
+}
+
+// twinDiff replays a synthesized mixed capture against the single node
+// and the cluster (entered through a; b is the fallback URL) and
+// requires byte-level equivalence. Every plan in the capture is
+// unrestricted, so both targets serve the identical optimization
+// sequence locally — which keeps even the reuse-cache effort counters,
+// and therefore the plan bytes, in lockstep.
+func twinDiff(tmp, replayBin, refURL, urlA, urlB string) error {
+	capDir := filepath.Join(tmp, "capture")
+	w, err := harness.OpenWriter(capDir, 256)
+	if err != nil {
+		return err
+	}
+	planA, _ := json.Marshal(serve.PlanRequest{
+		App: "BT", DeadlineHours: 60,
+		Workers: 1, Kappa: 2, GridLevels: 3, MaxGroups: 3,
+	})
+	planB, _ := json.Marshal(serve.PlanRequest{
+		App: "BT", DeadlineHours: 90,
+		Workers: 1, Kappa: 2, GridLevels: 3, MaxGroups: 3,
+	})
+	records := 0
+	for round := 0; round < 6; round++ {
+		recs := []harness.Record{
+			// Mixed ingest: one batch covering every shard, so the entry
+			// node keeps its own shards and forwards the peer's. ?sync=1
+			// makes the cluster converge before the next record.
+			{Endpoint: "prices", Method: "POST", Path: "/v1/prices?sync=1", Body: string(flatTicks(0.25)), Status: 200},
+			// A fresh market version: the first plan misses, its repeat
+			// must hit — on both targets (the per-target hit-rate floors).
+			{Endpoint: "plan", Method: "POST", Path: "/v1/plan", Body: string(planA), Status: 200},
+			{Endpoint: "plan", Method: "POST", Path: "/v1/plan", Body: string(planA), Status: 200},
+			{Endpoint: "plan", Method: "POST", Path: "/v1/plan", Body: string(planB), Status: 200},
+		}
+		if round%3 == 0 {
+			recs = append(recs, harness.Record{Endpoint: "strategies", Method: "GET", Path: "/v1/strategies", Status: 200})
+		}
+		for _, rec := range recs {
+			if err := w.Append(rec); err != nil {
+				return err
+			}
+			records++
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+
+	rules := filepath.Join(tmp, "rules.json")
+	if err := os.WriteFile(rules, []byte(`{
+  "max_plan_diffs": 0,
+  "max_field_diffs": 0,
+  "max_transport_errors": 0,
+  "min_cache_hit_rate": 0.1,
+  "targets": {
+    "single":  {"min_cache_hit_rate": 0.1},
+    "cluster": {"min_cache_hit_rate": 0.1}
+  },
+  "endpoints": {
+    "plan":   {"p99_ms": 60000, "max_error_rate": 0},
+    "prices": {"p99_ms": 60000, "max_error_rate": 0}
+  }
+}
+`), 0o644); err != nil {
+		return err
+	}
+	report := filepath.Join(tmp, "report.json")
+	cmd := exec.Command(replayBin,
+		"-log", capDir,
+		"-target", "single="+refURL,
+		"-target", "cluster="+urlA+","+urlB,
+		"-rules", rules, "-out", report)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err = cmd.Run()
+	if code, ok := exitCode(err); !ok {
+		return fmt.Errorf("running sompi-replay: %w", err)
+	} else if code != harness.ExitOK {
+		return fmt.Errorf("cluster twin-diff exited %d, want %d:\n%s", code, harness.ExitOK, buf.String())
+	}
+	var rep harness.Report
+	data, err := os.ReadFile(report)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("report.json: %w", err)
+	}
+	if rep.Records != records {
+		return fmt.Errorf("report covers %d records, capture had %d", rep.Records, records)
+	}
+	if rep.PlanDiffs != 0 || rep.FieldDiffs != 0 || rep.TransportErrors != 0 {
+		return fmt.Errorf("single node and cluster diverged: %d plan diffs, %d field diffs, %d transport errors\n%s",
+			rep.PlanDiffs, rep.FieldDiffs, rep.TransportErrors, buf.String())
+	}
+	fmt.Printf("cluster-smoke: twin-diff single vs cluster over %d records: 0 plan diffs, 0 field diffs\n", rep.Records)
+	return nil
+}
+
+// failover kills node b mid-session and requires a to take over:
+// promotion, the adopted session, byte-identical plans for the promoted
+// shard, continued ingest, and sane merged views.
+func failover(nodeB *exec.Cmd, urlA, urlB, refURL, bShard string) error {
+	parts := strings.SplitN(bShard, "/", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("malformed shard key %q", bShard)
+	}
+	restricted := serve.PlanRequest{
+		App: "BT", DeadlineHours: 60,
+		Workers: 1, Kappa: 2, GridLevels: 3, MaxGroups: 3,
+		Types: []string{parts[0]}, Zones: []string{parts[1]},
+	}
+
+	// A tracked session on a b-owned shard, created through a: the proxy
+	// must land it on b under b's node-prefixed session id.
+	tracked := restricted
+	tracked.Track = true
+	body, _ := json.Marshal(tracked)
+	var plan serve.PlanResponse
+	if err := postJSON(urlA+"/v1/plan", body, &plan); err != nil {
+		return err
+	}
+	if !strings.HasPrefix(plan.SessionID, "b/") {
+		return fmt.Errorf("proxied tracked session id = %q, want b/ prefix", plan.SessionID)
+	}
+
+	// Cross a window boundary through b directly (mixed entry points:
+	// the twin-diff ingested through a). The session re-optimizes on b;
+	// an empty flush through a then replicates the re-optimized state,
+	// so what a adopts below is current.
+	var pr serve.PricesResponse
+	if err := postJSON(urlB+"/v1/prices?sync=1", flatTicks(2.5), &pr); err != nil {
+		return err
+	}
+	if pr.Reoptimized < 1 {
+		return fmt.Errorf("sync ingest reported %d re-optimizations, want >=1", pr.Reoptimized)
+	}
+	if err := postJSON(refURL+"/v1/prices?sync=1", flatTicks(2.5), nil); err != nil {
+		return err
+	}
+	if err := postJSON(urlA+"/v1/prices?sync=1", []byte("[]"), nil); err != nil {
+		return err
+	}
+
+	// SIGKILL b mid-session. No shutdown hooks run — exactly the spot
+	// interruption the paper's replication discipline is about.
+	if err := nodeB.Process.Kill(); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for promoted := false; !promoted; {
+		var st serve.ClusterStatus
+		if err := getJSON(urlA+"/cluster/status", &st); err == nil {
+			for _, p := range st.Promoted {
+				promoted = promoted || p == "b"
+			}
+		}
+		if promoted {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("a never promoted b after SIGKILL")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Println("cluster-smoke: a promoted b's shards after SIGKILL")
+
+	// The promoted shard's next plan, served by a, must be byte-identical
+	// to the uninterrupted single node. Both processes ran the identical
+	// unrestricted optimization sequence (the twin-diff replays against
+	// each target), so even the search-effort counters agree.
+	body, _ = json.Marshal(restricted)
+	got, err := postBytes(urlA+"/v1/plan", body)
+	if err != nil {
+		return err
+	}
+	want, err := postBytes(refURL+"/v1/plan", body)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("promoted-shard plan diverged from the single node:\ncluster: %s\nsingle:  %s", got, want)
+	}
+	fmt.Println("cluster-smoke: promoted-shard plan is byte-identical to the single node")
+
+	// The adopted session must be first-class on a, with its pre-kill
+	// re-optimization history intact.
+	var sessions []serve.SessionInfo
+	if err := getJSON(urlA+"/v1/sessions", &sessions); err != nil {
+		return err
+	}
+	found := false
+	for _, s := range sessions {
+		if s.ID == plan.SessionID {
+			found = true
+			if s.Reoptimized < 1 {
+				return fmt.Errorf("adopted session %s lost its re-optimization count", s.ID)
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("adopted session %s missing from a's listing", plan.SessionID)
+	}
+
+	// Post-failover ingest: a now owns everything, nothing is forwarded,
+	// and the adopted session keeps re-optimizing locally.
+	if err := postJSON(urlA+"/v1/prices?sync=1", flatTicks(2.5), &pr); err != nil {
+		return err
+	}
+	if pr.Reoptimized < 1 {
+		return fmt.Errorf("post-failover ingest reported %d re-optimizations, want >=1 (adopted session)", pr.Reoptimized)
+	}
+	if err := postJSON(refURL+"/v1/prices?sync=1", flatTicks(2.5), nil); err != nil {
+		return err
+	}
+	// The adopted session's re-optimizations touch a's reuse cache (the
+	// single node has no session), so effort counters may legitimately
+	// differ now — everything else must still match exactly.
+	got, err = postBytes(urlA+"/v1/plan", body)
+	if err != nil {
+		return err
+	}
+	want, err = postBytes(refURL+"/v1/plan", body)
+	if err != nil {
+		return err
+	}
+	gs, err := stripSearchEffort(got)
+	if err != nil {
+		return err
+	}
+	ws, err := stripSearchEffort(want)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(gs, ws) {
+		return fmt.Errorf("post-failover plan diverged beyond search effort:\ncluster: %s\nsingle:  %s", got, want)
+	}
+
+	// Merged views with a dead member: /cluster/healthz reports b dead,
+	// /cluster/metrics carries only a's samples (node-labelled, one
+	// header per family) and records the promotion.
+	var ch serve.ClusterHealthResponse
+	if err := getJSON(urlA+"/cluster/healthz", &ch); err != nil {
+		return err
+	}
+	for _, n := range ch.Nodes {
+		switch n.Name {
+		case "a":
+			if n.Status != "ok" {
+				return fmt.Errorf("merged healthz: a is %q, want ok", n.Status)
+			}
+		case "b":
+			if n.Status != "dead" {
+				return fmt.Errorf("merged healthz: b is %q, want dead", n.Status)
+			}
+		}
+	}
+	metrics, err := getBytes(urlA + "/cluster/metrics")
+	if err != nil {
+		return err
+	}
+	text := string(metrics)
+	if !strings.Contains(text, `node="a"`) {
+		return fmt.Errorf("merged metrics carry no node=\"a\" samples")
+	}
+	if strings.Contains(text, `node="b"`) {
+		return fmt.Errorf("merged metrics still carry node=\"b\" samples after promotion")
+	}
+	if got := strings.Count(text, "# HELP sompid_market_version "); got != 1 {
+		return fmt.Errorf("merged metrics repeat the sompid_market_version header %d times, want 1", got)
+	}
+	if !strings.Contains(text, `sompid_cluster_promotions_total{node="a"} 1`) {
+		return fmt.Errorf("merged metrics do not record a's promotion")
+	}
+	fmt.Println("cluster-smoke: merged healthz and metrics are sane with a dead member")
+	return nil
+}
+
+// flatTicks is the deterministic all-shard feed: hours of flat 0.05
+// samples (12 per hour) for each of the 12 default market shards.
+func flatTicks(hours float64) []byte {
+	samples := make([]float64, int(hours*12))
+	for i := range samples {
+		samples[i] = 0.05
+	}
+	var ticks []serve.PriceTick
+	for _, ty := range []string{"m1.small", "m1.medium", "c3.xlarge", "cc2.8xlarge"} {
+		for _, z := range []string{"us-east-1a", "us-east-1b", "us-east-1c"} {
+			ticks = append(ticks, serve.PriceTick{Type: ty, Zone: z, Prices: samples})
+		}
+	}
+	b, _ := json.Marshal(ticks)
+	return b
+}
+
+// stripSearchEffort drops the reuse-cache effort counters from a plan
+// response; equal maps re-marshal to equal bytes (JSON keys sort).
+func stripSearchEffort(raw []byte) ([]byte, error) {
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("decoding plan response %s: %w", raw, err)
+	}
+	delete(m, "evals")
+	delete(m, "pruned")
+	delete(m, "saved_evals")
+	return json.Marshal(m)
+}
+
+// freePort reserves an ephemeral TCP port and releases it for the node
+// process to claim. The tiny reuse race is acceptable in a smoke gate.
+func freePort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	return port, ln.Close()
+}
+
+// startSompid boots a cluster node on a pre-assigned address.
+func startSompid(bin string, extra ...string) (*exec.Cmd, error) {
+	args := append([]string{
+		"-hours", fmt.Sprint(smokeHours),
+		"-seed", fmt.Sprint(smokeSeed),
+		"-window", fmt.Sprint(smokeWindow)}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting sompid: %w", err)
+	}
+	return cmd, nil
+}
+
+// startRef boots the single-node reference on an ephemeral port and
+// parses its listen banner for the base URL.
+func startRef(bin string) (*exec.Cmd, string, error) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-hours", fmt.Sprint(smokeHours),
+		"-seed", fmt.Sprint(smokeSeed),
+		"-window", fmt.Sprint(smokeWindow))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("starting reference sompid: %w", err)
+	}
+	sc := bufio.NewScanner(stdout)
+	base := ""
+	for lines := 0; base == "" && lines < 20 && sc.Scan(); lines++ {
+		banner := sc.Text()
+		if i := strings.Index(banner, "http://"); i >= 0 {
+			base = strings.Fields(banner[i:])[0]
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		return nil, "", fmt.Errorf("reference sompid never printed a listen banner")
+	}
+	go io.Copy(io.Discard, stdout)
+	return cmd, base, nil
+}
+
+func waitHealthy(base string) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s never became healthy: %v", base, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func exitCode(err error) (int, bool) {
+	if err == nil {
+		return 0, true
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode(), true
+	}
+	return 0, false
+}
+
+func postBytes(url string, body []byte) ([]byte, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST %s: %d %s", url, resp.StatusCode, b)
+	}
+	return b, nil
+}
+
+func postJSON(url string, body []byte, out any) error {
+	b, err := postBytes(url, body)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(b, out)
+}
+
+func getBytes(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, b)
+	}
+	return b, nil
+}
+
+func getJSON(url string, out any) error {
+	b, err := getBytes(url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, out)
+}

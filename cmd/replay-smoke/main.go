@@ -213,13 +213,22 @@ func twinDiffStage(tmp, sompid, replayBin, capDir string, captured int) error {
 
 	// The passing gate: twin equivalence (zero plan-byte diffs, zero
 	// field diffs), a latency budget loose enough for CI hardware, and a
-	// hit-rate floor the repeated identical plan must clear.
+	// hit-rate floor the repeated identical plan must clear. Both twins
+	// serve every request locally, so the per-target floors simply pin
+	// the global one per name — and prove the per-target override path
+	// (the one a cluster target with forwarded requests relies on, where
+	// proxied plans land in the owner's cache, not the entry node's)
+	// stays wired through the rules file.
 	rules := filepath.Join(tmp, "rules.json")
 	if err := os.WriteFile(rules, []byte(`{
   "max_plan_diffs": 0,
   "max_field_diffs": 0,
   "max_transport_errors": 0,
   "min_cache_hit_rate": 0.1,
+  "targets": {
+    "mem":  {"min_cache_hit_rate": 0.1},
+    "disk": {"min_cache_hit_rate": 0.1}
+  },
   "endpoints": {
     "plan":       {"p99_ms": 60000, "max_error_rate": 0},
     "prices":     {"p99_ms": 60000, "max_error_rate": 0},

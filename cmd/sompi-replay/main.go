@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sompi-replay -log DIR|FILE -target name=url [-target name=url]
+//	sompi-replay -log DIR|FILE -target name=url[,url...] [-target ...]
 //	             [-rate 1.0] [-concurrency 1] [-timeout 30s]
 //	             [-ignore field,path.field] [-rules rules.json]
 //	             [-out report.json] [-append-bench BENCH.json]
@@ -64,11 +64,21 @@ func (t *targetFlags) String() string {
 }
 
 func (t *targetFlags) Set(v string) error {
-	name, url, ok := strings.Cut(v, "=")
-	if !ok || name == "" || url == "" {
-		return fmt.Errorf("want name=url, got %q", v)
+	name, urls, ok := strings.Cut(v, "=")
+	if !ok || name == "" || urls == "" {
+		return fmt.Errorf("want name=url[,url...], got %q", v)
 	}
-	*t = append(*t, harness.Target{Name: name, URL: url})
+	// A comma-separated URL list addresses one logical target through
+	// several nodes (a cluster): the first URL is primary, the rest are
+	// transport-failure fallbacks, so the replay rides through a node
+	// being killed mid-run.
+	parts := strings.Split(urls, ",")
+	for i, p := range parts {
+		if parts[i] = strings.TrimSpace(p); parts[i] == "" {
+			return fmt.Errorf("empty url in %q", v)
+		}
+	}
+	*t = append(*t, harness.Target{Name: name, URL: parts[0], Fallback: parts[1:]})
 	return nil
 }
 
@@ -90,7 +100,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		outPath     = fs.String("out", "", "write the full JSON report here ('-' = stdout)")
 		appendBench = fs.String("append-bench", "", "merge the throughput summary into this BENCH_serve.json-style file under the \"replay\" key")
 	)
-	fs.Var(&targets, "target", "replay target as name=url; repeat for a twin-diff (max 2)")
+	fs.Var(&targets, "target", "replay target as name=url[,url...]; extra urls are cluster-node fallbacks; repeat the flag for a twin-diff (max 2)")
 	if err := fs.Parse(args); err != nil {
 		return harness.ExitUsage
 	}

@@ -9,6 +9,7 @@
 //	       [-retain 0] [-log-format text|ndjson] [-log-level info]
 //	       [-trace-ring 4096] [-data-dir DIR] [-fsync] [-snapshot-every 4096]
 //	       [-ingest-queue 1024] [-reopt-workers 4]
+//	       [-cluster-self a -cluster-node a=URL -cluster-node b=URL ...]
 //
 // The market is either synthesized (-seed/-hours) or loaded from a
 // cmd/tracegen CSV directory (-traces). With -data-dir, every ingested
@@ -31,6 +32,14 @@
 // POST /v1/plan also accepts ?explain=1, returning the optimizer's
 // decision trail alongside the plan.
 //
+// With -cluster-self/-cluster-node (requires -data-dir), the process
+// runs as one node of a static cluster: market shards are owned by
+// rendezvous hash, mis-routed ingest and plan requests forward to
+// their owner, every peer's WAL replicates into DIR/standby/<peer>,
+// and a dead peer's shards and sessions are promoted locally. Cluster
+// endpoints: GET /cluster/wal (segment stream), /cluster/status,
+// /cluster/healthz and /cluster/metrics (merged views).
+//
 // SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
@@ -44,14 +53,37 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"sompi/internal/cloud"
+	"sompi/internal/cluster"
 	"sompi/internal/obs"
 	"sompi/internal/serve"
 	"sompi/internal/store"
 )
+
+// nodeFlags collects repeated -cluster-node name=url entries.
+type nodeFlags []cluster.Node
+
+func (f *nodeFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, n := range *f {
+		parts[i] = n.Name + "=" + n.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *nodeFlags) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want name=url, got %q", v)
+	}
+	*f = append(*f, cluster.Node{Name: name, URL: strings.TrimSuffix(url, "/")})
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -76,7 +108,13 @@ func main() {
 		reoptWork  = flag.Int("reopt-workers", 0, "session re-optimization worker pool size (0 = default 4)")
 		captureLog = flag.String("capture-log", "", "capture every v1 request to a segmented NDJSON log under this directory for cmd/sompi-replay (empty = capture off)")
 		captureSeg = flag.Int("capture-segment", 0, "records per capture segment before it is sealed (0 = default 4096)")
+
+		clusterSelf     = flag.String("cluster-self", "", "this node's name in a multi-node cluster (requires -data-dir and at least two -cluster-node entries)")
+		clusterProbe    = flag.Duration("cluster-probe", 0, "peer health-probe interval (0 = default 300ms)")
+		clusterFailures = flag.Int("cluster-failover-after", 0, "consecutive failed probes before a peer is declared dead and its shards promoted (0 = default 5)")
 	)
+	var clusterNodes nodeFlags
+	flag.Var(&clusterNodes, "cluster-node", "cluster member as name=url (repeatable; must include -cluster-self)")
 	flag.Parse()
 
 	format, err := obs.ParseFormat(*logFormat)
@@ -115,6 +153,25 @@ func main() {
 		}
 	}
 
+	// Cluster mode: the standby mirrors live next to the node's own WAL,
+	// one directory per peer.
+	var clusterCfg *serve.ClusterConfig
+	if *clusterSelf != "" || len(clusterNodes) > 0 {
+		if *clusterSelf == "" || len(clusterNodes) < 2 {
+			log.Fatalf("cluster mode needs -cluster-self and at least two -cluster-node entries")
+		}
+		if *dataDir == "" {
+			log.Fatalf("cluster mode requires -data-dir (replication ships WAL segments)")
+		}
+		clusterCfg = &serve.ClusterConfig{
+			Self:          *clusterSelf,
+			Nodes:         clusterNodes,
+			StandbyDir:    filepath.Join(*dataDir, "standby"),
+			ProbeInterval: *clusterProbe,
+			FailoverAfter: *clusterFailures,
+		}
+	}
+
 	s, err := serve.New(serve.Config{
 		Market:                m,
 		WindowHours:           *window,
@@ -129,6 +186,7 @@ func main() {
 		ReoptWorkers:          *reoptWork,
 		CaptureLog:            *captureLog,
 		CaptureSegmentRecords: *captureSeg,
+		Cluster:               clusterCfg,
 	})
 	if err != nil {
 		log.Fatalf("configuring service: %v", err)
@@ -145,6 +203,7 @@ func main() {
 		"data_dir", *dataDir, "fsync", *fsync, "snapshot_every", *snapEvery,
 		"ingest_queue", *ingestQ, "reopt_workers", *reoptWork,
 		"capture_log", *captureLog,
+		"cluster_self", *clusterSelf, "cluster_nodes", len(clusterNodes),
 		"market_version", m.Version(), "markets", m.NumMarkets(),
 		"frontier_hours", m.MinDuration())
 

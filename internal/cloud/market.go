@@ -476,6 +476,33 @@ func (m *Market) RestoreShards(states []ShardState) error {
 	return nil
 }
 
+// MergeShards applies a snapshot capture forward-only: each shard's
+// state is taken only when it advances that shard's version, so a
+// shipped peer snapshot that lags records already applied locally never
+// rewinds them. Unlike RestoreShards this is safe on a live market — it
+// is the cluster replication path — because the composite tick counter
+// is adjusted by per-shard deltas computed under each shard's write
+// lock, never recomputed globally. Reports how many shards moved.
+func (m *Market) MergeShards(states []ShardState) (int, error) {
+	applied := 0
+	for _, st := range states {
+		key := MarketKey{st.Type, st.Zone}
+		s, ok := m.shards[key]
+		if !ok {
+			return applied, fmt.Errorf("%w: snapshot carries %v", ErrUnknownMarket, key)
+		}
+		delta, err := s.mergeState(st)
+		if err != nil {
+			return applied, err
+		}
+		if delta > 0 {
+			m.ticks.Add(delta)
+			applied++
+		}
+	}
+	return applied, nil
+}
+
 // ApplyTick applies one WAL tick record during recovery, idempotently
 // by shard version: already-reached versions are skipped, version+1
 // applies, a gap is an error. See shard.applyReplay.

@@ -205,6 +205,32 @@ func (s *shard) restoreState(st ShardState) error {
 	return nil
 }
 
+// mergeState restores the shard from a snapshot capture only when that
+// advances the shard's version — the forward-only variant cluster
+// replication uses, where a shipped snapshot may lag records already
+// applied locally and must never rewind them. It returns how many
+// versions the shard advanced (0 = state not taken), computed under the
+// shard's write lock so the caller can adjust the market's composite
+// tick counter by delta without racing concurrent appends.
+func (s *shard) mergeState(st ShardState) (uint64, error) {
+	if st.Step <= 0 {
+		return 0, fmt.Errorf("cloud: merging %v: non-positive step %v", s.key, st.Step)
+	}
+	prices := make([]float64, len(st.Prices))
+	copy(prices, st.Prices)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st.Version <= s.version {
+		return 0, nil
+	}
+	delta := st.Version - s.version
+	s.tr = &trace.Trace{Step: st.Step, Prices: prices, Head: st.Head}
+	s.version = st.Version
+	s.ticks = st.Ticks
+	s.compacted = st.Compacted
+	return delta, nil
+}
+
 // compactTo applies a retention bound to the current trace without
 // appending (used when retention is tightened on a live market).
 func (s *shard) compactTo(retainHours float64) {

@@ -1,0 +1,154 @@
+// Package cluster is the scale-out substrate for sompid: a static
+// N-node topology whose market shards are partitioned by rendezvous
+// hashing, a length-prefixed frame codec for WAL segment shipping, and
+// a follower that mirrors a peer's WAL into a local standby directory
+// while replaying the records live.
+//
+// The package is deliberately transport- and domain-agnostic: shards
+// are opaque strings (serve uses "type/zone"), nodes are (name, URL)
+// pairs, and the follower's only contract with the rest of the system
+// is a pair of callbacks. Everything that knows about markets,
+// sessions, or HTTP routing lives in internal/serve.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Node is one cluster member: a stable name (the identity ownership
+// hashes over) and the base URL peers reach it at.
+type Node struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Topology is a static cluster membership. Ownership is a pure function
+// of (shard, node names): any process given the same node set computes
+// the same assignment, so routing needs no coordination service.
+type Topology struct {
+	self  Node
+	nodes []Node // sorted by name
+}
+
+// NewTopology validates and normalizes a membership list. The node list
+// may arrive in any order — it is sorted by name, so two processes
+// configured with permuted lists agree on everything.
+func NewTopology(self string, nodes []Node) (*Topology, error) {
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 nodes, got %d", len(nodes))
+	}
+	seen := make(map[string]bool, len(nodes))
+	t := &Topology{nodes: append([]Node(nil), nodes...)}
+	for _, n := range t.nodes {
+		if n.Name == "" || n.URL == "" {
+			return nil, fmt.Errorf("cluster: node %+v needs both a name and a url", n)
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+	}
+	if !seen[self] {
+		return nil, fmt.Errorf("cluster: self %q is not in the node list", self)
+	}
+	sort.Slice(t.nodes, func(i, j int) bool { return t.nodes[i].Name < t.nodes[j].Name })
+	for _, n := range t.nodes {
+		if n.Name == self {
+			t.self = n
+		}
+	}
+	return t, nil
+}
+
+// Self reports this process's own node.
+func (t *Topology) Self() Node { return t.self }
+
+// Nodes reports the full membership, sorted by name.
+func (t *Topology) Nodes() []Node { return append([]Node(nil), t.nodes...) }
+
+// Peers reports every node except self, sorted by name.
+func (t *Topology) Peers() []Node {
+	out := make([]Node, 0, len(t.nodes)-1)
+	for _, n := range t.nodes {
+		if n.Name != t.self.Name {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Lookup resolves a node by name.
+func (t *Topology) Lookup(name string) (Node, bool) {
+	for _, n := range t.nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// Owner assigns a shard to a node by rendezvous (highest-random-weight)
+// hashing: every node scores the shard, the highest score owns it.
+// Rendezvous gives the two properties the satellite test pins: the
+// assignment is invariant under permutation of the node list (scores
+// don't depend on position), and adding or removing a node moves only
+// the shards that node wins or held (every other shard's argmax is
+// unchanged).
+func (t *Topology) Owner(shard string) Node {
+	return owner(shard, t.nodes, nil)
+}
+
+// OwnerAlive assigns a shard considering only nodes not marked dead —
+// the post-failover view. With every peer dead, self owns everything.
+func (t *Topology) OwnerAlive(shard string, dead map[string]bool) Node {
+	return owner(shard, t.nodes, dead)
+}
+
+func owner(shard string, nodes []Node, dead map[string]bool) Node {
+	var best Node
+	var bestScore uint64
+	found := false
+	for _, n := range nodes {
+		if dead[n.Name] {
+			continue
+		}
+		s := score(n.Name, shard)
+		// Ties break toward the lexicographically smaller name; with a
+		// 64-bit hash they are vanishingly rare, but determinism must not
+		// depend on luck.
+		if !found || s > bestScore || (s == bestScore && n.Name < best.Name) {
+			best, bestScore, found = n, s, true
+		}
+	}
+	return best
+}
+
+// score is the rendezvous weight of (node, shard): FNV-1a over the two
+// names with a NUL separator so ("ab","c") and ("a","bc") differ,
+// finished with a full-avalanche mixer. FNV is stable across processes
+// and architectures, which is what makes routing deterministic
+// cluster-wide — but its high bits avalanche poorly on short keys that
+// differ in one byte (a 2-node "a"/"b" cluster assigned every shard of
+// the default 12-market catalog to the same node), so the raw sum
+// cannot serve as the weight by itself.
+func score(node, shard string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	h.Write([]byte(shard))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: every input bit flips every output
+// bit with probability ~1/2, giving the rendezvous comparison the
+// uniformity the raw FNV sum lacks.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,410 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sompi/internal/store"
+)
+
+// A Follower mirrors one peer's WAL directory into a local standby
+// directory and replays the shipped records live through callbacks. The
+// mirror is maintained as a byte-for-byte prefix of the peer's data
+// dir — segments and snapshots under their original names — so a
+// promotion can hand the directory to store.Open+Recover and reuse the
+// single-node crash-recovery path unchanged.
+//
+// Contract with the caller: before Start, the standby directory must
+// have been replayed (and torn-tail truncated) via store.Open, Recover,
+// Close — the follower resumes streaming from the mirrored byte
+// position and only delivers records that arrive after Start.
+type Follower struct {
+	cfg    FollowerConfig
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	seg   uint64   // segment currently being mirrored
+	off   int64    // next byte offset within it (mirrored AND applied)
+	f     *os.File // open mirror file for seg
+	parse []byte   // undecoded record-tail of seg past its header
+
+	connected atomic.Bool
+	records   atomic.Int64
+	snapshots atomic.Int64
+	resyncs   atomic.Int64
+	errs      atomic.Int64
+}
+
+// FollowerConfig parameterizes a Follower.
+type FollowerConfig struct {
+	// Peer is the node whose WAL is mirrored.
+	Peer Node
+	// Dir is the local standby directory.
+	Dir string
+	// Client issues the long-lived stream requests. It must not carry an
+	// overall timeout (the stream is unbounded); nil uses a default.
+	Client *http.Client
+	// OnRecord sees every shipped WAL record, after its bytes are in the
+	// mirror. An error aborts the stream and forces a full resync.
+	OnRecord func(rec store.Record) error
+	// OnSnapshot sees every shipped snapshot's payload.
+	OnSnapshot func(payload []byte) error
+	// Logf, when set, receives diagnostic lines.
+	Logf func(format string, args ...any)
+	// RetryInterval is the reconnect backoff (default 500ms).
+	RetryInterval time.Duration
+}
+
+var (
+	followSegRe  = regexp.MustCompile(`^wal-(\d{16})\.seg$`)
+	followSnapRe = regexp.MustCompile(`^snap-(\d{16})\.snap$`)
+)
+
+// errResync asks the stream loop to reconnect from position zero after
+// wiping the mirror.
+var errResync = errors.New("cluster: follower resync required")
+
+// StartFollower scans the standby directory for the resume position and
+// launches the streaming loop.
+func StartFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Peer.URL == "" || cfg.Dir == "" {
+		return nil, fmt.Errorf("cluster: follower needs a peer URL and a standby dir")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: creating standby dir: %w", err)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 500 * time.Millisecond
+	}
+	f := &Follower{cfg: cfg}
+	if err := f.scanResume(); err != nil {
+		return nil, err
+	}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+	f.wg.Add(1)
+	go f.run()
+	return f, nil
+}
+
+// scanResume finds the highest mirrored segment and resumes at its end.
+// The caller's pre-Start replay truncated any torn tail, so the file
+// end is a record boundary.
+func (f *Follower) scanResume() error {
+	entries, err := os.ReadDir(f.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("cluster: reading standby dir: %w", err)
+	}
+	for _, e := range entries {
+		if m := followSegRe.FindStringSubmatch(e.Name()); m != nil {
+			seq, _ := strconv.ParseUint(m[1], 10, 64)
+			if seq > f.seg {
+				f.seg = seq
+			}
+		}
+	}
+	if f.seg == 0 {
+		return nil // fresh mirror: request from the beginning
+	}
+	fi, err := os.Stat(f.segPath(f.seg))
+	if err != nil {
+		return fmt.Errorf("cluster: stat standby segment %d: %w", f.seg, err)
+	}
+	f.off = fi.Size()
+	return nil
+}
+
+// Stop cancels the stream and waits for it to exit.
+func (f *Follower) Stop() {
+	f.cancel()
+	f.wg.Wait()
+	f.mu.Lock()
+	if f.f != nil {
+		f.f.Close()
+		f.f = nil
+	}
+	f.mu.Unlock()
+}
+
+// Position reports the mirrored-and-applied byte position. A mirror at
+// the peer's store.Position holds (and has applied) everything the peer
+// has logged.
+func (f *Follower) Position() (seg uint64, off int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seg, f.off
+}
+
+// Connected reports whether the stream is currently established.
+func (f *Follower) Connected() bool { return f.connected.Load() }
+
+// Records reports how many WAL records arrived since Start.
+func (f *Follower) Records() int64 { return f.records.Load() }
+
+// Snapshots reports how many snapshot cuts were shipped since Start.
+func (f *Follower) Snapshots() int64 { return f.snapshots.Load() }
+
+// Resyncs reports how many full wipe-and-resync cycles have run.
+func (f *Follower) Resyncs() int64 { return f.resyncs.Load() }
+
+// Errors reports stream or apply errors since Start.
+func (f *Follower) Errors() int64 { return f.errs.Load() }
+
+// Dir reports the standby directory.
+func (f *Follower) Dir() string { return f.cfg.Dir }
+
+// Peer reports the node being followed.
+func (f *Follower) Peer() Node { return f.cfg.Peer }
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+func (f *Follower) segPath(seq uint64) string {
+	return filepath.Join(f.cfg.Dir, fmt.Sprintf("wal-%016d.seg", seq))
+}
+
+func (f *Follower) snapPath(seq uint64) string {
+	return filepath.Join(f.cfg.Dir, fmt.Sprintf("snap-%016d.snap", seq))
+}
+
+func (f *Follower) run() {
+	defer f.wg.Done()
+	for {
+		err := f.stream()
+		f.connected.Store(false)
+		if f.ctx.Err() != nil {
+			return
+		}
+		if errors.Is(err, errResync) {
+			f.resyncs.Add(1)
+			if werr := f.wipe(); werr != nil {
+				f.logf("cluster: follower of %s: wiping standby: %v", f.cfg.Peer.Name, werr)
+			}
+		} else if err != nil {
+			f.errs.Add(1)
+			f.logf("cluster: follower of %s: stream: %v", f.cfg.Peer.Name, err)
+		}
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-time.After(f.cfg.RetryInterval):
+		}
+	}
+}
+
+// stream opens one long-lived shipping request from the current
+// position and consumes frames until the connection drops or an error
+// forces a resync.
+func (f *Follower) stream() error {
+	f.mu.Lock()
+	seg, off := f.seg, f.off
+	f.mu.Unlock()
+	url := fmt.Sprintf("%s/cluster/wal?seg=%d&off=%d", f.cfg.Peer.URL, seg, off)
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("shipping stream: %d %s", resp.StatusCode, body)
+	}
+	f.connected.Store(true)
+	for {
+		typ, payload, err := ReadFrame(resp.Body)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // peer closed cleanly (shutdown); reconnect
+			}
+			return err
+		}
+		switch typ {
+		case FrameHeartbeat:
+		case FrameReset:
+			f.logf("cluster: follower of %s: peer reset the stream; resyncing from scratch", f.cfg.Peer.Name)
+			return errResync
+		case FrameChunk:
+			if err := f.applyChunk(payload); err != nil {
+				return err
+			}
+		case FrameSnapshot:
+			if err := f.applySnapshot(payload); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unknown frame type %d", errResync, typ)
+		}
+	}
+}
+
+// applyChunk mirrors one byte range and live-applies any records it
+// completes.
+func (f *Follower) applyChunk(payload []byte) error {
+	seq, off, data, err := DecodeChunkPayload(payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errResync, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case seq == f.seg && off == f.off:
+		// In-order continuation.
+	case seq == f.seg+1 && off == 0 || f.seg == 0 && off == 0:
+		// The previous segment sealed (or this is the first byte of a
+		// fresh mirror): seal our copy and open the next file.
+		if err := f.openSegmentLocked(seq); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: chunk for (%d,%d), mirror at (%d,%d)", errResync, seq, off, f.seg, f.off)
+	}
+	if f.f == nil {
+		// Resuming mid-segment after a restart: open without truncating —
+		// the bytes below f.off are the mirrored prefix being extended.
+		nf, err := os.OpenFile(f.segPath(seq), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("cluster: opening standby segment %d: %w", seq, err)
+		}
+		f.f = nf
+	}
+	if _, err := f.f.WriteAt(data, off); err != nil {
+		return fmt.Errorf("cluster: mirroring segment %d: %w", seq, err)
+	}
+	f.off = off + int64(len(data))
+
+	// Everything below the segment header is file framing, not records.
+	if off < store.SegmentHeaderLen {
+		skip := int64(store.SegmentHeaderLen) - off
+		if skip >= int64(len(data)) {
+			return nil
+		}
+		data = data[skip:]
+	}
+	f.parse = append(f.parse, data...)
+	for {
+		rec, n, derr := store.DecodeRecord(f.parse)
+		if derr != nil {
+			if errors.Is(derr, store.ErrShortRecord) {
+				return nil // incomplete tail: wait for the next chunk
+			}
+			// The mirror carries CRC-checked bytes the owner wrote; a
+			// non-short decode failure means the stream diverged.
+			return fmt.Errorf("%w: record decode at segment %d: %v", errResync, seq, derr)
+		}
+		if f.cfg.OnRecord != nil {
+			if err := f.cfg.OnRecord(rec); err != nil {
+				f.errs.Add(1)
+				return fmt.Errorf("%w: applying record: %v", errResync, err)
+			}
+		}
+		f.records.Add(1)
+		f.parse = f.parse[n:]
+	}
+}
+
+// applySnapshot installs a shipped snapshot file, retires the mirror
+// segments it covers, and jumps the stream position to its boundary.
+func (f *Follower) applySnapshot(payload []byte) error {
+	seq, data, err := DecodeSnapshotPayload(payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errResync, err)
+	}
+	decoded, err := store.DecodeSnapshotFile(data)
+	if err != nil {
+		return fmt.Errorf("%w: shipped snapshot %d: %v", errResync, seq, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tmp := f.snapPath(seq) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("cluster: writing standby snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, f.snapPath(seq)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: installing standby snapshot: %w", err)
+	}
+	// Retire what the snapshot covers, mirroring the owner's compaction.
+	entries, _ := os.ReadDir(f.cfg.Dir)
+	for _, e := range entries {
+		if m := followSegRe.FindStringSubmatch(e.Name()); m != nil {
+			if s, _ := strconv.ParseUint(m[1], 10, 64); s < seq {
+				os.Remove(filepath.Join(f.cfg.Dir, e.Name()))
+			}
+		} else if m := followSnapRe.FindStringSubmatch(e.Name()); m != nil {
+			if s, _ := strconv.ParseUint(m[1], 10, 64); s < seq {
+				os.Remove(filepath.Join(f.cfg.Dir, e.Name()))
+			}
+		}
+	}
+	if f.f != nil {
+		f.f.Close()
+		f.f = nil
+	}
+	f.seg, f.off, f.parse = seq, 0, nil
+	f.snapshots.Add(1)
+	if f.cfg.OnSnapshot != nil {
+		if err := f.cfg.OnSnapshot(decoded); err != nil {
+			f.errs.Add(1)
+			return fmt.Errorf("%w: applying snapshot %d: %v", errResync, seq, err)
+		}
+	}
+	return nil
+}
+
+// openSegmentLocked seals the current mirror file and opens (truncating
+// any stale leftover) the file for seq.
+func (f *Follower) openSegmentLocked(seq uint64) error {
+	if f.f != nil {
+		f.f.Sync()
+		f.f.Close()
+		f.f = nil
+	}
+	nf, err := os.OpenFile(f.segPath(seq), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: creating standby segment %d: %w", seq, err)
+	}
+	f.f, f.seg, f.off, f.parse = nf, seq, 0, nil
+	return nil
+}
+
+// wipe clears the mirror for a from-scratch resync.
+func (f *Follower) wipe() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.f != nil {
+		f.f.Close()
+		f.f = nil
+	}
+	entries, err := os.ReadDir(f.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if followSegRe.MatchString(e.Name()) || followSnapRe.MatchString(e.Name()) {
+			os.Remove(filepath.Join(f.cfg.Dir, e.Name()))
+		}
+	}
+	f.seg, f.off, f.parse = 0, 0, nil
+	return nil
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The shipping stream is a sequence of length-prefixed frames:
+//
+//	[1 byte type][4 bytes big-endian payload length][payload]
+//
+// over a plain chunked-HTTP response body. Frame payloads:
+//
+//	FrameChunk:    [8 bytes segment seq][8 bytes file offset][raw segment bytes]
+//	FrameSnapshot: [8 bytes boundary seq][raw snapshot file bytes]
+//	FrameReset:    empty — the follower's position is unservable (it ran
+//	               ahead of the owner, or the segment vanished without a
+//	               covering snapshot); wipe the standby and resync from 0.
+//	FrameHeartbeat: empty — the owner is caught up and alive.
+//
+// Chunk offsets are raw file offsets including the 12-byte segment
+// header, so the follower's standby file is a byte-for-byte prefix of
+// the owner's segment at all times — which is exactly the crash-image
+// contract the PR 5 recovery path already handles.
+const (
+	FrameChunk     byte = 1
+	FrameSnapshot  byte = 2
+	FrameReset     byte = 3
+	FrameHeartbeat byte = 4
+)
+
+// MaxFramePayload bounds a single frame. Chunks are produced well under
+// this; the bound exists so a corrupt or hostile length prefix cannot
+// drive an allocation.
+const MaxFramePayload = 64 << 20
+
+const chunkHeaderLen = 16
+
+// ErrFrameTooLarge reports a length prefix above MaxFramePayload.
+var ErrFrameTooLarge = errors.New("cluster: frame exceeds MaxFramePayload")
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return ErrFrameTooLarge
+	}
+	hdr := [5]byte{typ}
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// WriteChunkFrame writes a FrameChunk for segment bytes at (seq, off).
+func WriteChunkFrame(w io.Writer, seq uint64, off int64, data []byte) error {
+	payload := make([]byte, chunkHeaderLen+len(data))
+	binary.BigEndian.PutUint64(payload, seq)
+	binary.BigEndian.PutUint64(payload[8:], uint64(off))
+	copy(payload[chunkHeaderLen:], data)
+	return WriteFrame(w, FrameChunk, payload)
+}
+
+// WriteSnapshotFrame writes a FrameSnapshot carrying the raw snapshot
+// file for boundary seq.
+func WriteSnapshotFrame(w io.Writer, seq uint64, data []byte) error {
+	payload := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint64(payload, seq)
+	copy(payload[8:], data)
+	return WriteFrame(w, FrameSnapshot, payload)
+}
+
+// ReadFrame reads one frame. Errors are typed: a clean EOF at a frame
+// boundary is io.EOF, a length above the bound is ErrFrameTooLarge,
+// anything torn mid-frame is io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFramePayload {
+		return 0, nil, ErrFrameTooLarge
+	}
+	if n == 0 {
+		return hdr[0], nil, nil
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// DecodeChunkPayload splits a FrameChunk payload.
+func DecodeChunkPayload(payload []byte) (seq uint64, off int64, data []byte, err error) {
+	if len(payload) < chunkHeaderLen {
+		return 0, 0, nil, fmt.Errorf("cluster: chunk payload %d bytes, want >= %d", len(payload), chunkHeaderLen)
+	}
+	seq = binary.BigEndian.Uint64(payload)
+	off = int64(binary.BigEndian.Uint64(payload[8:]))
+	if off < 0 {
+		return 0, 0, nil, fmt.Errorf("cluster: negative chunk offset")
+	}
+	return seq, off, payload[chunkHeaderLen:], nil
+}
+
+// DecodeSnapshotPayload splits a FrameSnapshot payload.
+func DecodeSnapshotPayload(payload []byte) (seq uint64, data []byte, err error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("cluster: snapshot payload %d bytes, want >= 8", len(payload))
+	}
+	return binary.BigEndian.Uint64(payload), payload[8:], nil
+}

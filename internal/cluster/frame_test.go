@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChunkFrame(&buf, 7, 4096, []byte("segment bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshotFrame(&buf, 9, []byte("snapshot file")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, FrameHeartbeat, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, FrameReset, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil || typ != FrameChunk {
+		t.Fatalf("frame 1: type %d err %v", typ, err)
+	}
+	seq, off, data, err := DecodeChunkPayload(payload)
+	if err != nil || seq != 7 || off != 4096 || string(data) != "segment bytes" {
+		t.Fatalf("chunk = (%d, %d, %q), err %v", seq, off, data, err)
+	}
+
+	typ, payload, err = ReadFrame(&buf)
+	if err != nil || typ != FrameSnapshot {
+		t.Fatalf("frame 2: type %d err %v", typ, err)
+	}
+	sseq, sdata, err := DecodeSnapshotPayload(payload)
+	if err != nil || sseq != 9 || string(sdata) != "snapshot file" {
+		t.Fatalf("snapshot = (%d, %q), err %v", sseq, sdata, err)
+	}
+
+	for _, want := range []byte{FrameHeartbeat, FrameReset} {
+		typ, payload, err = ReadFrame(&buf)
+		if err != nil || typ != want || payload != nil {
+			t.Fatalf("frame type %d: got (%d, %v, %v)", want, typ, payload, err)
+		}
+	}
+	if _, _, err = ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("read past end: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTornInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChunkFrame(&buf, 1, 0, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Every strict prefix must fail typed: io.EOF exactly at a frame
+	// boundary (offset 0), io.ErrUnexpectedEOF mid-frame.
+	for cut := 0; cut < len(whole); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(whole[:cut]))
+		want := io.ErrUnexpectedEOF
+		if cut == 0 {
+			want = io.EOF
+		}
+		if !errors.Is(err, want) {
+			t.Fatalf("prefix of %d bytes: err %v, want %v", cut, err, want)
+		}
+	}
+}
+
+func TestFrameLengthBound(t *testing.T) {
+	if err := WriteFrame(io.Discard, FrameChunk, make([]byte, MaxFramePayload+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write: %v, want ErrFrameTooLarge", err)
+	}
+	// A hostile length prefix must be rejected before allocation.
+	hostile := []byte{FrameChunk, 0xff, 0xff, 0xff, 0xff}
+	if _, _, err := ReadFrame(bytes.NewReader(hostile)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("hostile length: %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestDecodePayloadBounds(t *testing.T) {
+	if _, _, _, err := DecodeChunkPayload(make([]byte, chunkHeaderLen-1)); err == nil {
+		t.Fatal("short chunk payload accepted")
+	}
+	if _, _, err := DecodeSnapshotPayload(make([]byte, 7)); err == nil {
+		t.Fatal("short snapshot payload accepted")
+	}
+}

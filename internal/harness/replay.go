@@ -16,12 +16,19 @@ import (
 	"sompi/internal/obs"
 )
 
-// Target is one live sompid instance replay fires at.
+// Target is one live sompid deployment replay fires at — a single
+// instance, or a cluster addressed through any of its nodes.
 type Target struct {
-	// Name labels the target in reports ("mem", "disk", ...).
+	// Name labels the target in reports ("mem", "disk", "cluster", ...).
 	Name string `json:"name"`
 	// URL is the target's base URL (no trailing slash needed).
 	URL string `json:"url"`
+	// Fallback lists additional base URLs for the same logical target —
+	// the other nodes of a cluster. A request that fails at the
+	// transport layer (connection refused, timeout) retries against
+	// each fallback in order, so a replay rides through a node being
+	// killed mid-run exactly like a client with a node list would.
+	Fallback []string `json:"fallback,omitempty"`
 }
 
 // Options parameterize a replay run.
@@ -163,12 +170,13 @@ func Replay(ctx context.Context, records []Record, opts Options) (*Report, error
 		cacheHd string
 		err     error
 	}
-	fire := func(rec Record, target TargetReport) (result, float64) {
+	// fireAt runs one attempt against one base URL.
+	fireAt := func(rec Record, base string) (result, float64) {
 		var body io.Reader
 		if rec.Body != "" {
 			body = strings.NewReader(rec.Body)
 		}
-		req, err := http.NewRequestWithContext(ctx, rec.Method, target.URL+rec.Path, body)
+		req, err := http.NewRequestWithContext(ctx, rec.Method, base+rec.Path, body)
 		if err != nil {
 			return result{err: err}, 0
 		}
@@ -194,12 +202,25 @@ func Replay(ctx context.Context, records []Record, opts Options) (*Report, error
 		}
 		return result{status: resp.StatusCode, body: b, cacheHd: resp.Header.Get("X-Sompid-Cache")}, elapsed
 	}
+	// fire walks the target's node list: the primary URL first, then each
+	// fallback on a transport failure. An HTTP error status is a served
+	// response, not a routing problem — it never triggers a retry.
+	fire := func(rec Record, target Target) (result, float64) {
+		res, elapsed := fireAt(rec, strings.TrimSuffix(target.URL, "/"))
+		for _, alt := range target.Fallback {
+			if res.err == nil || ctx.Err() != nil {
+				break
+			}
+			res, elapsed = fireAt(rec, strings.TrimSuffix(alt, "/"))
+		}
+		return res, elapsed
+	}
 
 	replayOne := func(rec Record) {
 		name := endpointOf(rec)
 		results := make([]result, len(rep.Targets))
 		for ti := range rep.Targets {
-			res, seconds := fire(rec, rep.Targets[ti])
+			res, seconds := fire(rec, opts.Targets[ti])
 			results[ti] = res
 			mu.Lock()
 			ep := epFor(ti, name)

@@ -60,9 +60,20 @@ type Rules struct {
 	// Endpoints maps endpoint labels ("plan", "prices", ...) to their
 	// latency budgets.
 	Endpoints map[string]EndpointRule `json:"endpoints,omitempty"`
+	// Targets maps target names to per-target overrides. A cluster
+	// target serving forwarded requests keeps its own hit-rate floor
+	// here, separate from the single-node target it twin-diffs against.
+	Targets map[string]TargetRule `json:"targets,omitempty"`
 	// Ignore appends diff ignore rules from the rules file, so a team
 	// can pin noisy fields next to the budgets that tolerate them.
 	Ignore []string `json:"ignore,omitempty"`
+}
+
+// TargetRule is one target's rule overrides.
+type TargetRule struct {
+	// MinCacheHitRate overrides the global floor for this target
+	// (0 falls back to the global value).
+	MinCacheHitRate float64 `json:"min_cache_hit_rate,omitempty"`
 }
 
 // Violation is one tripped rule.
@@ -114,10 +125,14 @@ func (r Rules) Evaluate(rep *Report) []Violation {
 		out = append(out, Violation{Rule: "max_transport_errors", Got: float64(rep.TransportErrors), Limit: float64(r.MaxTransportErrors)})
 	}
 	for _, t := range rep.Targets {
-		if r.MinCacheHitRate > 0 {
+		floor := r.MinCacheHitRate
+		if tr, ok := r.Targets[t.Name]; ok && tr.MinCacheHitRate > 0 {
+			floor = tr.MinCacheHitRate
+		}
+		if floor > 0 {
 			rate, ok := t.HitRate()
-			if !ok || rate < r.MinCacheHitRate {
-				out = append(out, Violation{Rule: "min_cache_hit_rate", Target: t.Name, Got: rate, Limit: r.MinCacheHitRate})
+			if !ok || rate < floor {
+				out = append(out, Violation{Rule: "min_cache_hit_rate", Target: t.Name, Got: rate, Limit: floor})
 			}
 		}
 		if r.MaxStatusMismatchRate != nil {

@@ -72,6 +72,32 @@ func TestRulesEvaluateViolations(t *testing.T) {
 	}
 }
 
+func TestRulesPerTargetHitRateOverride(t *testing.T) {
+	// Two targets with different hit rates: the per-target override
+	// gates each on its own floor while the global floor covers the
+	// target without an entry.
+	rep := &Report{Targets: []TargetReport{
+		{Name: "single", Endpoints: map[string]*EndpointReport{
+			"plan": {Requests: 100, CacheLookups: 100, CacheHits: 80},
+		}},
+		{Name: "cluster", Endpoints: map[string]*EndpointReport{
+			"plan": {Requests: 100, CacheLookups: 100, CacheHits: 40},
+		}},
+	}}
+	rules := Rules{
+		MinCacheHitRate: 0.7,
+		Targets:         map[string]TargetRule{"cluster": {MinCacheHitRate: 0.3}},
+	}
+	if v := rules.Evaluate(rep); len(v) != 0 {
+		t.Fatalf("override should relax the cluster floor: %v", v)
+	}
+	rules.Targets["cluster"] = TargetRule{MinCacheHitRate: 0.5}
+	v := rules.Evaluate(rep)
+	if len(v) != 1 || v[0].Rule != "min_cache_hit_rate" || v[0].Target != "cluster" || v[0].Limit != 0.5 {
+		t.Fatalf("got %v, want only the cluster target tripping its own 0.5 floor", v)
+	}
+}
+
 func TestRulesHitRateFloorNeedsLookups(t *testing.T) {
 	// A hit-rate floor over traffic that never exercised the cache is a
 	// violation: the run cannot demonstrate the property it gates.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"sompi/internal/app"
@@ -312,8 +313,14 @@ func (s *Server) recoverFromStore() error {
 		} else {
 			s.met.completedSessions.Add(1)
 		}
+		// Cluster ids are node-prefixed ("a/s3"); the counter tail is
+		// always the last '/'-separated segment.
+		tail := id
+		if i := strings.LastIndex(id, "/"); i >= 0 {
+			tail = id[i+1:]
+		}
 		var n int
-		if _, serr := fmt.Sscanf(id, "s%d", &n); serr == nil && n > s.nextID {
+		if _, serr := fmt.Sscanf(tail, "s%d", &n); serr == nil && n > s.nextID {
 			s.nextID = n
 		}
 	}
@@ -415,6 +422,12 @@ func (s *Server) Close() error {
 	// instead of stalling shutdown; then stop ingest (no new frontier
 	// movement) and the workers.
 	s.runCancel()
+	// Cluster machinery first: probers must not promote a peer that is
+	// merely shutting down alongside us, and followers must stop driving
+	// the market before ingest does.
+	if s.cluster != nil {
+		s.cluster.stop()
+	}
 	s.ing.stop()
 	s.sched.stop()
 	// Seal the capture log: traffic is drained, so the active segment is

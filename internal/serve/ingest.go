@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sompi/internal/cloud"
@@ -30,10 +31,20 @@ var errIngestClosed = errors.New("serve: ingest stopped")
 // before surfacing backpressure to the client.
 const ingestEnqueueWait = 50 * time.Millisecond
 
-// maxBatchTicks bounds how many ticks handlePrices stages per shard
-// before flushing a batch, so an unbounded NDJSON feed still ingests in
-// bounded memory.
-const maxBatchTicks = 256
+// Adaptive batch sizing: each shard's flush threshold — how many ticks
+// handlePrices stages before handing the applier a batch — starts at
+// initBatchTicks, doubles (up to maxBatchTicksCap) whenever an enqueue
+// observes batches already waiting in the shard's queue, and halves
+// (down to minBatchTicks) whenever the applier drains the queue empty.
+// Under sustained pressure bigger batches amortize the shard lock and
+// the WAL group-commit fsync across more ticks; when the feed idles the
+// threshold decays so a trickle doesn't sit staged in request memory.
+// The previous fixed maxBatchTicks constant is now the initial target.
+const (
+	initBatchTicks   = 256
+	minBatchTicks    = 64
+	maxBatchTicksCap = 2048
+)
 
 // tickBatch is one shard's staged run of ticks. done is buffered so the
 // applier never blocks on a waiter, even one that abandoned the result.
@@ -59,6 +70,9 @@ type batchResult struct {
 type ingester struct {
 	s      *Server
 	queues map[cloud.MarketKey]chan *tickBatch
+	// targets holds each shard's adaptive flush threshold. The map is
+	// fixed at construction; the values move atomically.
+	targets map[cloud.MarketKey]*atomic.Int64
 
 	mu     sync.RWMutex
 	closed bool
@@ -73,17 +87,76 @@ type ingester struct {
 // contend.
 func newIngester(s *Server, queueCap int) *ingester {
 	i := &ingester{
-		s:      s,
-		queues: make(map[cloud.MarketKey]chan *tickBatch),
-		stopCh: make(chan struct{}),
+		s:       s,
+		queues:  make(map[cloud.MarketKey]chan *tickBatch),
+		targets: make(map[cloud.MarketKey]*atomic.Int64),
+		stopCh:  make(chan struct{}),
 	}
 	for _, k := range s.market.Keys() {
 		q := make(chan *tickBatch, queueCap)
 		i.queues[k] = q
+		t := &atomic.Int64{}
+		t.Store(initBatchTicks)
+		i.targets[k] = t
 		i.wg.Add(1)
 		go i.run(k, q)
 	}
 	return i
+}
+
+// batchTarget reports a shard's current flush threshold.
+func (i *ingester) batchTarget(key cloud.MarketKey) int {
+	if t, ok := i.targets[key]; ok {
+		return int(t.Load())
+	}
+	return initBatchTicks
+}
+
+// targetsSnapshot samples every shard's flush threshold for /metrics.
+func (i *ingester) targetsSnapshot() map[string]int {
+	out := make(map[string]int, len(i.targets))
+	for k, t := range i.targets {
+		out[k.String()] = int(t.Load())
+	}
+	return out
+}
+
+// growTarget doubles a shard's flush threshold: called when an enqueue
+// finds batches already queued, i.e. the applier is falling behind.
+func (i *ingester) growTarget(key cloud.MarketKey) {
+	t, ok := i.targets[key]
+	if !ok {
+		return
+	}
+	for {
+		cur := t.Load()
+		next := cur * 2
+		if next > maxBatchTicksCap {
+			next = maxBatchTicksCap
+		}
+		if next == cur || t.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// decayTarget halves a shard's flush threshold: called when the applier
+// drains its queue empty, i.e. pressure has passed.
+func (i *ingester) decayTarget(key cloud.MarketKey) {
+	t, ok := i.targets[key]
+	if !ok {
+		return
+	}
+	for {
+		cur := t.Load()
+		next := cur / 2
+		if next < minBatchTicks {
+			next = minBatchTicks
+		}
+		if next == cur || t.CompareAndSwap(cur, next) {
+			return
+		}
+	}
 }
 
 // enqueue hands a batch to its shard's applier. A full queue gets a
@@ -114,7 +187,13 @@ func (i *ingester) enqueue(b *tickBatch) error {
 			return errIngestClosed
 		}
 	}
-	i.s.met.noteQueueDepth(int64(len(q)))
+	depth := len(q)
+	i.s.met.noteQueueDepth(int64(depth))
+	if depth > 1 {
+		// More than this batch waiting: the applier is behind; bigger
+		// batches amortize its per-batch costs.
+		i.growTarget(b.key)
+	}
 	return nil
 }
 
@@ -135,7 +214,7 @@ func (i *ingester) run(key cloud.MarketKey, q chan *tickBatch) {
 		case <-i.stopCh:
 			return
 		case b := <-q:
-			i.apply(b)
+			i.apply(b, len(q))
 		}
 	}
 }
@@ -145,8 +224,11 @@ func (i *ingester) run(key cloud.MarketKey, q chan *tickBatch) {
 // shard, and the snapshot check — all before the waiter is released, so
 // a caller that waits on done observes a market and scheduler that
 // already know about its ticks.
-func (i *ingester) apply(b *tickBatch) {
+func (i *ingester) apply(b *tickBatch, backlog int) {
 	s := i.s
+	if backlog == 0 {
+		i.decayTarget(b.key)
+	}
 	applied, version, err := s.market.AppendBatch(b.key, b.ticks)
 	if applied > 0 {
 		s.met.ingestTicks.Add(int64(applied))

@@ -66,7 +66,7 @@ type metrics struct {
 	// market construction, so the map is read-only after init.
 	ingestLatency map[string]*obs.Histogram
 	// batchSize is the applied-batch tick-count distribution; the bounds
-	// are powers of two up to maxBatchTicks, so the top bucket isolates
+	// are powers of two up to maxBatchTicksCap, so the top bucket isolates
 	// full (flush-forced) batches. ingestQueuePeak is a high-water mark
 	// of per-shard queue depth observed at enqueue, maintained by
 	// noteQueueDepth (instantaneous depths are sampled at render).
@@ -104,6 +104,13 @@ type metrics struct {
 	// is a re-optimization that saw less (or wrong) history than asked.
 	windowTruncations atomic.Int64
 
+	// Cluster: forwarded-request and failover counters. Rendered
+	// unconditionally (zeros single-node) like the durability families.
+	clusterForwardedPrices atomic.Int64
+	clusterForwardedPlans  atomic.Int64
+	clusterPromotions      atomic.Int64
+	clusterAdoptedSessions atomic.Int64
+
 	// Capture: captureRecords counts requests appended to the capture
 	// log, captureErrors appends that failed (the request still served),
 	// captureSkipped requests whose body exceeded the capture bound,
@@ -140,7 +147,7 @@ func (m *metrics) init(keys []cloud.MarketKey) {
 		m.strategies[name] = &strategyMetrics{latency: obs.NewHistogram(nil)}
 	}
 	m.walFsync = obs.NewHistogram(nil)
-	m.batchSize = obs.NewHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	m.batchSize = obs.NewHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048})
 	m.schedulerLag = obs.NewHistogram(nil)
 	m.captureAppend = obs.NewHistogram(nil)
 	m.start = time.Now()
@@ -247,10 +254,37 @@ func header(w io.Writer, name, typ, help string) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 }
 
-// render writes the exposition text. marketVersion, cacheLen, the shard
-// stats and the ingest queue depths are sampled by the caller (they
-// live in the market, cache and ingester, not here).
-func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, cacheLen int, shards []cloud.ShardStat, wal store.Stats, queueDepths map[string]int, captureSeg uint64) {
+// renderSample carries everything render needs that lives outside the
+// metrics struct — sampled by the caller from the market, cache,
+// ingester, store and cluster at scrape time.
+type renderSample struct {
+	marketVersion uint64
+	frontier      float64
+	cacheLen      int
+	shards        []cloud.ShardStat
+	wal           store.Stats
+	queueDepths   map[string]int
+	batchTargets  map[string]int
+	captureSeg    uint64
+	cluster       clusterMetricsSample
+}
+
+// clusterMetricsSample is the cluster subsystem's scrape-time gauges;
+// the zero value renders zeros (single-node mode).
+type clusterMetricsSample struct {
+	enabled             bool
+	ownedShards         int
+	peersConnected      int
+	replicatedRecords   int64
+	replicatedSnapshots int64
+	resyncs             int64
+	replicationErrors   int64
+}
+
+// render writes the exposition text.
+func (m *metrics) render(w io.Writer, s renderSample) {
+	marketVersion, frontier, cacheLen := s.marketVersion, s.frontier, s.cacheLen
+	shards, wal, queueDepths, captureSeg := s.shards, s.wal, s.queueDepths, s.captureSeg
 	// Build identity first: replay reports and dashboards join on it to
 	// attribute a regression to the binary that served the traffic.
 	header(w, "sompid_build_info", "gauge", "Build identity of the serving binary; always 1.")
@@ -334,6 +368,15 @@ func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, ca
 	fmt.Fprintf(w, "sompid_ingest_queue_peak_depth %d\n", m.ingestQueuePeak.Load())
 	header(w, "sompid_ingest_batch_size", "histogram", "Ticks per applied ingest batch.")
 	m.batchSize.WriteProm(w, "sompid_ingest_batch_size", "")
+	header(w, "sompid_ingest_batch_target", "gauge", "Per-shard adaptive flush threshold: ticks staged before a batch is handed to the applier.")
+	targetNames := make([]string, 0, len(s.batchTargets))
+	for name := range s.batchTargets {
+		targetNames = append(targetNames, name)
+	}
+	sort.Strings(targetNames)
+	for _, name := range targetNames {
+		fmt.Fprintf(w, "sompid_ingest_batch_target{market=\"%s\"} %d\n", escapeLabel(name), s.batchTargets[name])
+	}
 
 	header(w, "sompid_market_version", "gauge", "Composite market mutation version.")
 	fmt.Fprintf(w, "sompid_market_version %d\n", marketVersion)
@@ -400,4 +443,27 @@ func (m *metrics) render(w io.Writer, marketVersion uint64, frontier float64, ca
 	m.captureAppend.WriteProm(w, "sompid_capture_append_seconds", "")
 	header(w, "sompid_capture_active_segment", "gauge", "Sequence number of the capture segment appends currently go to (0 with capture off).")
 	fmt.Fprintf(w, "sompid_capture_active_segment %d\n", captureSeg)
+
+	// Cluster families render unconditionally — zeros single-node — so
+	// the family set is deployment-stable, like the durability families.
+	cl := s.cluster
+	header(w, "sompid_cluster_owned_shards", "gauge", "Market shards this node currently owns (0 single-node).")
+	fmt.Fprintf(w, "sompid_cluster_owned_shards %d\n", cl.ownedShards)
+	header(w, "sompid_cluster_peers_connected", "gauge", "Peers this node holds a live WAL replication stream from.")
+	fmt.Fprintf(w, "sompid_cluster_peers_connected %d\n", cl.peersConnected)
+	header(w, "sompid_cluster_replicated_records_total", "counter", "Peer WAL records replicated and applied locally.")
+	fmt.Fprintf(w, "sompid_cluster_replicated_records_total %d\n", cl.replicatedRecords)
+	header(w, "sompid_cluster_replicated_snapshots_total", "counter", "Peer snapshots installed into the standby mirror.")
+	fmt.Fprintf(w, "sompid_cluster_replicated_snapshots_total %d\n", cl.replicatedSnapshots)
+	header(w, "sompid_cluster_resyncs_total", "counter", "Standby mirrors wiped and rebuilt from scratch after divergence.")
+	fmt.Fprintf(w, "sompid_cluster_resyncs_total %d\n", cl.resyncs)
+	header(w, "sompid_cluster_replication_errors_total", "counter", "Replication stream failures (each one is retried).")
+	fmt.Fprintf(w, "sompid_cluster_replication_errors_total %d\n", cl.replicationErrors)
+	header(w, "sompid_cluster_forwarded_total", "counter", "Requests forwarded to the owning node, by endpoint.")
+	fmt.Fprintf(w, "sompid_cluster_forwarded_total{endpoint=\"prices\"} %d\n", m.clusterForwardedPrices.Load())
+	fmt.Fprintf(w, "sompid_cluster_forwarded_total{endpoint=\"plan\"} %d\n", m.clusterForwardedPlans.Load())
+	header(w, "sompid_cluster_promotions_total", "counter", "Dead peers whose shards this node promoted.")
+	fmt.Fprintf(w, "sompid_cluster_promotions_total %d\n", m.clusterPromotions.Load())
+	header(w, "sompid_cluster_adopted_sessions_total", "counter", "Replicated sessions registered locally by promotions.")
+	fmt.Fprintf(w, "sompid_cluster_adopted_sessions_total %d\n", m.clusterAdoptedSessions.Load())
 }

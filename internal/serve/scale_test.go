@@ -117,6 +117,49 @@ func TestIngestBackpressure429(t *testing.T) {
 	}
 }
 
+// The adaptive flush threshold doubles under queue pressure, halves
+// when the backlog drains, stays inside [minBatchTicks,
+// maxBatchTicksCap], and is observable per shard on /metrics.
+func TestIngestBatchTargetAdapts(t *testing.T) {
+	s, ts := newMemServer(t, Config{})
+	key := s.market.Keys()[0]
+	if got := s.ing.batchTarget(key); got != initBatchTicks {
+		t.Fatalf("initial batch target %d, want %d", got, initBatchTicks)
+	}
+	for i := 0; i < 10; i++ {
+		s.ing.growTarget(key)
+	}
+	if got := s.ing.batchTarget(key); got != maxBatchTicksCap {
+		t.Fatalf("grown batch target %d, want capped at %d", got, maxBatchTicksCap)
+	}
+	for i := 0; i < 10; i++ {
+		s.ing.decayTarget(key)
+	}
+	if got := s.ing.batchTarget(key); got != minBatchTicks {
+		t.Fatalf("decayed batch target %d, want floored at %d", got, minBatchTicks)
+	}
+
+	// Unknown shards fall back to the default; grow/decay are no-ops.
+	other := cloud.MarketKey{Type: "none", Zone: "nowhere"}
+	s.ing.growTarget(other)
+	if got := s.ing.batchTarget(other); got != initBatchTicks {
+		t.Fatalf("unknown-shard batch target %d, want %d", got, initBatchTicks)
+	}
+
+	snap := s.ing.targetsSnapshot()
+	if len(snap) != len(s.market.Keys()) {
+		t.Fatalf("targets snapshot has %d shards, want %d", len(snap), len(s.market.Keys()))
+	}
+	if snap[key.String()] != minBatchTicks {
+		t.Fatalf("snapshot[%s] = %d, want %d", key, snap[key.String()], minBatchTicks)
+	}
+	metrics := durableGet(t, ts.URL+"/metrics")
+	want := fmt.Sprintf("sompid_ingest_batch_target{market=%q} %d", key.String(), minBatchTicks)
+	if !strings.Contains(string(metrics), want) {
+		t.Fatalf("/metrics misses %q", want)
+	}
+}
+
 // k identical tracked sessions crossing one boundary must coalesce onto
 // a single optimizer run — every session re-optimizes, k-1 of them
 // adopt the leader's shared result, and all k adopt byte-identical

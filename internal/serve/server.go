@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -87,6 +88,12 @@ type Config struct {
 	// CaptureSegmentRecords bounds records per capture segment before
 	// it is sealed; zero means harness.DefaultSegmentRecords.
 	CaptureSegmentRecords int
+	// Cluster, when set, runs this server as one node of a static
+	// multi-node cluster: market shards are owned by rendezvous hash,
+	// mis-routed requests forward to their owner, every peer's WAL is
+	// replicated into a local standby, and a dead peer's shards are
+	// promoted. Requires Store. Nil keeps the server single-node.
+	Cluster *ClusterConfig
 }
 
 // Server is the sompid planner service. The market synchronizes itself
@@ -144,6 +151,9 @@ type Server struct {
 	snapping      atomic.Bool
 	snapWG        sync.WaitGroup
 	closed        bool
+
+	// cluster is the multi-node subsystem (nil = single-node).
+	cluster *clusterNode
 }
 
 // New builds a Server over the given live market.
@@ -244,6 +254,14 @@ func New(cfg Config) (*Server, error) {
 			s.sched.add(t)
 		}
 	}
+	if cfg.Cluster != nil {
+		if err := s.initCluster(*cfg.Cluster); err != nil {
+			s.runCancel()
+			s.ing.stop()
+			s.sched.stop()
+			return nil, fmt.Errorf("serve: cluster init: %w", err)
+		}
+	}
 	return s, nil
 }
 
@@ -258,6 +276,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/strategies", s.instrument(epStrategies, s.handleStrategies))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cluster != nil {
+		mux.HandleFunc("GET /cluster/wal", s.handleClusterWAL)
+		mux.HandleFunc("GET /cluster/status", s.handleClusterStatus)
+		mux.HandleFunc("GET /cluster/healthz", s.handleClusterHealthz)
+		mux.HandleFunc("GET /cluster/metrics", s.handleClusterMetrics)
+	}
 	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -458,6 +482,19 @@ func canonicalParams(params map[string]float64) string {
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	// In cluster mode the raw body is buffered before decoding: if the
+	// request's gating shards belong to a peer it is proxied there
+	// verbatim, so the owner decodes exactly the bytes the client sent.
+	var rawBody []byte
+	if s.cluster != nil && r.Header.Get(forwardedHeader) == "" {
+		b, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("%w: reading body: %v", opt.ErrInvalidConfig, err))
+			return
+		}
+		rawBody = b
+		r.Body = io.NopCloser(bytes.NewReader(b))
+	}
 	var req PlanRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -476,6 +513,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		err := fmt.Errorf("%w: %q (have %v)", strategy.ErrUnknownStrategy, req.Strategy, strategy.Names())
 		writeError(w, statusOf(err), err)
 		return
+	}
+	// Route after validation, before any work: a plan restricted to
+	// shards another node owns is served by that node (its plan cache
+	// and session scheduler live with the shards), transparently to the
+	// client. Forwarded requests never re-forward.
+	if rawBody != nil {
+		if owner, ok := s.cluster.planOwner(req); ok {
+			s.cluster.proxyPlan(w, r, owner, rawBody)
+			return
+		}
 	}
 	planStart := time.Now()
 	defer func() { s.met.observeStrategy(d.Name, time.Since(planStart).Seconds()) }()
@@ -589,6 +636,11 @@ func (s *Server) registerSession(profile app.Profile, req PlanRequest, res opt.R
 	defer s.mu.Unlock()
 	s.nextID++
 	id := fmt.Sprintf("s%d", s.nextID)
+	// Cluster nodes namespace their ids so the merged session listing —
+	// and a promotion adopting a peer's sessions — never collides.
+	if s.cluster != nil {
+		id = s.cluster.selfName() + "/" + id
+	}
 	t := &trackedSession{
 		id:      id,
 		profile: profile,
@@ -754,10 +806,26 @@ func strategyFor(req MonteCarloRequest, m cloud.MarketView) (replay.Strategy, er
 // ?sync=1 feed is therefore an operational flush).
 func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
 	syncMode := r.URL.Query().Get("sync") == "1"
+
+	// In cluster mode a feed may interleave ticks for shards this node
+	// owns with ticks for a peer's shards: the former stage locally, the
+	// latter collect per owner and forward in one batch each. Forwarded
+	// requests (the loop guard) always ingest locally.
+	cl := s.cluster
+	routing := cl != nil && r.Header.Get(forwardedHeader) == ""
+	remote := make(map[string][]PriceTick)
+
 	var reoptBase, doneBase int64
+	var peerBase map[string]peerCounts
 	if syncMode {
 		reoptBase = s.met.reoptimizations.Load()
 		doneBase = s.met.completedSessions.Load()
+		if routing {
+			// Peer re-opts run off the request path as replication lands,
+			// so their contribution to this flush is measured as cumulative
+			// counter movement from here to after the drain.
+			peerBase = cl.peerCounters(r.Context())
+		}
 	}
 
 	var resp PricesResponse
@@ -786,9 +854,16 @@ func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
 		if err := s.market.ValidateTick(key, tick.Prices); err != nil {
 			return err
 		}
+		if routing {
+			if owner := cl.ownerOf(key.String()); owner.Name != "" && owner.Name != cl.selfName() {
+				remote[owner.Name] = append(remote[owner.Name], tick)
+				ticksSeen++
+				return nil
+			}
+		}
 		staged[key] = append(staged[key], tick.Prices)
 		ticksSeen++
-		if len(staged[key]) >= maxBatchTicks {
+		if len(staged[key]) >= s.ing.batchTarget(key) {
 			return flush(key)
 		}
 		return nil
@@ -859,14 +934,54 @@ func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	// Forward each peer's collected ticks as one sub-request; the peer
+	// answers after its batches applied, so its counts fold in directly.
+	if len(remote) > 0 {
+		owners := make([]string, 0, len(remote))
+		for name := range remote {
+			owners = append(owners, name)
+		}
+		sort.Strings(owners)
+		for _, name := range owners {
+			pr, ferr := cl.forwardPrices(r.Context(), name, remote[name], false)
+			if ferr != nil {
+				writeError(w, http.StatusBadGateway, fmt.Errorf("after %d ticks: %w", resp.Ticks, ferr))
+				return
+			}
+			resp.Ticks += pr.Ticks
+			resp.Samples += pr.Samples
+			if pr.MarketVersion > resp.MarketVersion {
+				resp.MarketVersion = pr.MarketVersion
+			}
+		}
+	}
 	if resp.Ticks == 0 { // empty feed: report current state
 		resp.MarketVersion = s.market.Version()
 	}
 	resp.FrontierHours = s.market.MinDuration()
 	if syncMode {
-		s.sched.drain()
-		resp.Reoptimized = int(s.met.reoptimizations.Load() - reoptBase)
-		resp.Completed = int(s.met.completedSessions.Load() - doneBase)
+		if routing {
+			// Cluster flush: wait for replication to converge in both
+			// directions, settle local re-opts (replicated ticks have landed
+			// and woken the scheduler by now), then flush each peer so its
+			// re-opts settle too. The post-barrier market version is the
+			// converged one every node agrees on.
+			cl.syncBarrier(r.Context())
+			s.sched.drain()
+			cl.drainPeers(r.Context())
+			re, co := cl.peerDelta(r.Context(), peerBase)
+			resp.Reoptimized = int(s.met.reoptimizations.Load()-reoptBase) + re
+			resp.Completed = int(s.met.completedSessions.Load()-doneBase) + co
+			resp.MarketVersion = s.market.Version()
+			// The pre-barrier frontier lags on forwarded shards whose
+			// replicated ticks had not landed locally yet; the converged
+			// value is the one a single node would report.
+			resp.FrontierHours = s.market.MinDuration()
+		} else {
+			s.sched.drain()
+			resp.Reoptimized = int(s.met.reoptimizations.Load() - reoptBase)
+			resp.Completed = int(s.met.completedSessions.Load() - doneBase)
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -943,11 +1058,22 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		out = append(out, s.sessions[id].info())
 	}
 	s.mu.RUnlock()
+	// The unforwarded cluster listing is cluster-wide: every live node's
+	// sessions in topology order, fetched with the loop guard set.
+	if s.cluster != nil && r.Header.Get(forwardedHeader) == "" {
+		out = s.cluster.mergeSessions(r.Context(), out)
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.writeMetricsTo(w)
+}
+
+// writeMetricsTo renders this node's full exposition — shared by
+// /metrics and the cluster-wide merge, which renders into a buffer.
+func (s *Server) writeMetricsTo(w io.Writer) {
 	var wal store.Stats
 	if s.store != nil {
 		wal = s.store.Stats()
@@ -956,7 +1082,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.capture != nil {
 		captureSeg = s.capture.ActiveSegment()
 	}
-	s.met.render(w, s.market.Version(), s.market.MinDuration(), s.cache.len(), s.market.ShardStats(), wal, s.ing.depths(), captureSeg)
+	sample := renderSample{
+		marketVersion: s.market.Version(),
+		frontier:      s.market.MinDuration(),
+		cacheLen:      s.cache.len(),
+		shards:        s.market.ShardStats(),
+		wal:           wal,
+		queueDepths:   s.ing.depths(),
+		batchTargets:  s.ing.targetsSnapshot(),
+		captureSeg:    captureSeg,
+	}
+	if s.cluster != nil {
+		sample.cluster = s.cluster.sample()
+	}
+	s.met.render(w, sample)
 }
 
 // handleDebugTrace serves the flight recorder: the most recent completed
@@ -982,6 +1121,12 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthResponse())
+}
+
+// healthResponse assembles this node's health view — shared by /healthz
+// and the cluster-wide merge.
+func (s *Server) healthResponse() HealthResponse {
 	stats := s.market.ShardStats()
 	shards := make([]ShardHealth, 0, len(stats))
 	for _, st := range stats {
@@ -1001,12 +1146,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if walErrs > 0 {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{
+	return HealthResponse{
 		Status:          status,
 		MarketVersion:   s.market.Version(),
 		FrontierHours:   s.market.MinDuration(),
 		ActiveSessions:  s.met.activeSessions.Load(),
 		WALAppendErrors: walErrs,
 		Shards:          shards,
-	})
+	}
 }

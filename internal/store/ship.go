@@ -1,0 +1,205 @@
+package store
+
+// Segment shipping: the read-side API the cluster replication stream is
+// built on. A follower mirrors the store's directory byte-for-byte by
+// polling ReadChunk from its last position; because appends are strictly
+// sequential and segments are immutable once sealed, any prefix of the
+// byte stream is a valid crash image of this store — exactly what
+// Open+Recover already know how to replay. Compaction is the one
+// discontinuity: when a snapshot retires the segment a follower is
+// reading, ReadChunk fails with ErrSegmentCompacted and the caller ships
+// the covering snapshot instead, resuming from its boundary segment.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// SegmentHeaderLen is the length of the fixed header that starts every
+// WAL segment file. Chunk offsets are raw file offsets, so a follower
+// decoding records from mirrored bytes skips this many bytes per
+// segment.
+const SegmentHeaderLen = headerLen
+
+var (
+	// ErrSegmentCompacted reports a ReadChunk on a segment a snapshot has
+	// retired; the reader must jump to the snapshot.
+	ErrSegmentCompacted = errors.New("store: segment compacted by a snapshot")
+	// ErrOutOfRange reports a ReadChunk position the store cannot serve:
+	// an offset past the segment's committed end, or a segment seq the
+	// store has never written. A follower seeing this has diverged and
+	// must resync from scratch.
+	ErrOutOfRange = errors.New("store: read position out of range")
+	// ErrNoSnapshot reports ReadSnapshotFile on a store that has not cut
+	// a snapshot.
+	ErrNoSnapshot = errors.New("store: no snapshot")
+)
+
+// Position reports the append frontier: the active segment's seq and
+// its committed size in bytes. A follower whose mirror has reached
+// Position holds everything this store has logged.
+func (s *Store) Position() (seq uint64, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active, s.size
+}
+
+// ShipStart reports where a fresh follower begins: the snapshot
+// boundary to ship first (0 = none) and the first segment to stream.
+func (s *Store) ShipStart() (snapSeq, firstSeg uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	firstSeg = s.active
+	if len(s.segs) > 0 {
+		firstSeg = s.segs[0]
+	}
+	if s.snapSeq > firstSeg {
+		firstSeg = s.snapSeq
+	}
+	return s.snapSeq, firstSeg
+}
+
+// ReadChunk reads up to max bytes of segment seq from file offset off
+// (offsets include the segment header). It returns the bytes read and
+// whether that exhausted a sealed segment — in which case the reader
+// advances to (seq+1, 0). An empty, non-sealed result means the reader
+// is caught up with the active segment; wait on AppendSignal.
+func (s *Store) ReadChunk(seq uint64, off int64, max int) (data []byte, sealed bool, err error) {
+	if off < 0 || max <= 0 {
+		return nil, false, fmt.Errorf("%w: off %d max %d", ErrOutOfRange, off, max)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	active, committed, snapSeq := s.active, s.size, s.snapSeq
+	retained := false
+	for _, have := range s.segs {
+		if have == seq {
+			retained = true
+			break
+		}
+	}
+	s.mu.Unlock()
+
+	if !retained {
+		if seq < snapSeq {
+			return nil, false, ErrSegmentCompacted
+		}
+		return nil, false, fmt.Errorf("%w: segment %d does not exist", ErrOutOfRange, seq)
+	}
+
+	if seq == active {
+		if off > committed {
+			return nil, false, fmt.Errorf("%w: offset %d past committed %d in active segment %d", ErrOutOfRange, off, committed, seq)
+		}
+		if off == committed {
+			return nil, false, nil
+		}
+		n := committed - off
+		if int64(max) < n {
+			n = int64(max)
+		}
+		data, err := readAt(s.segPath(seq), off, int(n))
+		return data, false, err
+	}
+
+	// Sealed segment: immutable, its file size is its committed end. It
+	// may be compacted between the membership check and the read — map
+	// the vanished file back to the compaction signal.
+	fi, err := os.Stat(s.segPath(seq))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, ErrSegmentCompacted
+		}
+		return nil, false, fmt.Errorf("store: stat segment %d: %w", seq, err)
+	}
+	end := fi.Size()
+	if off > end {
+		return nil, false, fmt.Errorf("%w: offset %d past end %d of sealed segment %d", ErrOutOfRange, off, end, seq)
+	}
+	if off == end {
+		return nil, true, nil
+	}
+	n := end - off
+	if int64(max) < n {
+		n = int64(max)
+	}
+	data, err = readAt(s.segPath(seq), off, int(n))
+	if err != nil {
+		return nil, false, err
+	}
+	return data, off+int64(len(data)) == end, nil
+}
+
+// ReadSnapshotFile returns the newest snapshot's boundary seq and raw
+// file bytes (header and framing included) for shipping verbatim.
+func (s *Store) ReadSnapshotFile() (seq uint64, data []byte, err error) {
+	s.mu.Lock()
+	seq = s.snapSeq
+	s.mu.Unlock()
+	if seq == 0 {
+		return 0, nil, ErrNoSnapshot
+	}
+	data, err = os.ReadFile(s.snapPath(seq))
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: reading snapshot %d: %w", seq, err)
+	}
+	return seq, data, nil
+}
+
+// DecodeSnapshotFile verifies raw snapshot file bytes — as shipped by
+// ReadSnapshotFile — and returns the embedded payload.
+func DecodeSnapshotFile(data []byte) ([]byte, error) {
+	if len(data) < headerLen || string(data[:8]) != string(snapMagic) || data[8] != formatVersion {
+		return nil, fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
+	}
+	rec, n, err := DecodeRecord(data[headerLen:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	if rec.Type != recordSnapshot || headerLen+n != len(data) {
+		return nil, fmt.Errorf("%w: unexpected framing", ErrCorruptSnapshot)
+	}
+	out := make([]byte, len(rec.Payload))
+	copy(out, rec.Payload)
+	return out, nil
+}
+
+// AppendSignal returns a channel closed at the next change to the
+// shippable state (an append, a rotation, or a snapshot cut). Callers
+// re-arm by calling it again; ReadChunk between the two calls misses
+// nothing.
+func (s *Store) AppendSignal() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.notify == nil {
+		s.notify = make(chan struct{})
+	}
+	return s.notify
+}
+
+// notifyLocked wakes every AppendSignal waiter. Callers hold s.mu.
+func (s *Store) notifyLocked() {
+	if s.notify != nil {
+		close(s.notify)
+		s.notify = nil
+	}
+}
+
+// readAt reads [off, off+n) of a file through its own descriptor, so
+// shipping reads never disturb the append handle's file position.
+func readAt(path string, off int64, n int) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s for shipping: %w", path, err)
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("store: reading %s at %d: %w", path, off, err)
+	}
+	return buf, nil
+}

@@ -105,6 +105,11 @@ type Store struct {
 	recovered bool
 	closed    bool
 
+	// notify, when non-nil, is closed (under mu) at the next append,
+	// rotation, or snapshot — the wake-up for shipping streams. See
+	// AppendSignal in ship.go.
+	notify chan struct{}
+
 	// snapMu serializes snapshot cuts without blocking appends.
 	snapMu sync.Mutex
 
@@ -382,19 +387,11 @@ func readSnapshot(path string) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
 	}
-	if len(data) < headerLen || string(data[:8]) != string(snapMagic) || data[8] != formatVersion {
-		return nil, fmt.Errorf("%w: bad header in %s", ErrCorruptSnapshot, filepath.Base(path))
-	}
-	rec, n, err := DecodeRecord(data[headerLen:])
+	payload, err := DecodeSnapshotFile(data)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptSnapshot, filepath.Base(path), err)
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
 	}
-	if rec.Type != recordSnapshot || headerLen+n != len(data) {
-		return nil, fmt.Errorf("%w: %s: unexpected framing", ErrCorruptSnapshot, filepath.Base(path))
-	}
-	out := make([]byte, len(rec.Payload))
-	copy(out, rec.Payload)
-	return out, nil
+	return payload, nil
 }
 
 // Append frames and appends one record to the active segment, rotating
@@ -426,6 +423,7 @@ func (s *Store) Append(rec Record) error {
 			return err
 		}
 	}
+	s.notifyLocked()
 	return nil
 }
 
@@ -466,6 +464,9 @@ func (s *Store) AppendBatch(recs []Record) (int, error) {
 		if err := s.syncLocked(); err != nil {
 			return len(recs), err
 		}
+	}
+	if len(recs) > 0 {
+		s.notifyLocked()
 	}
 	return len(recs), nil
 }
@@ -585,6 +586,7 @@ func (s *Store) Snapshot(capture func() ([]byte, error)) error {
 		keep = append(keep, seq)
 	}
 	s.segs = keep
+	s.notifyLocked()
 	s.mu.Unlock()
 	if prevSnap > 0 && prevSnap != boundary {
 		os.Remove(s.snapPath(prevSnap))
@@ -637,6 +639,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.notifyLocked() // unblock any shipping stream waiting for appends
 	if err := s.f.Sync(); err != nil {
 		s.f.Close()
 		return fmt.Errorf("store: syncing segment %d at close: %w", s.active, err)
